@@ -1,0 +1,46 @@
+// Ablation: soft deadlines (paper Section 4).  "For soft deadlines,
+// the Quality Manager applies only the average quality constraint."
+// Dropping the worst-case (safety) constraint buys quality but gives up
+// the zero-miss guarantee; this bench quantifies the trade on the video
+// benchmark and on an adversarial worst-case run.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace qosctrl;
+  bench::print_header(
+      "Ablation — hard (av+wc) vs soft (av-only) quality constraints",
+      "soft mode reaches equal-or-higher quality but can miss fine-grain "
+      "deadlines; hard mode never misses");
+
+  pipe::PipelineConfig hard_cfg = bench::controlled_config();
+  hard_cfg.video.num_frames = 260;
+  pipe::PipelineConfig soft_cfg = hard_cfg;
+  soft_cfg.soft_deadlines = true;
+
+  const pipe::PipelineResult hard = pipe::run_pipeline(hard_cfg);
+  const pipe::PipelineResult soft = pipe::run_pipeline(soft_cfg);
+
+  std::printf("\n  %-12s %8s %8s %10s %12s %10s\n", "mode", "skips",
+              "misses", "mean-q", "mean-psnr", "util");
+  std::printf("  %-12s %8d %8d %10.2f %12.2f %10.3f\n", "hard",
+              hard.total_skips, hard.total_deadline_misses,
+              hard.mean_quality, hard.mean_psnr,
+              hard.mean_budget_utilization);
+  std::printf("  %-12s %8d %8d %10.2f %12.2f %10.3f\n", "soft",
+              soft.total_skips, soft.total_deadline_misses,
+              soft.mean_quality, soft.mean_psnr,
+              soft.mean_budget_utilization);
+  std::printf("\n");
+
+  bool ok = true;
+  ok &= bench::shape_check("hard mode never misses a deadline",
+                           hard.total_deadline_misses == 0);
+  ok &= bench::shape_check("soft mode reaches at least hard mode's quality",
+                           soft.mean_quality >= hard.mean_quality);
+  ok &= bench::shape_check(
+      "soft mode trades misses for that quality (or matches exactly)",
+      soft.total_deadline_misses >= hard.total_deadline_misses);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+#include "bench_common.h"
+
+#include <iomanip>
+
+namespace qosctrl::bench {
+
+pipe::PipelineConfig controlled_config() {
+  pipe::PipelineConfig cfg;  // defaults already match the paper benchmark
+  cfg.mode = pipe::ControlMode::kControlled;
+  cfg.buffer_capacity = 1;  // "we can take K = 1 for the controlled encoder"
+  return cfg;
+}
+
+pipe::PipelineConfig constant_config(rt::QualityLevel q, int buffer_k) {
+  pipe::PipelineConfig cfg;
+  cfg.mode = pipe::ControlMode::kConstantQuality;
+  cfg.constant_quality = q;
+  cfg.buffer_capacity = buffer_k;
+  return cfg;
+}
+
+double paper_mcycles(rt::Cycles native) {
+  return static_cast<double>(native) * kPaperScale / 1e6;
+}
+
+void print_header(const std::string& artifact, const std::string& claim) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << artifact << "\n"
+            << "Combaz, Fernandez, Lepley, Sifakis — Fine Grain QoS Control "
+               "for Multimedia\nApplication Software (DATE 2005)\n"
+            << "Expected shape: " << claim << "\n"
+            << "==============================================================="
+               "=================\n";
+}
+
+bool shape_check(const std::string& what, bool ok) {
+  std::cout << (ok ? "[SHAPE OK]   " : "[SHAPE FAIL] ") << what << "\n";
+  return ok;
+}
+
+void emit(const util::SeriesTable& table, int chart_height) {
+  std::cout << "\n--- csv ---\n";
+  table.write_csv(std::cout);
+  std::cout << "--- chart ---\n";
+  table.render_ascii(std::cout, 110, chart_height);
+  std::cout << "--- stats ---\n";
+  table.print_stats(std::cout);
+  std::cout << std::flush;
+}
+
+}  // namespace qosctrl::bench

@@ -1,0 +1,43 @@
+// Shared scaffolding for the figure-reproduction benchmarks.
+//
+// Every bench binary prints: a header identifying the paper artifact it
+// regenerates, the series as CSV (machine-readable), an ASCII rendering
+// of the figure, summary statistics, and the shape checks that must
+// hold for the reproduction to count (who wins, where the crossovers
+// are).  Absolute cycle numbers are reported in the paper's unit frame:
+// the QCIF pipeline cycles are rescaled by 1620/99 so the 320 Mcycle
+// budget line sits where the paper drew it (see EXPERIMENTS.md).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "pipeline/simulation.h"
+#include "util/series.h"
+
+namespace qosctrl::bench {
+
+/// Ratio mapping our 99-macroblock QCIF frames onto the paper's
+/// 1620-macroblock PAL geometry (320 Mcycle budget at 8 GHz, 25 fps).
+inline constexpr double kPaperScale = 1620.0 / 99.0;
+
+/// The paper's per-frame period in (rescaled) Mcycles.
+inline constexpr double kPaperPeriodMcycles = 320.0;
+
+/// Standard benchmark configurations (Section 3 of the paper).
+pipe::PipelineConfig controlled_config();
+pipe::PipelineConfig constant_config(rt::QualityLevel q, int buffer_k);
+
+/// Frame encode time in paper-scale Mcycles.
+double paper_mcycles(rt::Cycles native);
+
+/// Prints the standard bench header.
+void print_header(const std::string& artifact, const std::string& claim);
+
+/// Prints a one-line PASS/FAIL shape check and returns pass.
+bool shape_check(const std::string& what, bool ok);
+
+/// Dumps a series table as CSV + chart + stats.
+void emit(const util::SeriesTable& table, int chart_height = 18);
+
+}  // namespace qosctrl::bench

@@ -1,0 +1,95 @@
+// Figure 5 reproduction: the execution-time tables of the encoder's
+// actions — the paper's published averages / worst cases, and the
+// statistics the virtual platform's cost model actually delivers.
+//
+// The paper obtained these numbers by timing analysis and profiling on
+// the eliXim-simulated XiRisc; we print (a) the published calibration
+// table embedded in the platform, and (b) sample statistics of the
+// stochastic cost model at nominal work, verifying mean ~ average and
+// max <= worst case — the two properties the controller depends on.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "encoder/body.h"
+#include "platform/cost_model.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace qosctrl;
+
+void print_table_row(const char* name, platform::CostSpec s,
+                     double measured_mean, rt::Cycles measured_max) {
+  std::printf("  %-36s %9lld %9lld   %12.0f %9lld\n", name,
+              static_cast<long long>(s.average),
+              static_cast<long long>(s.worst_case), measured_mean,
+              static_cast<long long>(measured_max));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 5 — average and worst-case execution times (CPU cycles)",
+      "Motion_Estimate grows monotonically with quality; all other "
+      "actions are quality-independent; sampled costs satisfy "
+      "mean ~ average and max <= worst case");
+
+  const platform::CostTable table = platform::figure5_cost_table();
+  platform::CostModel model(table, platform::CostModelConfig{},
+                            util::Rng(2005));
+  const int kSamples = 20000;
+
+  bool all_ok = true;
+  std::printf("\nMotion_Estimate (per quality level)\n");
+  std::printf("  %-36s %9s %9s   %12s %9s\n", "quality", "avg", "wc",
+              "sampled-mean", "max");
+  const auto me = enc::id(enc::BodyAction::kMotionEstimate);
+  for (std::size_t qi = 0; qi < 8; ++qi) {
+    double acc = 0;
+    rt::Cycles max_seen = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      const rt::Cycles c = model.sample(me, qi, 1.0);
+      acc += static_cast<double>(c);
+      max_seen = std::max(max_seen, c);
+    }
+    const double mean = acc / kSamples;
+    const auto& spec = table.at(me, qi);
+    char label[16];
+    std::snprintf(label, sizeof label, "q = %zu", qi);
+    print_table_row(label, spec, mean, max_seen);
+    all_ok &= max_seen <= spec.worst_case;
+    all_ok &= mean > 0.5 * static_cast<double>(spec.average) &&
+              mean < 1.5 * static_cast<double>(spec.average);
+  }
+
+  std::printf("\nQuality-independent actions\n");
+  std::printf("  %-36s %9s %9s   %12s %9s\n", "action", "avg", "wc",
+              "sampled-mean", "max");
+  for (int a = 0; a < enc::kNumBodyActions; ++a) {
+    if (a == me) continue;
+    double acc = 0;
+    rt::Cycles max_seen = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      const rt::Cycles c = model.sample(a, 0, 1.0);
+      acc += static_cast<double>(c);
+      max_seen = std::max(max_seen, c);
+    }
+    const auto& spec = table.at(a, 0);
+    print_table_row(
+        enc::body_action_name(static_cast<enc::BodyAction>(a)), spec,
+        acc / kSamples, max_seen);
+    all_ok &= max_seen <= spec.worst_case;
+  }
+
+  std::printf("\n");
+  bench::shape_check("sampled max never exceeds worst case", all_ok);
+  bool monotone = true;
+  for (std::size_t qi = 1; qi < 8; ++qi) {
+    monotone &= table.at(me, qi).average >= table.at(me, qi - 1).average;
+    monotone &=
+        table.at(me, qi).worst_case >= table.at(me, qi - 1).worst_case;
+  }
+  bench::shape_check("Motion_Estimate tables monotone in quality", monotone);
+  return all_ok && monotone ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark): the hot paths whose cost the
+// paper's overhead claims depend on — the table-driven decision, the
+// online (recomputing) decision, table construction, EDF scheduling,
+// and the encoder kernels charged to the virtual platform.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "encoder/system_builder.h"
+#include "media/dct.h"
+#include "media/entropy.h"
+#include "media/motion.h"
+#include "media/synthetic_video.h"
+#include "qos/controller.h"
+#include "sched/edf.h"
+#include "toolgen/codegen.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace qosctrl;
+
+const enc::EncoderSystem& encoder_system() {
+  static const enc::EncoderSystem es = enc::build_encoder_system(
+      99, 19555556, platform::figure5_cost_table());
+  return es;
+}
+
+void BM_TableControllerDecision(benchmark::State& state) {
+  qos::TableController ctl(encoder_system().tables);
+  rt::Cycles t = 0;
+  for (auto _ : state) {
+    if (ctl.done()) ctl.start_cycle();
+    benchmark::DoNotOptimize(ctl.next(t));
+    t = (t + 150000) % 19000000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableControllerDecision);
+
+void BM_OnlineControllerDecision(benchmark::State& state) {
+  // The abstract algorithm recomputes Best_Sched per candidate level:
+  // this is the cost the compiled tables avoid.
+  const auto& es = encoder_system();
+  qos::OnlineController ctl(*es.system);
+  rt::Cycles t = 0;
+  for (auto _ : state) {
+    if (ctl.done()) ctl.start_cycle();
+    benchmark::DoNotOptimize(ctl.next(t));
+    t = (t + 150000) % 19000000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineControllerDecision);
+
+void BM_SlackTableBuild(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto es = enc::build_encoder_system(
+      n, static_cast<rt::Cycles>(n) * 197531,
+      platform::figure5_cost_table());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qos::SlackTables::build(*es.system));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SlackTableBuild)->Arg(11)->Arg(33)->Arg(99)->Complexity();
+
+void BM_EdfSchedule(benchmark::State& state) {
+  const auto& es = encoder_system();
+  const auto d = es.system->deadline_of(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::edf_schedule(es.system->graph(), d));
+  }
+}
+BENCHMARK(BM_EdfSchedule);
+
+void BM_GenerateCController(benchmark::State& state) {
+  const auto& es = encoder_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        toolgen::generate_c_controller(*es.tables, es.system->graph()));
+  }
+}
+BENCHMARK(BM_GenerateCController);
+
+void BM_ForwardDct8(benchmark::State& state) {
+  media::Block8 block;
+  for (std::size_t i = 0; i < 64; ++i) {
+    block[i] = static_cast<media::Residual>((i * 37) % 255 - 127);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(media::forward_dct8(block));
+  }
+}
+BENCHMARK(BM_ForwardDct8);
+
+void BM_MotionSearch(benchmark::State& state) {
+  media::VideoConfig vc;
+  vc.num_frames = 2;
+  vc.num_scenes = 1;
+  const media::SyntheticVideo video(vc);
+  const media::Frame f0 = video.frame(0);
+  const media::Frame f1 = video.frame(1);
+  const int radius = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    media::MotionConfig cfg{radius, 0};
+    benchmark::DoNotOptimize(media::estimate_motion(f1, f0, 80, 64, cfg));
+  }
+}
+BENCHMARK(BM_MotionSearch)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_EntropyEncodeBlock(benchmark::State& state) {
+  util::Rng rng(5);
+  media::Coeffs8 levels{};
+  for (int k = 0; k < 12; ++k) {
+    levels[static_cast<std::size_t>(rng.uniform_i64(0, 63))] =
+        static_cast<std::int32_t>(rng.uniform_i64(-40, 40));
+  }
+  for (auto _ : state) {
+    util::BitWriter bw;
+    benchmark::DoNotOptimize(media::encode_block(bw, levels));
+  }
+}
+BENCHMARK(BM_EntropyEncodeBlock);
+
+void BM_SyntheticFrame(benchmark::State& state) {
+  const media::SyntheticVideo video{media::VideoConfig{}};
+  int f = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(video.frame(f));
+    f = (f + 1) % video.num_frames();
+  }
+}
+BENCHMARK(BM_SyntheticFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+#include "encoder/body.h"
+
+#include "util/check.h"
+
+namespace qosctrl::enc {
+
+const char* body_action_name(BodyAction a) {
+  switch (a) {
+    case BodyAction::kGrabMacroBlock:
+      return "Grab_Macro_Block";
+    case BodyAction::kMotionEstimate:
+      return "Motion_Estimate";
+    case BodyAction::kDct:
+      return "Discrete_Cosine_Transform";
+    case BodyAction::kQuantize:
+      return "Quantize";
+    case BodyAction::kIntraPredict:
+      return "Intra_Predict";
+    case BodyAction::kCompress:
+      return "Compress";
+    case BodyAction::kInverseQuantize:
+      return "Inverse_Quantize";
+    case BodyAction::kInverseDct:
+      return "Inverse_Discrete_Cosine_Transform";
+    case BodyAction::kReconstruct:
+      return "Reconstruct";
+  }
+  QC_EXPECT(false, "unknown body action");
+}
+
+rt::PrecedenceGraph make_body_graph() {
+  rt::PrecedenceGraph g;
+  for (int a = 0; a < kNumBodyActions; ++a) {
+    g.add_action(body_action_name(static_cast<BodyAction>(a)));
+  }
+  const auto edge = [&g](BodyAction from, BodyAction to) {
+    g.add_edge(id(from), id(to));
+  };
+  edge(BodyAction::kGrabMacroBlock, BodyAction::kMotionEstimate);
+  edge(BodyAction::kMotionEstimate, BodyAction::kIntraPredict);
+  edge(BodyAction::kIntraPredict, BodyAction::kDct);
+  edge(BodyAction::kDct, BodyAction::kQuantize);
+  edge(BodyAction::kQuantize, BodyAction::kCompress);
+  edge(BodyAction::kQuantize, BodyAction::kInverseQuantize);
+  edge(BodyAction::kInverseQuantize, BodyAction::kInverseDct);
+  edge(BodyAction::kInverseDct, BodyAction::kReconstruct);
+  return g;
+}
+
+UnrolledAction decode_unrolled(rt::ActionId unrolled_id) {
+  QC_EXPECT(unrolled_id >= 0, "invalid unrolled action id");
+  UnrolledAction out;
+  out.macroblock = unrolled_id / kNumBodyActions;
+  out.action = static_cast<BodyAction>(unrolled_id % kNumBodyActions);
+  return out;
+}
+
+}  // namespace qosctrl::enc

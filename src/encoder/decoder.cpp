@@ -1,0 +1,173 @@
+#include "encoder/decoder.h"
+
+#include <algorithm>
+
+#include "media/dct.h"
+#include "media/entropy.h"
+#include "media/intra.h"
+#include "media/motion.h"
+#include "media/plane.h"
+#include "media/quant.h"
+#include "util/bitio.h"
+
+namespace qosctrl::enc {
+namespace {
+
+constexpr int kMb = media::kMacroBlockSize;
+constexpr int kTb = media::kTransformSize;
+
+/// Re-derives the encoder's intra prediction for one macroblock from
+/// the decoder's own reconstruction (identical neighbor logic).
+std::array<media::Sample, 256> intra_prediction(const media::Frame& recon,
+                                                int x0, int y0,
+                                                media::IntraMode mode) {
+  std::array<media::Sample, 256> out;
+  switch (mode) {
+    case media::IntraMode::kDc: {
+      int sum = 0;
+      int count = 0;
+      for (int x = 0; x < kMb; ++x) {
+        if (recon.in_bounds(x0 + x, y0 - 1)) {
+          sum += recon.at(x0 + x, y0 - 1);
+          ++count;
+        }
+      }
+      for (int y = 0; y < kMb; ++y) {
+        if (recon.in_bounds(x0 - 1, y0 + y)) {
+          sum += recon.at(x0 - 1, y0 + y);
+          ++count;
+        }
+      }
+      const media::Sample dc =
+          count > 0 ? static_cast<media::Sample>((sum + count / 2) / count)
+                    : 128;
+      out.fill(dc);
+      return out;
+    }
+    case media::IntraMode::kHorizontal: {
+      for (int y = 0; y < kMb; ++y) {
+        const media::Sample left = recon.in_bounds(x0 - 1, y0 + y)
+                                       ? recon.at(x0 - 1, y0 + y)
+                                       : 128;
+        for (int x = 0; x < kMb; ++x) {
+          out[static_cast<std::size_t>(y * kMb + x)] = left;
+        }
+      }
+      return out;
+    }
+    case media::IntraMode::kVertical: {
+      for (int x = 0; x < kMb; ++x) {
+        const media::Sample top = recon.in_bounds(x0 + x, y0 - 1)
+                                      ? recon.at(x0 + x, y0 - 1)
+                                      : 128;
+        for (int y = 0; y < kMb; ++y) {
+          out[static_cast<std::size_t>(y * kMb + x)] = top;
+        }
+      }
+      return out;
+    }
+  }
+  out.fill(128);
+  return out;
+}
+
+}  // namespace
+
+DecodeResult decode_frame(const std::vector<std::uint8_t>& bitstream,
+                          const media::YuvFrame* reference) {
+  DecodeResult result;
+  util::BitReader br(bitstream);
+  const auto mb_cols = static_cast<int>(media::get_ue(br));
+  const auto mb_rows = static_cast<int>(media::get_ue(br));
+  const auto qp = static_cast<int>(media::get_ue(br));
+  if (br.overrun() || mb_cols <= 0 || mb_rows <= 0 || mb_cols > 1024 ||
+      mb_rows > 1024 || qp < media::kMinQp || qp > media::kMaxQp) {
+    return result;
+  }
+  if (reference != nullptr &&
+      (reference->width() != mb_cols * kMb ||
+       reference->height() != mb_rows * kMb)) {
+    return result;  // geometry mismatch
+  }
+  result.qp = qp;
+  result.frame = media::YuvFrame(mb_cols * kMb, mb_rows * kMb);
+
+  for (int mb = 0; mb < mb_cols * mb_rows; ++mb) {
+    const int x0 = (mb % mb_cols) * kMb;
+    const int y0 = (mb / mb_cols) * kMb;
+
+    const bool intra = br.get_bit();
+    std::array<media::Sample, 256> prediction;
+    std::array<std::array<media::Sample, 64>, 2> prediction_c;
+    if (intra) {
+      const auto mode =
+          static_cast<media::IntraMode>(br.get_bits(2));
+      if (static_cast<int>(mode) > 2) return result;
+      prediction = intra_prediction(result.frame.y, x0, y0, mode);
+      for (int c = 0; c < 2; ++c) {
+        const media::Plane& plane =
+            (c == 0) ? result.frame.cb : result.frame.cr;
+        prediction_c[static_cast<std::size_t>(c)] =
+            media::chroma_dc_prediction(plane, x0 / 2, y0 / 2);
+      }
+      ++result.intra_macroblocks;
+    } else {
+      if (reference == nullptr) return result;  // stream needs a reference
+      const auto dx2 = media::get_se(br);  // half-pel units
+      const auto dy2 = media::get_se(br);
+      if (std::abs(dx2) > 128 || std::abs(dy2) > 128) return result;
+      prediction = media::motion_compensate_halfpel(reference->y, x0, y0,
+                                                    dx2, dy2);
+      for (int c = 0; c < 2; ++c) {
+        const media::Plane& plane =
+            (c == 0) ? reference->cb : reference->cr;
+        prediction_c[static_cast<std::size_t>(c)] =
+            media::chroma_motion_compensate(plane, x0 / 2, y0 / 2, dx2,
+                                            dy2);
+      }
+    }
+
+    std::array<media::Sample, 256> pixels;
+    for (int b = 0; b < 4; ++b) {
+      const std::optional<media::Coeffs8> levels = media::decode_block(br);
+      if (!levels.has_value() || br.overrun()) return result;
+      const media::Block8 residual =
+          media::inverse_dct8(media::dequantize_block(*levels, qp));
+      const int bx = (b % 2) * kTb;
+      const int by = (b / 2) * kTb;
+      for (int y = 0; y < kTb; ++y) {
+        for (int x = 0; x < kTb; ++x) {
+          const int p = (by + y) * kMb + (bx + x);
+          const int v =
+              static_cast<int>(prediction[static_cast<std::size_t>(p)]) +
+              static_cast<int>(
+                  residual[static_cast<std::size_t>(y * kTb + x)]);
+          pixels[static_cast<std::size_t>(p)] =
+              static_cast<media::Sample>(std::clamp(v, 0, 255));
+        }
+      }
+    }
+    media::write_macroblock(result.frame.y, x0, y0, pixels);
+    for (int c = 0; c < 2; ++c) {
+      const std::optional<media::Coeffs8> levels = media::decode_block(br);
+      if (!levels.has_value() || br.overrun()) return result;
+      const media::Block8 residual =
+          media::inverse_dct8(media::dequantize_block(*levels, qp));
+      std::array<media::Sample, 64> cpix;
+      for (std::size_t i = 0; i < 64; ++i) {
+        const int v =
+            static_cast<int>(
+                prediction_c[static_cast<std::size_t>(c)][i]) +
+            static_cast<int>(residual[i]);
+        cpix[i] = static_cast<media::Sample>(std::clamp(v, 0, 255));
+      }
+      media::Plane& plane =
+          (c == 0) ? result.frame.cb : result.frame.cr;
+      media::write_plane_block8(plane, x0 / 2, y0 / 2, cpix);
+    }
+  }
+  result.ok = !br.overrun();
+  return result;
+}
+
+}  // namespace qosctrl::enc

@@ -1,0 +1,39 @@
+// Bitstream decoder — the receiving end of the encoder's Compress
+// action, and the ground truth for what a viewer sees.
+//
+// The decoder mirrors the reconstruction path exactly (same intra
+// prediction from its own partially-decoded frame, same motion
+// compensation, same dequantize + inverse DCT), so its output is
+// bit-exact with FrameEncoder::reconstructed().  That equivalence is
+// the encoder's end-to-end correctness test: the PSNR numbers reported
+// for every experiment are PSNR against a *decodable* stream, not
+// against internal state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "media/yuv.h"
+
+namespace qosctrl::enc {
+
+/// Outcome of decoding one frame.
+struct DecodeResult {
+  media::YuvFrame frame;       ///< the displayed picture (4:2:0)
+  int qp = 0;                  ///< quantizer parsed from the header
+  int intra_macroblocks = 0;
+  bool ok = false;             ///< false on malformed input
+};
+
+/// Decodes one frame produced by FrameEncoder.
+///
+/// `reference` is the previously displayed frame (needed for inter
+/// macroblocks); pass nullptr for a stream known to be all-intra (the
+/// first frame).  Returns ok == false when the stream is truncated,
+/// has an impossible header, or references motion without a reference
+/// frame.
+DecodeResult decode_frame(const std::vector<std::uint8_t>& bitstream,
+                          const media::YuvFrame* reference);
+
+}  // namespace qosctrl::enc

@@ -1,0 +1,57 @@
+// Frame-level rate control steering the quantization parameter toward a
+// target bitrate (paper: 1.1 Mbit/s at 25 frames/s).
+//
+// A classic virtual-buffer law: the controller tracks the signed excess
+// of produced bits over the per-frame budget and nudges QP by at most
+// +/-2 per frame.  Skipped frames produce no bits, so their budget
+// drains the virtual buffer and QP falls — this reproduces the paper's
+// observation that "the bits corresponding to skipped frames are used
+// to achieve better quality" in the constant-quality runs.
+#pragma once
+
+#include <cstdint>
+
+#include "media/quant.h"
+
+namespace qosctrl::enc {
+
+struct RateControlConfig {
+  double bitrate_bps = 1.1e6;   ///< target bitrate (bits per second)
+  double frame_rate = 25.0;     ///< frames per second
+  int initial_qp = 8;
+  /// Dead zone as a fraction of the per-frame budget: no QP change when
+  /// |buffer| < dead_zone * target.
+  double dead_zone = 0.15;
+  /// Step-2 threshold: QP moves by 2 when |buffer| > step2 * target.
+  double step2 = 1.0;
+};
+
+class RateController {
+ public:
+  explicit RateController(const RateControlConfig& config = {});
+
+  /// QP to use for the next frame.
+  int qp() const { return qp_; }
+
+  /// Per-frame bit budget.
+  double target_bits_per_frame() const { return target_; }
+
+  /// Signed virtual-buffer fullness in bits (positive = over budget).
+  double buffer_bits() const { return buffer_; }
+
+  /// Reports an encoded frame's bit cost and updates QP.
+  void frame_encoded(std::int64_t bits);
+
+  /// Reports a skipped frame (no bits produced; budget is reclaimed).
+  void frame_skipped();
+
+ private:
+  void adjust_qp();
+
+  RateControlConfig config_;
+  double target_;
+  double buffer_ = 0.0;
+  int qp_;
+};
+
+}  // namespace qosctrl::enc

@@ -1,0 +1,21 @@
+// 8x8 type-II DCT and its inverse.
+//
+// Separable implementation with a precomputed 8x8 cosine basis in
+// double precision; coefficients are rounded to 32-bit integers.  The
+// pair is not bit-exact (no IEEE DCT is) but round-trips within +/-1
+// per sample for arbitrary 9-bit residual input, which the tests pin
+// down.  Throughput is irrelevant here: the *virtual* platform charges
+// the cycle costs; host-side math only has to be correct.
+#pragma once
+
+#include "media/frame.h"
+
+namespace qosctrl::media {
+
+/// Forward 8x8 DCT of a residual block.
+Coeffs8 forward_dct8(const Block8& block);
+
+/// Inverse 8x8 DCT back to (rounded) residual samples.
+Block8 inverse_dct8(const Coeffs8& coeffs);
+
+}  // namespace qosctrl::media

@@ -1,0 +1,95 @@
+#include "media/frame.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qosctrl::media {
+
+Frame::Frame(int width, int height, Sample fill)
+    : width_(width), height_(height) {
+  QC_EXPECT(width > 0 && height > 0, "frame dimensions must be positive");
+  QC_EXPECT(width % kMacroBlockSize == 0 && height % kMacroBlockSize == 0,
+            "frame dimensions must be multiples of the macroblock size");
+  data_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+               fill);
+}
+
+Sample Frame::at_clamped(int x, int y) const {
+  const int cx = std::clamp(x, 0, width_ - 1);
+  const int cy = std::clamp(y, 0, height_ - 1);
+  return at(cx, cy);
+}
+
+std::pair<int, int> Frame::mb_origin(int mb) const {
+  QC_EXPECT(mb >= 0 && mb < num_macroblocks(), "macroblock index out of range");
+  const int col = mb % mb_cols();
+  const int row = mb / mb_cols();
+  return {col * kMacroBlockSize, row * kMacroBlockSize};
+}
+
+std::array<Sample, 256> read_macroblock(const Frame& frame, int x0, int y0) {
+  std::array<Sample, 256> out;
+  for (int y = 0; y < kMacroBlockSize; ++y) {
+    for (int x = 0; x < kMacroBlockSize; ++x) {
+      out[static_cast<std::size_t>(y * kMacroBlockSize + x)] =
+          frame.at(x0 + x, y0 + y);
+    }
+  }
+  return out;
+}
+
+void write_macroblock(Frame& frame, int x0, int y0,
+                      const std::array<Sample, 256>& pixels) {
+  for (int y = 0; y < kMacroBlockSize; ++y) {
+    for (int x = 0; x < kMacroBlockSize; ++x) {
+      frame.set(x0 + x, y0 + y,
+                pixels[static_cast<std::size_t>(y * kMacroBlockSize + x)]);
+    }
+  }
+}
+
+Block8 read_block8(const Frame& frame, int x0, int y0, int b) {
+  QC_EXPECT(b >= 0 && b < 4, "sub-block index must be 0..3");
+  const int bx = x0 + (b % 2) * kTransformSize;
+  const int by = y0 + (b / 2) * kTransformSize;
+  Block8 out;
+  for (int y = 0; y < kTransformSize; ++y) {
+    for (int x = 0; x < kTransformSize; ++x) {
+      out[static_cast<std::size_t>(y * kTransformSize + x)] =
+          static_cast<Residual>(frame.at(bx + x, by + y));
+    }
+  }
+  return out;
+}
+
+std::int64_t sad_256(const std::array<Sample, 256>& a,
+                     const std::array<Sample, 256>& b) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    acc += std::abs(static_cast<int>(a[i]) - static_cast<int>(b[i]));
+  }
+  return acc;
+}
+
+double frame_sse(const Frame& a, const Frame& b) {
+  QC_EXPECT(a.width() == b.width() && a.height() == b.height(),
+            "frames must have equal dimensions");
+  double acc = 0.0;
+  const auto& da = a.data();
+  const auto& db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double d = static_cast<double>(da[i]) - static_cast<double>(db[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double psnr(const Frame& a, const Frame& b, double cap) {
+  const double sse = frame_sse(a, b);
+  const double n = static_cast<double>(a.width()) * a.height();
+  if (sse <= 0.0) return cap;
+  const double mse = sse / n;
+  return std::min(cap, 10.0 * std::log10(255.0 * 255.0 / mse));
+}
+
+}  // namespace qosctrl::media

@@ -1,0 +1,82 @@
+#include "media/intra.h"
+
+#include <algorithm>
+
+namespace qosctrl::media {
+namespace {
+
+constexpr int kMb = kMacroBlockSize;
+
+std::array<Sample, 256> predict_dc(const Frame& recon, int x0, int y0) {
+  int sum = 0;
+  int count = 0;
+  for (int x = 0; x < kMb; ++x) {
+    if (recon.in_bounds(x0 + x, y0 - 1)) {
+      sum += recon.at(x0 + x, y0 - 1);
+      ++count;
+    }
+  }
+  for (int y = 0; y < kMb; ++y) {
+    if (recon.in_bounds(x0 - 1, y0 + y)) {
+      sum += recon.at(x0 - 1, y0 + y);
+      ++count;
+    }
+  }
+  const Sample dc =
+      count > 0 ? static_cast<Sample>((sum + count / 2) / count) : 128;
+  std::array<Sample, 256> out;
+  out.fill(dc);
+  return out;
+}
+
+std::array<Sample, 256> predict_horizontal(const Frame& recon, int x0,
+                                           int y0) {
+  std::array<Sample, 256> out;
+  for (int y = 0; y < kMb; ++y) {
+    const Sample left =
+        recon.in_bounds(x0 - 1, y0 + y) ? recon.at(x0 - 1, y0 + y) : 128;
+    for (int x = 0; x < kMb; ++x) {
+      out[static_cast<std::size_t>(y * kMb + x)] = left;
+    }
+  }
+  return out;
+}
+
+std::array<Sample, 256> predict_vertical(const Frame& recon, int x0, int y0) {
+  std::array<Sample, 256> out;
+  for (int x = 0; x < kMb; ++x) {
+    const Sample top =
+        recon.in_bounds(x0 + x, y0 - 1) ? recon.at(x0 + x, y0 - 1) : 128;
+    for (int y = 0; y < kMb; ++y) {
+      out[static_cast<std::size_t>(y * kMb + x)] = top;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+IntraResult intra_predict(const Frame& source, const Frame& recon, int x0,
+                          int y0) {
+  const std::array<Sample, 256> src = read_macroblock(source, x0, y0);
+
+  IntraResult best;
+  best.mode = IntraMode::kDc;
+  best.prediction = predict_dc(recon, x0, y0);
+  best.sad = sad_256(src, best.prediction);
+
+  const auto consider = [&](IntraMode mode,
+                            const std::array<Sample, 256>& pred) {
+    const std::int64_t s = sad_256(src, pred);
+    if (s < best.sad) {
+      best.mode = mode;
+      best.prediction = pred;
+      best.sad = s;
+    }
+  };
+  consider(IntraMode::kHorizontal, predict_horizontal(recon, x0, y0));
+  consider(IntraMode::kVertical, predict_vertical(recon, x0, y0));
+  return best;
+}
+
+}  // namespace qosctrl::media

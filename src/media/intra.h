@@ -1,0 +1,30 @@
+// Intra prediction for macroblocks coded without a usable temporal
+// reference (scene cuts, uncovered content, the very first frame).
+//
+// Three classic modes — DC, horizontal, vertical — predicted from the
+// already-reconstructed pixels above and to the left of the macroblock
+// in the *current* frame; the best mode (smallest SAD) wins.
+#pragma once
+
+#include <array>
+
+#include "media/frame.h"
+
+namespace qosctrl::media {
+
+enum class IntraMode : std::uint8_t { kDc = 0, kHorizontal, kVertical };
+
+struct IntraResult {
+  IntraMode mode = IntraMode::kDc;
+  std::array<Sample, 256> prediction{};
+  std::int64_t sad = 0;  ///< SAD between source and chosen prediction
+};
+
+/// Predicts the 16x16 macroblock at (x0, y0) of `source` from the
+/// reconstructed neighborhood `recon` (same geometry).  Neighbors
+/// outside the frame fall back to mid-gray (128), the standard
+/// convention for unavailable references.
+IntraResult intra_predict(const Frame& source, const Frame& recon, int x0,
+                          int y0);
+
+}  // namespace qosctrl::media

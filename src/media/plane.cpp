@@ -1,0 +1,115 @@
+#include "media/plane.h"
+
+#include <algorithm>
+
+namespace qosctrl::media {
+
+Plane::Plane(int width, int height, Sample fill)
+    : width_(width), height_(height) {
+  QC_EXPECT(width > 0 && height > 0, "plane dimensions must be positive");
+  QC_EXPECT(width % kTransformSize == 0 && height % kTransformSize == 0,
+            "plane dimensions must be multiples of 8");
+  data_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+               fill);
+}
+
+Sample Plane::at_clamped(int x, int y) const {
+  return at(std::clamp(x, 0, width_ - 1), std::clamp(y, 0, height_ - 1));
+}
+
+Block8 read_plane_block8(const Plane& plane, int x0, int y0) {
+  Block8 out;
+  for (int y = 0; y < kTransformSize; ++y) {
+    for (int x = 0; x < kTransformSize; ++x) {
+      out[static_cast<std::size_t>(y * kTransformSize + x)] =
+          static_cast<Residual>(plane.at(x0 + x, y0 + y));
+    }
+  }
+  return out;
+}
+
+void write_plane_block8(Plane& plane, int x0, int y0,
+                        const std::array<Sample, 64>& pixels) {
+  for (int y = 0; y < kTransformSize; ++y) {
+    for (int x = 0; x < kTransformSize; ++x) {
+      plane.set(x0 + x, y0 + y,
+                pixels[static_cast<std::size_t>(y * kTransformSize + x)]);
+    }
+  }
+}
+
+std::array<Sample, 64> chroma_motion_compensate(const Plane& reference,
+                                                int x0, int y0, int luma_dx2,
+                                                int luma_dy2) {
+  // Chroma displacement is half the luma displacement.  luma_dx2 is in
+  // half-pel luma units, so the chroma offset in half-pel *chroma*
+  // units is luma_dx2 / 2, rounded toward zero and carrying the
+  // half-pel remainder.
+  const int cdx2 = luma_dx2 / 2 + (luma_dx2 % 2);  // round away-from-zero half
+  const int cdy2 = luma_dy2 / 2 + (luma_dy2 % 2);
+  const int ix = (cdx2 >= 0) ? cdx2 / 2 : (cdx2 - 1) / 2;
+  const int iy = (cdy2 >= 0) ? cdy2 / 2 : (cdy2 - 1) / 2;
+  const int fx = cdx2 - 2 * ix;
+  const int fy = cdy2 - 2 * iy;
+  std::array<Sample, 64> out;
+  for (int y = 0; y < kTransformSize; ++y) {
+    for (int x = 0; x < kTransformSize; ++x) {
+      const int bx = x0 + x + ix;
+      const int by = y0 + y + iy;
+      const int a = reference.at_clamped(bx, by);
+      int v;
+      if (fx == 0 && fy == 0) {
+        v = a;
+      } else if (fx == 1 && fy == 0) {
+        v = (a + reference.at_clamped(bx + 1, by) + 1) / 2;
+      } else if (fx == 0) {
+        v = (a + reference.at_clamped(bx, by + 1) + 1) / 2;
+      } else {
+        v = (a + reference.at_clamped(bx + 1, by) +
+             reference.at_clamped(bx, by + 1) +
+             reference.at_clamped(bx + 1, by + 1) + 2) / 4;
+      }
+      out[static_cast<std::size_t>(y * kTransformSize + x)] =
+          static_cast<Sample>(v);
+    }
+  }
+  return out;
+}
+
+std::array<Sample, 64> chroma_dc_prediction(const Plane& recon, int x0,
+                                            int y0) {
+  int sum = 0;
+  int count = 0;
+  for (int x = 0; x < kTransformSize; ++x) {
+    if (recon.in_bounds(x0 + x, y0 - 1)) {
+      sum += recon.at(x0 + x, y0 - 1);
+      ++count;
+    }
+  }
+  for (int y = 0; y < kTransformSize; ++y) {
+    if (recon.in_bounds(x0 - 1, y0 + y)) {
+      sum += recon.at(x0 - 1, y0 + y);
+      ++count;
+    }
+  }
+  const Sample dc =
+      count > 0 ? static_cast<Sample>((sum + count / 2) / count) : 128;
+  std::array<Sample, 64> out;
+  out.fill(dc);
+  return out;
+}
+
+double plane_sse(const Plane& a, const Plane& b) {
+  QC_EXPECT(a.width() == b.width() && a.height() == b.height(),
+            "planes must have equal dimensions");
+  double acc = 0.0;
+  const auto& da = a.data();
+  const auto& db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double d = static_cast<double>(da[i]) - static_cast<double>(db[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace qosctrl::media

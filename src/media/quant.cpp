@@ -1,0 +1,41 @@
+#include "media/quant.h"
+
+#include <cstdlib>
+
+namespace qosctrl::media {
+
+std::int32_t quantize_coeff(std::int32_t c, int qp) {
+  QC_EXPECT(qp >= kMinQp && qp <= kMaxQp, "QP out of range");
+  const int step = 2 * qp;
+  const std::int32_t mag = (std::abs(c) + step / 2) / step;
+  return c < 0 ? -mag : mag;
+}
+
+std::int32_t dequantize_coeff(std::int32_t level, int qp) {
+  QC_EXPECT(qp >= kMinQp && qp <= kMaxQp, "QP out of range");
+  return level * 2 * qp;
+}
+
+Coeffs8 quantize_block(const Coeffs8& coeffs, int qp) {
+  Coeffs8 out;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = quantize_coeff(coeffs[i], qp);
+  }
+  return out;
+}
+
+Coeffs8 dequantize_block(const Coeffs8& levels, int qp) {
+  Coeffs8 out;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = dequantize_coeff(levels[i], qp);
+  }
+  return out;
+}
+
+int count_nonzero(const Coeffs8& levels) {
+  int n = 0;
+  for (std::int32_t v : levels) n += (v != 0) ? 1 : 0;
+  return n;
+}
+
+}  // namespace qosctrl::media

@@ -1,0 +1,204 @@
+#include "media/synthetic_video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qosctrl::media {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Cheap deterministic per-pixel noise hash in [-1, 1].
+double noise_hash(int x, int y, int t, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) * 0xc2b2ae3d27d4eb4fULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(t)) * 0x165667b19e3779f9ULL;
+  h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return (static_cast<double>(h & 0xffffff) / double(0xffffff)) * 2.0 - 1.0;
+}
+
+}  // namespace
+
+SyntheticVideo::SyntheticVideo(const VideoConfig& config) : config_(config) {
+  QC_EXPECT(config.width > 0 && config.height > 0,
+            "video dimensions must be positive");
+  QC_EXPECT(config.num_frames >= 1, "at least one frame required");
+  QC_EXPECT(config.num_scenes >= 1 &&
+                config.num_scenes <= config.num_frames,
+            "scene count must be in [1, num_frames]");
+
+  util::Rng rng(config.seed);
+  const double w = config.width;
+  const double h = config.height;
+  for (int s = 0; s < config.num_scenes; ++s) {
+    Scene scene;
+    scene.base_level = rng.uniform(80.0, 170.0);
+    scene.fx1 = rng.uniform(0.01, 0.08);
+    scene.fy1 = rng.uniform(0.01, 0.08);
+    scene.ph1 = rng.uniform(0.0, 2.0 * kPi);
+    scene.fx2 = rng.uniform(0.08, 0.35);
+    scene.fy2 = rng.uniform(0.08, 0.35);
+    scene.ph2 = rng.uniform(0.0, 2.0 * kPi);
+    scene.amp1 = rng.uniform(15.0, 40.0);
+    scene.amp2 = rng.uniform(10.0, 25.0);
+    // Scenes come in three activity classes so per-scene load levels
+    // differ visibly, as in the paper's figures.  Pans are integer-
+    // valued so full-pel motion search *can* lock on exactly — provided
+    // the window is wide enough.  Two scenes (the paper's two skip-
+    // burst regions) pan at Chebyshev radius 5: beyond constant q=3
+    // (radius 3) and q=4 (radius 4), trackable only at q >= 5.
+    const bool busy = (s == 2 || s == 6) || (s >= 9 && s % 3 == 1);
+    const bool medium = !busy && (s % 2 == 1);
+    const int pan_mag = busy ? 5 : (medium ? 2 : 1);
+    scene.pan_vx = static_cast<double>(rng.uniform_i64(-pan_mag, pan_mag));
+    scene.pan_vy = static_cast<double>(rng.uniform_i64(-pan_mag, pan_mag));
+    if (busy) {
+      // Force the dominant component to the full magnitude.
+      scene.pan_vx = (scene.pan_vx >= 0) ? pan_mag : -pan_mag;
+    }
+    const int n_objects = static_cast<int>(rng.uniform_i64(3, 6));
+    for (int o = 0; o < n_objects; ++o) {
+      MovingObject obj;
+      obj.cx = rng.uniform(0.0, w);
+      obj.cy = rng.uniform(0.0, h);
+      const double speed = busy ? 5.0 : (medium ? 3.5 : 2.5);
+      obj.vx = rng.uniform(-speed, speed);
+      obj.vy = rng.uniform(-speed, speed);
+      obj.radius = rng.uniform(8.0, 24.0);
+      obj.brightness = rng.uniform(-60.0, 60.0);
+      obj.phase = rng.uniform(0.0, 2.0 * kPi);
+      obj.tint_cb = rng.uniform(-30.0, 30.0);
+      obj.tint_cr = rng.uniform(-30.0, 30.0);
+      scene.objects.push_back(obj);
+    }
+    scene.cb_base = rng.uniform(110.0, 146.0);
+    scene.cr_base = rng.uniform(110.0, 146.0);
+    scene.chroma_freq = rng.uniform(0.005, 0.03);
+    scene.chroma_amp = rng.uniform(8.0, 20.0);
+    scene.chroma_phase = rng.uniform(0.0, 2.0 * kPi);
+    scenes_.push_back(std::move(scene));
+  }
+
+  // Evenly sized scenes (remainder spread over the first ones).
+  starts_.resize(static_cast<std::size_t>(config.num_scenes));
+  const int base = config.num_frames / config.num_scenes;
+  const int extra = config.num_frames % config.num_scenes;
+  int at = 0;
+  for (int s = 0; s < config.num_scenes; ++s) {
+    starts_[static_cast<std::size_t>(s)] = at;
+    at += base + (s < extra ? 1 : 0);
+  }
+}
+
+int SyntheticVideo::scene_of(int index) const {
+  QC_EXPECT(index >= 0 && index < config_.num_frames,
+            "frame index out of range");
+  int s = config_.num_scenes - 1;
+  while (s > 0 && starts_[static_cast<std::size_t>(s)] > index) --s;
+  return s;
+}
+
+bool SyntheticVideo::is_scene_cut(int index) const {
+  QC_EXPECT(index >= 0 && index < config_.num_frames,
+            "frame index out of range");
+  for (int s : starts_) {
+    if (s == index) return true;
+  }
+  return false;
+}
+
+std::vector<int> SyntheticVideo::scene_starts() const { return starts_; }
+
+Frame SyntheticVideo::frame(int index) const {
+  const int s = scene_of(index);
+  const Scene& scene = scenes_[static_cast<std::size_t>(s)];
+  const int local_t = index - starts_[static_cast<std::size_t>(s)];
+
+  Frame out(config_.width, config_.height);
+  const double ox = scene.pan_vx * local_t;
+  const double oy = scene.pan_vy * local_t;
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      const double wx = x + ox;
+      const double wy = y + oy;
+      double v = scene.base_level;
+      v += scene.amp1 *
+           std::sin(scene.fx1 * wx * 2.0 * kPi + scene.ph1) *
+           std::cos(scene.fy1 * wy * 2.0 * kPi);
+      v += scene.amp2 *
+           std::sin(scene.fx2 * wx * 2.0 * kPi +
+                    scene.fy2 * wy * 2.0 * kPi + scene.ph2);
+      // Moving objects: smooth discs with soft edges and a little
+      // internal texture.
+      for (const auto& obj : scene.objects) {
+        const double cx = obj.cx + obj.vx * local_t;
+        const double cy = obj.cy + obj.vy * local_t;
+        const double dx = x - cx;
+        const double dy = y - cy;
+        const double d2 = dx * dx + dy * dy;
+        const double r2 = obj.radius * obj.radius;
+        if (d2 < r2) {
+          const double falloff = 1.0 - d2 / r2;
+          const double texture =
+              0.3 * std::sin(0.5 * dx + obj.phase) * std::cos(0.5 * dy);
+          v += obj.brightness * falloff * (1.0 + texture);
+        }
+      }
+      v += config_.noise_amplitude * noise_hash(x, y, index, config_.seed);
+      out.set(x, y, static_cast<Sample>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return out;
+}
+
+YuvFrame SyntheticVideo::frame_yuv(int index) const {
+  const int s = scene_of(index);
+  const Scene& scene = scenes_[static_cast<std::size_t>(s)];
+  const int local_t = index - starts_[static_cast<std::size_t>(s)];
+
+  YuvFrame out;
+  out.y = frame(index);
+  out.cb = Plane(config_.width / 2, config_.height / 2);
+  out.cr = Plane(config_.width / 2, config_.height / 2);
+
+  const double ox = scene.pan_vx * local_t;
+  const double oy = scene.pan_vy * local_t;
+  for (int cy = 0; cy < out.cb.height(); ++cy) {
+    for (int cx = 0; cx < out.cb.width(); ++cx) {
+      // Chroma sample sits at luma position (2cx, 2cy); the color
+      // fields live in world coordinates so they pan with the luma.
+      const double wx = 2 * cx + ox;
+      const double wy = 2 * cy + oy;
+      double cb = scene.cb_base +
+                  scene.chroma_amp *
+                      std::sin(scene.chroma_freq * wx * 2.0 * kPi +
+                               scene.chroma_phase);
+      double cr = scene.cr_base +
+                  scene.chroma_amp *
+                      std::cos(scene.chroma_freq * wy * 2.0 * kPi +
+                               scene.chroma_phase);
+      for (const auto& obj : scene.objects) {
+        const double ocx = obj.cx + obj.vx * local_t;
+        const double ocy = obj.cy + obj.vy * local_t;
+        const double dx = 2 * cx - ocx;
+        const double dy = 2 * cy - ocy;
+        const double d2 = dx * dx + dy * dy;
+        const double r2 = obj.radius * obj.radius;
+        if (d2 < r2) {
+          const double falloff = 1.0 - d2 / r2;
+          cb += obj.tint_cb * falloff;
+          cr += obj.tint_cr * falloff;
+        }
+      }
+      out.cb.set(cx, cy, static_cast<Sample>(std::clamp(cb, 0.0, 255.0)));
+      out.cr.set(cx, cy, static_cast<Sample>(std::clamp(cr, 0.0, 255.0)));
+    }
+  }
+  return out;
+}
+
+}  // namespace qosctrl::media

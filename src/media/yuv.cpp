@@ -1,0 +1,16 @@
+#include "media/yuv.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qosctrl::media {
+
+double psnr_chroma(const YuvFrame& a, const YuvFrame& b, double cap) {
+  const double sse = plane_sse(a.cb, b.cb) + plane_sse(a.cr, b.cr);
+  const double n =
+      2.0 * static_cast<double>(a.cb.width()) * a.cb.height();
+  if (sse <= 0.0) return cap;
+  return std::min(cap, 10.0 * std::log10(255.0 * 255.0 / (sse / n)));
+}
+
+}  // namespace qosctrl::media

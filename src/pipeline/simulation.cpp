@@ -1,0 +1,186 @@
+#include "pipeline/simulation.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qosctrl::pipe {
+namespace {
+
+std::unique_ptr<qos::Controller> make_controller(
+    const PipelineConfig& config, const enc::EncoderSystem& es) {
+  std::unique_ptr<qos::Controller> ctl;
+  switch (config.mode) {
+    case ControlMode::kControlled:
+      if (config.use_online_controller) {
+        ctl = std::make_unique<qos::OnlineController>(
+            *es.system, config.smoothness, config.soft_deadlines);
+      } else if (config.use_adaptive_controller) {
+        QC_EXPECT(es.body != nullptr,
+                  "adaptive control requires the periodic geometry "
+                  "(frame budget divisible by the macroblock count)");
+        ctl = std::make_unique<qos::AdaptiveController>(
+            *es.body, config.adaptive, config.soft_deadlines);
+      } else {
+        ctl = std::make_unique<qos::TableController>(
+            es.tables, config.smoothness, config.soft_deadlines);
+      }
+      break;
+    case ControlMode::kConstantQuality:
+      ctl = std::make_unique<qos::ConstantController>(
+          *es.system, config.constant_quality);
+      break;
+    case ControlMode::kFeedback:
+      ctl = std::make_unique<qos::FeedbackController>(*es.system, es.budget,
+                                                      config.feedback);
+      break;
+  }
+  if (config.decimation > 1) {
+    ctl = std::make_unique<qos::DecimatedController>(std::move(ctl),
+                                                     config.decimation);
+  }
+  return ctl;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  QC_EXPECT(config.buffer_capacity >= 1, "buffer capacity K must be >= 1");
+  QC_EXPECT(config.frame_period > 0, "frame period P must be positive");
+  QC_EXPECT(config.decimation >= 1, "decimation must be >= 1");
+
+  const media::SyntheticVideo video(config.video);
+  const int mb_count = (config.video.width / media::kMacroBlockSize) *
+                       (config.video.height / media::kMacroBlockSize);
+  const rt::Cycles budget =
+      config.frame_period * config.buffer_capacity;  // K * P
+
+  const platform::CostTable costs = platform::figure5_cost_table();
+  const enc::EncoderSystem es =
+      enc::build_encoder_system(mb_count, budget, costs);
+
+  util::Rng rng(config.seed);
+  platform::CostModel cost_model(costs, config.cost, rng.split());
+  enc::EncoderConfig encoder_config = config.encoder;
+  encoder_config.width = config.video.width;  // geometry follows the video
+  encoder_config.height = config.video.height;
+  enc::FrameEncoder encoder(encoder_config, std::move(cost_model));
+  enc::RateController rate(config.rate);
+  std::unique_ptr<qos::Controller> controller = make_controller(config, es);
+
+  PipelineResult result;
+  result.frames.resize(static_cast<std::size_t>(config.video.num_frames));
+
+  const rt::Cycles period = config.frame_period;
+  rt::Cycles free_at = 0;  // when the encoder finishes its current frame
+  std::deque<int> buffered;
+
+  auto encode_one = [&](int g) {
+    const rt::Cycles arrival = static_cast<rt::Cycles>(g) * period;
+    const rt::Cycles start = std::max(free_at, arrival);
+    const rt::Cycles t0 = start - arrival;
+    const media::YuvFrame input = video.frame_yuv(g);
+    const enc::FrameStats stats = encoder.encode_frame(
+        input, *controller, *es.system, rate.qp(), t0);
+    rate.frame_encoded(stats.bits);
+    free_at = start + stats.encode_cycles;
+
+    FrameRecord& rec = result.frames[static_cast<std::size_t>(g)];
+    rec.index = g;
+    rec.scene_cut = video.is_scene_cut(g);
+    rec.encode_cycles = stats.encode_cycles;
+    rec.start_lag = t0;
+    rec.psnr = stats.psnr;
+    rec.bits = stats.bits;
+    rec.mean_quality = stats.mean_quality;
+    rec.min_quality = stats.min_quality;
+    rec.max_quality = stats.max_quality;
+    rec.quality_change_sum = stats.quality_change_sum;
+    rec.deadline_misses = stats.deadline_misses;
+    rec.qp = stats.qp;
+    rec.intra_macroblocks = stats.intra_macroblocks;
+  };
+
+  for (int f = 0; f < config.video.num_frames; ++f) {
+    const rt::Cycles arrival = static_cast<rt::Cycles>(f) * period;
+    // Let the encoder drain whatever it can before this arrival.
+    while (!buffered.empty() && free_at <= arrival) {
+      const int g = buffered.front();
+      buffered.pop_front();
+      encode_one(g);
+    }
+    if (static_cast<int>(buffered.size()) >= config.buffer_capacity) {
+      // Input buffer full: the camera drops this frame.
+      FrameRecord& rec = result.frames[static_cast<std::size_t>(f)];
+      rec.index = f;
+      rec.skipped = true;
+      rec.scene_cut = video.is_scene_cut(f);
+      rec.qp = rate.qp();
+      // The decoder re-displays the previous output frame.
+      const media::Frame input = video.frame(f);
+      rec.psnr = encoder.has_reference()
+                     ? media::psnr(input, encoder.reconstructed().y)
+                     : 0.0;
+      rate.frame_skipped();
+      continue;
+    }
+    buffered.push_back(f);
+  }
+  while (!buffered.empty()) {
+    const int g = buffered.front();
+    buffered.pop_front();
+    encode_one(g);
+  }
+
+  // Aggregates.
+  double psnr_all = 0.0, psnr_enc = 0.0, cycles = 0.0, quality = 0.0;
+  double util = 0.0;
+  int encoded = 0;
+  for (const FrameRecord& rec : result.frames) {
+    psnr_all += rec.psnr;
+    result.total_deadline_misses += rec.deadline_misses;
+    if (rec.skipped) {
+      ++result.total_skips;
+      continue;
+    }
+    ++encoded;
+    psnr_enc += rec.psnr;
+    cycles += static_cast<double>(rec.encode_cycles);
+    quality += rec.mean_quality;
+    result.total_bits += rec.bits;
+    util += static_cast<double>(rec.encode_cycles) /
+            static_cast<double>(budget);
+  }
+  const int n = config.video.num_frames;
+  result.mean_psnr = n > 0 ? psnr_all / n : 0.0;
+  if (encoded > 0) {
+    result.mean_psnr_encoded = psnr_enc / encoded;
+    result.mean_encode_cycles = cycles / encoded;
+    result.mean_quality = quality / encoded;
+    result.mean_budget_utilization = util / encoded;
+  }
+  const double seconds =
+      static_cast<double>(n) / config.rate.frame_rate;
+  result.achieved_bps =
+      seconds > 0.0 ? static_cast<double>(result.total_bits) / seconds : 0.0;
+  return result;
+}
+
+std::string summarize(const PipelineResult& result) {
+  std::ostringstream os;
+  os << "frames=" << result.frames.size()
+     << " skips=" << result.total_skips
+     << " deadline_misses=" << result.total_deadline_misses
+     << " mean_psnr=" << result.mean_psnr
+     << " mean_psnr_encoded=" << result.mean_psnr_encoded
+     << " mean_encode_Mcycles=" << result.mean_encode_cycles / 1e6
+     << " budget_util=" << result.mean_budget_utilization
+     << " mean_quality=" << result.mean_quality
+     << " kbps=" << result.achieved_bps / 1e3;
+  return os.str();
+}
+
+}  // namespace qosctrl::pipe

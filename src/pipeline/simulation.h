@@ -1,0 +1,106 @@
+// The end-to-end video system of Figure 3: a camera producing a frame
+// every P cycles into an input buffer of size K, the encoder consuming
+// frames one at a time, and frame skips when the input buffer is full.
+//
+// Timing model (single-threaded encoder, event-driven simulation):
+//  * frame f arrives at a_f = f * P;
+//  * the encoder pops the oldest buffered frame as soon as it is free;
+//  * an arrival finding K frames buffered is dropped (a frame skip) —
+//    the decoder then re-displays the previous output frame, which is
+//    how skipped frames get their (low) PSNR score;
+//  * a popped frame's deadline is a_f + K * P (the paper's "maximal
+//    latency P*K"), so the controlled encoder's per-frame budget is
+//    K * P measured from arrival — "in average P" for K = 1 because a
+//    safe controller is always free again by the next arrival.
+//
+// The controlled encoder measures elapsed time from the frame's
+// *arrival*, so a late start (buffer occupancy) automatically shrinks
+// the usable budget — no per-frame table rebuild is needed and the
+// compiled slack tables stay valid.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "encoder/frame_encoder.h"
+#include "encoder/rate_control.h"
+#include "encoder/system_builder.h"
+#include "media/synthetic_video.h"
+#include "qos/adaptive.h"
+#include "qos/controller.h"
+#include "qos/feedback.h"
+
+namespace qosctrl::pipe {
+
+enum class ControlMode {
+  kControlled,       ///< fine-grain QoS controller (table-driven)
+  kConstantQuality,  ///< the paper's industrial baseline
+  kFeedback,         ///< per-cycle PID on utilization (Lu et al. style)
+};
+
+struct PipelineConfig {
+  media::VideoConfig video{};   ///< 582 frames, 9 scenes by default
+  int buffer_capacity = 1;      ///< the paper's K
+  /// Camera period P in virtual cycles.  The default retargets the
+  /// paper's 320 Mcycle PAL budget to QCIF (99 macroblocks):
+  /// 320e6 * 99 / 1620, rounded up to a multiple of 99 so the compact
+  /// periodic controller tables apply exactly.
+  rt::Cycles frame_period = 19555569;
+  ControlMode mode = ControlMode::kControlled;
+  rt::QualityLevel constant_quality = 3;  ///< for kConstantQuality
+  qos::SmoothnessPolicy smoothness{};     ///< optional smoothness bound
+  bool soft_deadlines = false;            ///< av-only constraint
+  std::size_t decimation = 1;  ///< consult controller every k actions
+  bool use_online_controller = false;  ///< bypass the compiled tables
+  /// Learn average execution times online (qos::AdaptiveController;
+  /// the paper's Section 4 learning extension).  Requires the default
+  /// periodic geometry; ignored when combined with online mode.
+  bool use_adaptive_controller = false;
+  qos::AdaptiveConfig adaptive{};
+  qos::FeedbackConfig feedback{};  ///< for ControlMode::kFeedback
+  std::uint64_t seed = 42;     ///< cost-model jitter stream
+  enc::EncoderConfig encoder{};
+  enc::RateControlConfig rate{};
+  platform::CostModelConfig cost{};
+};
+
+/// Per-camera-frame outcome.
+struct FrameRecord {
+  int index = 0;
+  bool skipped = false;
+  bool scene_cut = false;
+  rt::Cycles encode_cycles = 0;  ///< 0 for skipped frames
+  rt::Cycles start_lag = 0;      ///< start - arrival (buffer wait)
+  double psnr = 0.0;             ///< vs displayed output
+  std::int64_t bits = 0;
+  double mean_quality = 0.0;
+  rt::QualityLevel min_quality = 0;
+  rt::QualityLevel max_quality = 0;
+  int quality_change_sum = 0;  ///< sum |dq| between consecutive MBs
+  int deadline_misses = 0;
+  int qp = 0;
+  int intra_macroblocks = 0;
+};
+
+struct PipelineResult {
+  std::vector<FrameRecord> frames;
+  int total_skips = 0;
+  int total_deadline_misses = 0;
+  double mean_psnr = 0.0;          ///< over all frames incl. skipped
+  double mean_psnr_encoded = 0.0;  ///< over encoded frames only
+  double mean_encode_cycles = 0.0;
+  std::int64_t total_bits = 0;
+  double achieved_bps = 0.0;
+  double mean_quality = 0.0;  ///< over encoded frames
+  /// Mean of the paper's optimality metric encode_cycles / budget over
+  /// encoded frames.
+  double mean_budget_utilization = 0.0;
+};
+
+/// Runs the full system simulation.
+PipelineResult run_pipeline(const PipelineConfig& config);
+
+/// Summary line (skips, misses, PSNR, bitrate) for quick inspection.
+std::string summarize(const PipelineResult& result);
+
+}  // namespace qosctrl::pipe

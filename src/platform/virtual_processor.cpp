@@ -1,0 +1,23 @@
+#include "platform/virtual_processor.h"
+
+#include "util/check.h"
+
+namespace qosctrl::platform {
+
+void CycleClock::advance(rt::Cycles cycles) {
+  QC_EXPECT(cycles >= 0, "the cycle counter is monotone");
+  now_ += cycles;
+}
+
+rt::Cycles VirtualProcessor::execute(rt::ActionId action, std::size_t qi,
+                                     double work_scale) {
+  const rt::Cycles start = clock_.now();
+  const rt::Cycles cost = model_.sample(action, qi, work_scale);
+  clock_.advance(cost);
+  if (keep_trace_) {
+    trace_.push_back(ExecutionRecord{action, qi, start, cost});
+  }
+  return cost;
+}
+
+}  // namespace qosctrl::platform

@@ -1,0 +1,57 @@
+// A minimal virtual platform: a cycle counter and an atomic-action
+// executor, standing in for the paper's OS-less single XiRisc processor
+// where "it is possible to read a register counting the number of
+// cycles elapsed".
+#pragma once
+
+#include <vector>
+
+#include "platform/cost_model.h"
+#include "rt/types.h"
+
+namespace qosctrl::platform {
+
+/// Monotone cycle counter (the platform register the controller reads).
+class CycleClock {
+ public:
+  rt::Cycles now() const { return now_; }
+  void advance(rt::Cycles cycles);
+  void reset(rt::Cycles to = 0) { now_ = to; }
+
+ private:
+  rt::Cycles now_ = 0;
+};
+
+/// Record of one executed action on the virtual platform.
+struct ExecutionRecord {
+  rt::ActionId action = -1;
+  std::size_t quality_index = 0;
+  rt::Cycles start = 0;
+  rt::Cycles cost = 0;
+};
+
+/// Executes atomic actions, charging cycle costs from a CostModel.
+class VirtualProcessor {
+ public:
+  VirtualProcessor(CostModel model, bool keep_trace = false)
+      : model_(std::move(model)), keep_trace_(keep_trace) {}
+
+  /// Runs `action` at quality index `qi` with a content-coupled work
+  /// scale; advances the clock and returns the charged cost.
+  rt::Cycles execute(rt::ActionId action, std::size_t qi,
+                     double work_scale = 1.0);
+
+  const CycleClock& clock() const { return clock_; }
+  CycleClock& clock() { return clock_; }
+  const CostModel& cost_model() const { return model_; }
+  const std::vector<ExecutionRecord>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+ private:
+  CostModel model_;
+  CycleClock clock_;
+  bool keep_trace_;
+  std::vector<ExecutionRecord> trace_;
+};
+
+}  // namespace qosctrl::platform

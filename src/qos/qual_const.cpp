@@ -1,0 +1,68 @@
+#include "qos/qual_const.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qosctrl::qos {
+
+using rt::Cycles;
+
+Cycles av_suffix_slack(const rt::ParameterizedSystem& sys,
+                       const rt::ExecutionSequence& alpha,
+                       const rt::QualityAssignment& theta, std::size_t i) {
+  QC_EXPECT(i <= alpha.size(), "step index exceeds schedule length");
+  Cycles worst = rt::kNoDeadline;
+  Cycles elapsed = 0;
+  for (std::size_t j = i; j < alpha.size(); ++j) {
+    const rt::ActionId a = alpha[j];
+    elapsed = std::min(elapsed + sys.cav(theta, a), rt::kNoDeadline);
+    const Cycles d = sys.deadline(theta, a);
+    if (rt::is_no_deadline(d)) continue;
+    worst = std::min(worst, d - elapsed);
+  }
+  return worst;
+}
+
+Cycles wc_suffix_slack(const rt::ParameterizedSystem& sys,
+                       const rt::ExecutionSequence& alpha,
+                       const rt::QualityAssignment& theta, std::size_t i) {
+  QC_EXPECT(i <= alpha.size(), "step index exceeds schedule length");
+  const rt::QualityLevel qmin = sys.qmin();
+  Cycles worst = rt::kNoDeadline;
+  Cycles elapsed = 0;
+  for (std::size_t j = i; j < alpha.size(); ++j) {
+    const rt::ActionId a = alpha[j];
+    const rt::QualityLevel q = (j == i) ? theta(a) : qmin;
+    elapsed = std::min(elapsed + sys.cwc(q, a), rt::kNoDeadline);
+    const Cycles d = sys.deadline(q, a);
+    if (rt::is_no_deadline(d)) continue;
+    worst = std::min(worst, d - elapsed);
+  }
+  return worst;
+}
+
+bool qual_const_av(const rt::ParameterizedSystem& sys,
+                   const rt::ExecutionSequence& alpha,
+                   const rt::QualityAssignment& theta, Cycles t,
+                   std::size_t i) {
+  return t <= av_suffix_slack(sys, alpha, theta, i);
+}
+
+bool qual_const_wc(const rt::ParameterizedSystem& sys,
+                   const rt::ExecutionSequence& alpha,
+                   const rt::QualityAssignment& theta, Cycles t,
+                   std::size_t i) {
+  return t <= wc_suffix_slack(sys, alpha, theta, i);
+}
+
+bool qual_const(const rt::ParameterizedSystem& sys,
+                const rt::ExecutionSequence& alpha,
+                const rt::QualityAssignment& theta, Cycles t, std::size_t i,
+                bool soft) {
+  if (!qual_const_av(sys, alpha, theta, t, i)) return false;
+  if (soft) return true;
+  return qual_const_wc(sys, alpha, theta, t, i);
+}
+
+}  // namespace qosctrl::qos

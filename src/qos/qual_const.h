@@ -1,0 +1,60 @@
+// The paper's quality constraints (Section 2.2).
+//
+// At computation step i (0-based here: actions alpha[0..i-1] have run,
+// alpha[i] is about to run), with elapsed time t since cycle start:
+//
+//  Qual_Const_av(alpha, theta, t, i):
+//      t <= min( D_theta(alpha[i..n-1]) - cumsum Cav_theta(alpha[i..n-1]) )
+//    — the remaining schedule fits at *average* times and the candidate
+//      quality; this is the optimality side (fill the time budget).
+//
+//  Qual_Const_wc(alpha, theta, t, i):
+//      t <= min( D_theta'(alpha[i..n-1]) - cumsum Cwc_theta'(alpha[i..n-1]) )
+//    where theta' keeps theta on alpha[i] and is qmin on alpha[i+1..n-1]
+//    — even if the next action takes its worst case at the candidate
+//      quality, the rest still completes by its deadlines at minimum
+//      quality and worst-case times; this is the safety side.
+//
+//  Qual_Const = Qual_Const_av AND Qual_Const_wc.
+//
+// These functions are the literal formulas; the table-driven controller
+// evaluates the same predicates from precomputed suffix slacks (see
+// qos/slack_tables.h) and is tested for equivalence against these.
+#pragma once
+
+#include "rt/parameterized_system.h"
+
+namespace qosctrl::qos {
+
+/// Worst suffix slack under average times at assignment theta:
+/// min over j >= i of D_theta(alpha(j)) - sum_{k=i..j} Cav_theta(alpha(k)).
+/// Qual_Const_av holds iff t <= this value.
+rt::Cycles av_suffix_slack(const rt::ParameterizedSystem& sys,
+                           const rt::ExecutionSequence& alpha,
+                           const rt::QualityAssignment& theta, std::size_t i);
+
+/// Worst suffix slack under worst-case times at theta' (theta on
+/// alpha[i], qmin afterwards).  Qual_Const_wc holds iff t <= this value.
+rt::Cycles wc_suffix_slack(const rt::ParameterizedSystem& sys,
+                           const rt::ExecutionSequence& alpha,
+                           const rt::QualityAssignment& theta, std::size_t i);
+
+bool qual_const_av(const rt::ParameterizedSystem& sys,
+                   const rt::ExecutionSequence& alpha,
+                   const rt::QualityAssignment& theta, rt::Cycles t,
+                   std::size_t i);
+
+bool qual_const_wc(const rt::ParameterizedSystem& sys,
+                   const rt::ExecutionSequence& alpha,
+                   const rt::QualityAssignment& theta, rt::Cycles t,
+                   std::size_t i);
+
+/// The conjunction used by the Quality Manager.  `soft` drops the
+/// worst-case part (paper Section 4: for soft deadlines the Quality
+/// Manager applies only the average constraint).
+bool qual_const(const rt::ParameterizedSystem& sys,
+                const rt::ExecutionSequence& alpha,
+                const rt::QualityAssignment& theta, rt::Cycles t,
+                std::size_t i, bool soft = false);
+
+}  // namespace qosctrl::qos

@@ -1,0 +1,45 @@
+#include "qos/runner.h"
+
+#include "util/check.h"
+
+namespace qosctrl::qos {
+
+double CycleTrace::mean_quality() const {
+  if (steps.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : steps) acc += static_cast<double>(s.quality);
+  return acc / static_cast<double>(steps.size());
+}
+
+double CycleTrace::budget_utilization(rt::Cycles budget) const {
+  if (budget <= 0) return 0.0;
+  return static_cast<double>(total_cycles) / static_cast<double>(budget);
+}
+
+CycleTrace run_cycle(const rt::ParameterizedSystem& sys,
+                     Controller& controller, const CostSource& source) {
+  QC_EXPECT(static_cast<bool>(source), "cost source must be callable");
+  controller.start_cycle();
+  CycleTrace trace;
+  rt::Cycles t = 0;
+  while (!controller.done()) {
+    const Decision d = controller.next(t);
+    const rt::Cycles cost = source(d.action, d.quality);
+    QC_EXPECT(cost >= 0, "actual execution times are non-negative");
+    controller.observe(cost);
+    StepTrace step;
+    step.action = d.action;
+    step.quality = d.quality;
+    step.start = t;
+    step.cost = cost;
+    step.deadline = sys.deadline(d.quality, d.action);
+    t += cost;
+    step.missed = !rt::is_no_deadline(step.deadline) && t > step.deadline;
+    if (step.missed) ++trace.deadline_misses;
+    trace.steps.push_back(step);
+  }
+  trace.total_cycles = t;
+  return trace;
+}
+
+}  // namespace qosctrl::qos

@@ -1,0 +1,54 @@
+// Cycle runner: executes one full cycle of a controlled system against
+// an *actual* execution-time source and records a per-step trace.
+//
+// This is the composition of Figure 1 — System + Controller — with the
+// system abstracted as a cost callback.  Tests use adversarial cost
+// callbacks (any C <= Cwc_theta) to check Proposition 2.1; the encoder
+// substrate supplies its virtual-platform costs through the same hook.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "qos/controller.h"
+#include "rt/parameterized_system.h"
+
+namespace qosctrl::qos {
+
+/// Actual execution time of `action` when run at `quality`.  The safety
+/// contract requires the returned value to be <= Cwc_quality(action).
+using CostSource =
+    std::function<rt::Cycles(rt::ActionId action, rt::QualityLevel quality)>;
+
+/// One executed step of a cycle.
+struct StepTrace {
+  rt::ActionId action = -1;
+  rt::QualityLevel quality = 0;
+  rt::Cycles start = 0;     ///< elapsed cycle time when the action began
+  rt::Cycles cost = 0;      ///< actual execution time
+  rt::Cycles deadline = 0;  ///< D_theta(action) at the chosen quality
+  bool missed = false;      ///< start + cost > deadline
+};
+
+/// Result of running one cycle to completion.
+struct CycleTrace {
+  std::vector<StepTrace> steps;
+  rt::Cycles total_cycles = 0;
+  int deadline_misses = 0;
+
+  /// Mean chosen quality level over quality-relevant steps (all steps
+  /// if `relevant` is empty).
+  double mean_quality() const;
+
+  /// The paper's optimality metric: total time / last deadline, i.e.
+  /// utilization of the cycle's time budget.
+  double budget_utilization(rt::Cycles budget) const;
+};
+
+/// Runs a full cycle: repeatedly asks the controller for a decision,
+/// obtains the actual cost from `source`, advances time, and records
+/// the trace.  `sys` supplies deadlines for miss detection.
+CycleTrace run_cycle(const rt::ParameterizedSystem& sys,
+                     Controller& controller, const CostSource& source);
+
+}  // namespace qosctrl::qos

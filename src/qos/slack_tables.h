@@ -1,0 +1,73 @@
+// Precomputed suffix-slack tables — the output of the paper's prototype
+// tool (Figure 4) that the generic controller consults at run time.
+//
+// When the deadline order is independent of the quality (the tool's
+// stated restriction; we require the slightly stronger and much more
+// common property that deadlines themselves are quality-independent),
+// the EDF order alpha is fixed once and for all, and both quality
+// constraints reduce to comparisons of the elapsed time t against
+// precomputed per-position slacks:
+//
+//   Qual_Const_av(i, q)  <=>  t <= slack_av[i][q]
+//     slack_av[i][q] = min_{j>=i} ( D(alpha(j)) - sum_{k=i..j} Cav_q(alpha(k)) )
+//   Qual_Const_wc(i, q)  <=>  t <= slack_wc[i][q]
+//     slack_wc[i][q] = min( D(alpha(i)), tail_wc[i+1] ) - Cwc_q(alpha(i))
+//     tail_wc[i]     = min_{j>=i} ( D(alpha(j)) - sum_{k=i..j} Cwc_qmin(alpha(k)) )
+//
+// Both tables are built by a single backward sweep per quality level,
+// O(n * |Q|) time and space.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rt/parameterized_system.h"
+
+namespace qosctrl::qos {
+
+/// The compiled controller data: the static EDF schedule plus the two
+/// slack tables indexed by [position][quality-index].
+class SlackTables {
+ public:
+  /// Builds the tables from a validated parameterized system.
+  /// Requires: sys.validate() empty and quality-independent deadlines.
+  static SlackTables build(const rt::ParameterizedSystem& sys);
+
+  const rt::ExecutionSequence& schedule() const { return alpha_; }
+  const std::vector<rt::QualityLevel>& quality_levels() const {
+    return qualities_;
+  }
+
+  std::size_t num_positions() const { return alpha_.size(); }
+
+  /// Slack lookups; `qi` is the index of q in quality_levels().
+  rt::Cycles slack_av(std::size_t i, std::size_t qi) const {
+    return av_[i][qi];
+  }
+  rt::Cycles slack_wc(std::size_t i, std::size_t qi) const {
+    return wc_[i][qi];
+  }
+
+  /// The combined constraint: true when running alpha[i] at quality
+  /// index qi is acceptable with elapsed time t.  `soft` drops the
+  /// worst-case (safety) half.
+  bool acceptable(std::size_t i, std::size_t qi, rt::Cycles t,
+                  bool soft = false) const {
+    if (t > av_[i][qi]) return false;
+    if (soft) return true;
+    return t <= wc_[i][qi];
+  }
+
+  /// Memory footprint of the tables in bytes (reported by the overhead
+  /// benchmark, mirroring the paper's <= 1% memory figure).
+  std::size_t table_bytes() const;
+
+ private:
+  rt::ExecutionSequence alpha_;
+  std::vector<rt::QualityLevel> qualities_;
+  // av_[i][qi], wc_[i][qi]; i in [0, n)
+  std::vector<std::vector<rt::Cycles>> av_;
+  std::vector<std::vector<rt::Cycles>> wc_;
+};
+
+}  // namespace qosctrl::qos

@@ -1,0 +1,166 @@
+#include "rt/parameterized_system.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qosctrl::rt {
+
+QualityLevel QualityAssignment::operator()(ActionId a) const {
+  QC_EXPECT(a >= 0 && static_cast<std::size_t>(a) < levels_.size(),
+            "action id out of range for quality assignment");
+  return levels_[static_cast<std::size_t>(a)];
+}
+
+void QualityAssignment::set(ActionId a, QualityLevel q) {
+  QC_EXPECT(a >= 0 && static_cast<std::size_t>(a) < levels_.size(),
+            "action id out of range for quality assignment");
+  levels_[static_cast<std::size_t>(a)] = q;
+}
+
+QualityAssignment QualityAssignment::override_suffix(
+    const ExecutionSequence& alpha, std::size_t i, QualityLevel q) const {
+  QC_EXPECT(i <= alpha.size(), "prefix length exceeds sequence length");
+  QualityAssignment out = *this;
+  for (std::size_t j = i; j < alpha.size(); ++j) out.set(alpha[j], q);
+  return out;
+}
+
+ParameterizedSystem::ParameterizedSystem(
+    PrecedenceGraph graph, std::vector<QualityLevel> quality_levels)
+    : graph_(std::move(graph)), qualities_(std::move(quality_levels)) {
+  QC_EXPECT(!qualities_.empty(), "Q must be non-empty (Definition 2.3)");
+  QC_EXPECT(std::is_sorted(qualities_.begin(), qualities_.end()) &&
+                std::adjacent_find(qualities_.begin(), qualities_.end()) ==
+                    qualities_.end(),
+            "quality levels must be sorted and distinct");
+  QC_EXPECT(graph_.is_acyclic(), "precedence graph must be a DAG");
+  const std::size_t n = graph_.num_actions();
+  cav_.assign(qualities_.size(), TimeFunction(n, 0));
+  cwc_.assign(qualities_.size(), TimeFunction(n, 0));
+  deadlines_.assign(qualities_.size(), DeadlineFunction(n, kNoDeadline));
+}
+
+bool ParameterizedSystem::has_quality(QualityLevel q) const {
+  return std::binary_search(qualities_.begin(), qualities_.end(), q);
+}
+
+std::size_t ParameterizedSystem::q_index(QualityLevel q) const {
+  const auto it = std::lower_bound(qualities_.begin(), qualities_.end(), q);
+  QC_EXPECT(it != qualities_.end() && *it == q, "quality level not in Q");
+  return static_cast<std::size_t>(it - qualities_.begin());
+}
+
+void ParameterizedSystem::set_times(QualityLevel q, ActionId a,
+                                    Cycles average, Cycles worst_case) {
+  QC_EXPECT(average >= 0 && worst_case >= 0, "times are non-negative");
+  QC_EXPECT(average <= worst_case, "Cav must not exceed Cwc");
+  const std::size_t qi = q_index(q);
+  cav_[qi].set(a, average);
+  cwc_[qi].set(a, worst_case);
+}
+
+void ParameterizedSystem::set_deadline(QualityLevel q, ActionId a,
+                                       Cycles deadline) {
+  deadlines_[q_index(q)].set(a, deadline);
+}
+
+void ParameterizedSystem::set_deadline_all_q(ActionId a, Cycles deadline) {
+  for (auto& d : deadlines_) d.set(a, deadline);
+}
+
+Cycles ParameterizedSystem::cav(QualityLevel q, ActionId a) const {
+  return cav_[q_index(q)](a);
+}
+Cycles ParameterizedSystem::cwc(QualityLevel q, ActionId a) const {
+  return cwc_[q_index(q)](a);
+}
+Cycles ParameterizedSystem::deadline(QualityLevel q, ActionId a) const {
+  return deadlines_[q_index(q)](a);
+}
+
+TimeFunction ParameterizedSystem::cav_of(const QualityAssignment& theta) const {
+  const std::size_t n = num_actions();
+  QC_EXPECT(theta.size() == n, "assignment over a different action set");
+  TimeFunction out(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    out.set(static_cast<ActionId>(a), cav(theta, static_cast<ActionId>(a)));
+  }
+  return out;
+}
+
+TimeFunction ParameterizedSystem::cwc_of(const QualityAssignment& theta) const {
+  const std::size_t n = num_actions();
+  QC_EXPECT(theta.size() == n, "assignment over a different action set");
+  TimeFunction out(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    out.set(static_cast<ActionId>(a), cwc(theta, static_cast<ActionId>(a)));
+  }
+  return out;
+}
+
+DeadlineFunction ParameterizedSystem::deadline_of(
+    const QualityAssignment& theta) const {
+  const std::size_t n = num_actions();
+  QC_EXPECT(theta.size() == n, "assignment over a different action set");
+  DeadlineFunction out(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    out.set(static_cast<ActionId>(a),
+            deadline(theta, static_cast<ActionId>(a)));
+  }
+  return out;
+}
+
+TimeFunction ParameterizedSystem::cav_of(QualityLevel q) const {
+  return cav_[q_index(q)];
+}
+TimeFunction ParameterizedSystem::cwc_of(QualityLevel q) const {
+  return cwc_[q_index(q)];
+}
+DeadlineFunction ParameterizedSystem::deadline_of(QualityLevel q) const {
+  return deadlines_[q_index(q)];
+}
+
+std::string ParameterizedSystem::validate() const {
+  std::ostringstream why;
+  const std::size_t n = num_actions();
+  for (std::size_t qi = 0; qi < qualities_.size(); ++qi) {
+    for (std::size_t a = 0; a < n; ++a) {
+      const auto id = static_cast<ActionId>(a);
+      if (cav_[qi](id) > cwc_[qi](id)) {
+        why << "Cav > Cwc for action " << graph_.name(id) << " at q="
+            << qualities_[qi];
+        return why.str();
+      }
+      if (qi > 0) {
+        if (cav_[qi](id) < cav_[qi - 1](id)) {
+          why << "Cav decreasing in q for action " << graph_.name(id)
+              << " between q=" << qualities_[qi - 1] << " and q="
+              << qualities_[qi];
+          return why.str();
+        }
+        if (cwc_[qi](id) < cwc_[qi - 1](id)) {
+          why << "Cwc decreasing in q for action " << graph_.name(id)
+              << " between q=" << qualities_[qi - 1] << " and q="
+              << qualities_[qi];
+          return why.str();
+        }
+      }
+    }
+  }
+  return std::string();
+}
+
+bool ParameterizedSystem::deadlines_quality_independent() const {
+  const std::size_t n = num_actions();
+  for (std::size_t qi = 1; qi < qualities_.size(); ++qi) {
+    for (std::size_t a = 0; a < n; ++a) {
+      const auto id = static_cast<ActionId>(a);
+      if (deadlines_[qi](id) != deadlines_[0](id)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qosctrl::rt

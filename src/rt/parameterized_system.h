@@ -1,0 +1,123 @@
+// Parameterized real-time system (paper Definition 2.3).
+//
+// A precedence graph G, a finite non-empty set Q of quality levels, and
+// for each q in Q: average and worst-case execution time functions
+// (non-decreasing in q, Cav_q <= Cwc_q) and a deadline function Dq.
+//
+// A QualityAssignment theta : A -> Q selects per-action levels; the
+// time function X_theta evaluates X_{theta(a)}(a).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "rt/precedence_graph.h"
+#include "rt/time_function.h"
+#include "rt/types.h"
+
+namespace qosctrl::rt {
+
+/// theta : A -> Q as a dense vector indexed by ActionId.
+class QualityAssignment {
+ public:
+  QualityAssignment() = default;
+  QualityAssignment(std::size_t num_actions, QualityLevel q)
+      : levels_(num_actions, q) {}
+
+  std::size_t size() const { return levels_.size(); }
+  QualityLevel operator()(ActionId a) const;
+  void set(ActionId a, QualityLevel q);
+
+  /// The paper's theta |>i q over a sequence alpha: keep the assignment
+  /// of the first `i` elements of alpha, assign q to all later ones.
+  /// (Positions are 0-based: elements alpha[0..i-1] keep their level.)
+  QualityAssignment override_suffix(const ExecutionSequence& alpha,
+                                    std::size_t i, QualityLevel q) const;
+
+  bool operator==(const QualityAssignment& other) const = default;
+
+  const std::vector<QualityLevel>& levels() const { return levels_; }
+
+ private:
+  std::vector<QualityLevel> levels_;
+};
+
+/// Definition 2.3.  Owns the graph and the per-quality time/deadline
+/// tables.  Quality levels need not be contiguous; they are kept sorted.
+class ParameterizedSystem {
+ public:
+  /// Takes the graph and the sorted, duplicate-free list of quality
+  /// levels.  Tables start empty; call set_times / set_deadline(s).
+  ParameterizedSystem(PrecedenceGraph graph,
+                      std::vector<QualityLevel> quality_levels);
+
+  const PrecedenceGraph& graph() const { return graph_; }
+  std::size_t num_actions() const { return graph_.num_actions(); }
+
+  const std::vector<QualityLevel>& quality_levels() const {
+    return qualities_;
+  }
+  QualityLevel qmin() const { return qualities_.front(); }
+  QualityLevel qmax() const { return qualities_.back(); }
+  bool has_quality(QualityLevel q) const;
+
+  /// Sets Cav_q(a) and Cwc_q(a).  Requires av <= wc and q in Q.
+  void set_times(QualityLevel q, ActionId a, Cycles average,
+                 Cycles worst_case);
+
+  /// Sets Dq(a).  Requires q in Q.
+  void set_deadline(QualityLevel q, ActionId a, Cycles deadline);
+
+  /// Sets the same deadline for action `a` at every quality level (the
+  /// common case; the paper's prototype tool requires the deadline
+  /// *order* to be quality-independent).
+  void set_deadline_all_q(ActionId a, Cycles deadline);
+
+  Cycles cav(QualityLevel q, ActionId a) const;
+  Cycles cwc(QualityLevel q, ActionId a) const;
+  Cycles deadline(QualityLevel q, ActionId a) const;
+
+  /// X_theta for the three table families.
+  Cycles cav(const QualityAssignment& theta, ActionId a) const {
+    return cav(theta(a), a);
+  }
+  Cycles cwc(const QualityAssignment& theta, ActionId a) const {
+    return cwc(theta(a), a);
+  }
+  Cycles deadline(const QualityAssignment& theta, ActionId a) const {
+    return deadline(theta(a), a);
+  }
+
+  /// Materializes Cav_theta (resp. Cwc_theta, D_theta) as a plain
+  /// TimeFunction for use with the rt feasibility helpers.
+  TimeFunction cav_of(const QualityAssignment& theta) const;
+  TimeFunction cwc_of(const QualityAssignment& theta) const;
+  DeadlineFunction deadline_of(const QualityAssignment& theta) const;
+
+  /// Uniform tables at a fixed level.
+  TimeFunction cav_of(QualityLevel q) const;
+  TimeFunction cwc_of(QualityLevel q) const;
+  DeadlineFunction deadline_of(QualityLevel q) const;
+
+  /// Checks Definition 2.3's side conditions: Cav_q <= Cwc_q everywhere,
+  /// and both families non-decreasing in q.  Returns an explanation of
+  /// the first violation, or an empty string when valid.
+  std::string validate() const;
+
+  /// True when for every action the deadline is the same at every
+  /// quality level.  (Stronger than, and sufficient for, the prototype
+  /// tool's "deadline order independent of quality" requirement.)
+  bool deadlines_quality_independent() const;
+
+ private:
+  std::size_t q_index(QualityLevel q) const;
+
+  PrecedenceGraph graph_;
+  std::vector<QualityLevel> qualities_;
+  // tables_[q_index] over actions
+  std::vector<TimeFunction> cav_;
+  std::vector<TimeFunction> cwc_;
+  std::vector<DeadlineFunction> deadlines_;
+};
+
+}  // namespace qosctrl::rt

@@ -1,0 +1,73 @@
+#include "rt/time_function.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qosctrl::rt {
+
+Cycles TimeFunction::operator()(ActionId a) const {
+  QC_EXPECT(a >= 0 && static_cast<std::size_t>(a) < values_.size(),
+            "action id out of range for time function");
+  return values_[static_cast<std::size_t>(a)];
+}
+
+void TimeFunction::set(ActionId a, Cycles v) {
+  QC_EXPECT(a >= 0 && static_cast<std::size_t>(a) < values_.size(),
+            "action id out of range for time function");
+  QC_EXPECT(v >= 0, "times and deadlines are non-negative");
+  values_[static_cast<std::size_t>(a)] = v;
+}
+
+bool TimeFunction::dominated_by(const TimeFunction& other) const {
+  QC_EXPECT(values_.size() == other.values_.size(),
+            "time functions over different action sets");
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] > other.values_[i]) return false;
+  }
+  return true;
+}
+
+std::vector<Cycles> times_of(const TimeFunction& c,
+                             const ExecutionSequence& alpha) {
+  std::vector<Cycles> out;
+  out.reserve(alpha.size());
+  for (ActionId a : alpha) out.push_back(c(a));
+  return out;
+}
+
+std::vector<Cycles> cumulative(const std::vector<Cycles>& sigma) {
+  std::vector<Cycles> out;
+  out.reserve(sigma.size());
+  Cycles acc = 0;
+  for (Cycles v : sigma) {
+    acc = std::min(acc + v, kNoDeadline);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+Cycles min_slack_from(const ExecutionSequence& alpha, const TimeFunction& c,
+                      const DeadlineFunction& d, Cycles t0) {
+  Cycles worst = kNoDeadline;
+  Cycles elapsed = t0;
+  for (ActionId a : alpha) {
+    elapsed = std::min(elapsed + c(a), kNoDeadline);
+    const Cycles deadline = d(a);
+    if (is_no_deadline(deadline)) continue;
+    worst = std::min(worst, deadline - elapsed);
+  }
+  return worst;
+}
+
+Cycles min_slack(const ExecutionSequence& alpha, const TimeFunction& c,
+                 const DeadlineFunction& d) {
+  return min_slack_from(alpha, c, d, 0);
+}
+
+bool is_feasible(const ExecutionSequence& alpha, const TimeFunction& c,
+                 const DeadlineFunction& d) {
+  return min_slack(alpha, c, d) >= 0;
+}
+
+}  // namespace qosctrl::rt

@@ -1,0 +1,29 @@
+// Basic vocabulary of the real-time model (paper Definition 2.1).
+//
+// All durations and deadlines are CPU cycles held in signed 64-bit
+// integers.  The controller does exact integer arithmetic only; the
+// paper's +inf deadline is represented by a large sentinel chosen so
+// that sums of realistic horizons can never overflow.
+#pragma once
+
+#include <cstdint>
+
+namespace qosctrl::rt {
+
+/// CPU cycles (the paper's time unit on the 8 GHz XiRisc platform).
+using Cycles = std::int64_t;
+
+/// Index of an action in a precedence graph's vocabulary.
+using ActionId = std::int32_t;
+
+/// Quality level (the paper's q in Q, a finite set of integers).
+using QualityLevel = std::int32_t;
+
+/// Sentinel for the paper's D(a) = +inf (no deadline).  Kept far below
+/// INT64_MAX so adding execution times to it cannot overflow.
+inline constexpr Cycles kNoDeadline = INT64_C(1) << 60;
+
+/// Returns true when the deadline is the +inf sentinel.
+constexpr bool is_no_deadline(Cycles d) { return d >= kNoDeadline; }
+
+}  // namespace qosctrl::rt

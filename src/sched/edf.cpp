@@ -1,0 +1,117 @@
+#include "sched/edf.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "util/check.h"
+
+namespace qosctrl::sched {
+namespace {
+
+using rt::ActionId;
+using rt::Cycles;
+
+// (deadline, id) min-heap entry for deterministic EDF.
+using Entry = std::pair<Cycles, ActionId>;
+
+rt::ExecutionSequence edf_complete(const rt::PrecedenceGraph& graph,
+                                   const rt::DeadlineFunction& d,
+                                   const rt::ExecutionSequence& prefix) {
+  const std::size_t n = graph.num_actions();
+  QC_EXPECT(d.size() == n, "deadline function over a different action set");
+  std::vector<int> remaining_preds(n, 0);
+  std::vector<bool> done(n, false);
+  for (std::size_t a = 0; a < n; ++a) {
+    remaining_preds[a] =
+        static_cast<int>(graph.predecessors(static_cast<ActionId>(a)).size());
+  }
+
+  rt::ExecutionSequence out;
+  out.reserve(n);
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+
+  auto complete_action = [&](ActionId a) {
+    done[static_cast<std::size_t>(a)] = true;
+    out.push_back(a);
+    for (ActionId s : graph.successors(a)) {
+      if (--remaining_preds[static_cast<std::size_t>(s)] == 0) {
+        ready.emplace(d(s), s);
+      }
+    }
+  };
+
+  // Seed with sources, then force the prefix in order.
+  for (std::size_t a = 0; a < n; ++a) {
+    if (remaining_preds[a] == 0) {
+      ready.emplace(d(static_cast<ActionId>(a)), static_cast<ActionId>(a));
+    }
+  }
+  for (ActionId a : prefix) {
+    QC_EXPECT(!done[static_cast<std::size_t>(a)],
+              "prefix repeats an action");
+    QC_EXPECT(remaining_preds[static_cast<std::size_t>(a)] == 0,
+              "prefix is not an execution sequence of the graph");
+    complete_action(a);
+  }
+
+  while (!ready.empty()) {
+    const ActionId a = ready.top().second;
+    ready.pop();
+    if (done[static_cast<std::size_t>(a)]) continue;  // ran in prefix
+    complete_action(a);
+  }
+  QC_ENSURE(out.size() == n, "EDF did not schedule all actions (cycle?)");
+  return out;
+}
+
+}  // namespace
+
+rt::ExecutionSequence edf_schedule(const rt::PrecedenceGraph& graph,
+                                   const rt::DeadlineFunction& d) {
+  return edf_complete(graph, d, {});
+}
+
+rt::ExecutionSequence best_sched(const rt::PrecedenceGraph& graph,
+                                 const rt::DeadlineFunction& d,
+                                 const rt::ExecutionSequence& alpha,
+                                 std::size_t i) {
+  QC_EXPECT(i <= alpha.size(), "prefix length exceeds sequence length");
+  rt::ExecutionSequence prefix(alpha.begin(),
+                               alpha.begin() + static_cast<std::ptrdiff_t>(i));
+  return edf_complete(graph, d, prefix);
+}
+
+rt::DeadlineFunction modified_deadlines(const rt::PrecedenceGraph& graph,
+                                        const rt::TimeFunction& c,
+                                        const rt::DeadlineFunction& d) {
+  const std::size_t n = graph.num_actions();
+  QC_EXPECT(c.size() == n && d.size() == n,
+            "functions over a different action set");
+  rt::DeadlineFunction out = d;
+  const auto topo = graph.topological_order();
+  QC_EXPECT(topo.size() == n, "graph must be acyclic");
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const ActionId a = *it;
+    Cycles v = out(a);
+    for (ActionId s : graph.successors(a)) {
+      v = std::min(v, out(s) - c(s));
+    }
+    v = std::max<Cycles>(v, 0);  // keep non-negative domain
+    out.set(a, std::min(v, rt::kNoDeadline));
+  }
+  return out;
+}
+
+rt::ExecutionSequence optimal_schedule(const rt::PrecedenceGraph& graph,
+                                       const rt::TimeFunction& c,
+                                       const rt::DeadlineFunction& d) {
+  return edf_schedule(graph, modified_deadlines(graph, c, d));
+}
+
+bool schedulable(const rt::PrecedenceGraph& graph, const rt::TimeFunction& c,
+                 const rt::DeadlineFunction& d) {
+  return rt::is_feasible(optimal_schedule(graph, c, d), c, d);
+}
+
+}  // namespace qosctrl::sched

@@ -1,0 +1,54 @@
+// EDF scheduling over precedence graphs — the paper's Best_Sched.
+//
+// The controller's Scheduler component completes a fixed prefix of the
+// schedule with an earliest-deadline-first order over the remaining
+// actions (non-preemptive, single processor, all releases at cycle 0).
+//
+// For *static* feasibility analysis we also provide Lawler's modified
+// deadlines: d'(a) = min(d(a), min over successors s of d'(s) - C(s)).
+// Forward EDF on modified deadlines minimizes maximum lateness for
+// 1|prec|Lmax, so `schedulable` is exact, which is what the Problem
+// statement in Section 2.1 needs for its precondition (non-empty set of
+// feasible schedules w.r.t. Cwc_qmin and Dqmin).
+#pragma once
+
+#include "rt/precedence_graph.h"
+#include "rt/time_function.h"
+
+namespace qosctrl::sched {
+
+/// EDF schedule of the whole graph: repeatedly runs the ready action
+/// with the earliest deadline (ties broken by smallest id, which makes
+/// the result deterministic).  Requires an acyclic graph.
+rt::ExecutionSequence edf_schedule(const rt::PrecedenceGraph& graph,
+                                   const rt::DeadlineFunction& d);
+
+/// The paper's Best_Sched(alpha, theta, i): returns a schedule whose
+/// first `i` elements equal alpha[0..i-1] and whose remainder is the
+/// EDF order of the not-yet-run actions under deadlines `d`.
+/// Requires alpha[0..i-1] to be an execution sequence of the graph.
+rt::ExecutionSequence best_sched(const rt::PrecedenceGraph& graph,
+                                 const rt::DeadlineFunction& d,
+                                 const rt::ExecutionSequence& alpha,
+                                 std::size_t i);
+
+/// Lawler's backward deadline modification for 1|prec|Lmax.
+/// d'(a) = min(d(a), min_{a->s} (d'(s) - C(s))).
+rt::DeadlineFunction modified_deadlines(const rt::PrecedenceGraph& graph,
+                                        const rt::TimeFunction& c,
+                                        const rt::DeadlineFunction& d);
+
+/// Exact schedulability: true iff some schedule of `graph` is feasible
+/// w.r.t. C and D (checked by running EDF on Lawler-modified deadlines,
+/// which is optimal for this setting).
+bool schedulable(const rt::PrecedenceGraph& graph, const rt::TimeFunction& c,
+                 const rt::DeadlineFunction& d);
+
+/// A feasible schedule when one exists (EDF on modified deadlines),
+/// otherwise std::nullopt-like empty sequence.  Use `schedulable` to
+/// distinguish "empty graph" from "infeasible".
+rt::ExecutionSequence optimal_schedule(const rt::PrecedenceGraph& graph,
+                                       const rt::TimeFunction& c,
+                                       const rt::DeadlineFunction& d);
+
+}  // namespace qosctrl::sched

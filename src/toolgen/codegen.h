@@ -1,0 +1,40 @@
+// C code generation: the "controlled application software" artifact.
+//
+// The paper's compiler links (a) the EDF schedule and tables produced
+// by the tool, (b) the application's action code and (c) a generic
+// controller into a single controlled binary.  This module emits (a)
+// and (c) as one dependency-free C99 translation unit:
+//
+//   * static const arrays: the schedule, the quality levels, and the
+//     two slack tables,
+//   * `qos_next(long long t, int* action, int* quality)` — the generic
+//     quality-manager step (scan levels downward, compare t against the
+//     precomputed slacks),
+//   * `qos_reset(void)` — rewind to a new cycle.
+//
+// The generated file compiles standalone (tests feed it to the host C
+// compiler) and has no heap allocation, matching the paper's embedded
+// target (single processor, no OS).
+#pragma once
+
+#include <string>
+
+#include "qos/slack_tables.h"
+
+namespace qosctrl::toolgen {
+
+/// Options for the generated unit.
+struct CodegenOptions {
+  /// Prefix for all exported symbols (default "qos").
+  std::string symbol_prefix = "qos";
+  /// Emit the action-name comment table (useful for debugging the
+  /// generated artifact; costs rodata).
+  bool emit_names = true;
+};
+
+/// Renders the controller as a standalone C99 source file.
+std::string generate_c_controller(const qos::SlackTables& tables,
+                                  const rt::PrecedenceGraph& graph,
+                                  const CodegenOptions& options = {});
+
+}  // namespace qosctrl::toolgen

@@ -1,0 +1,50 @@
+#include "util/bitio.h"
+
+#include "util/check.h"
+
+namespace qosctrl::util {
+
+void BitWriter::put_bits(std::uint64_t value, int count) {
+  QC_EXPECT(count >= 0 && count <= 64, "bit count must be in [0, 64]");
+  for (int i = count - 1; i >= 0; --i) {
+    const bool bit = ((value >> i) & 1) != 0;
+    current_ = static_cast<std::uint8_t>((current_ << 1) | (bit ? 1 : 0));
+    if (++filled_ == 8) {
+      bytes_.push_back(current_);
+      current_ = 0;
+      filled_ = 0;
+    }
+  }
+  bit_count_ += count;
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (filled_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(current_ << (8 - filled_)));
+    current_ = 0;
+    filled_ = 0;
+  }
+  return bytes_;
+}
+
+std::uint64_t BitReader::get_bits(int count) {
+  QC_EXPECT(count >= 0 && count <= 64, "bit count must be in [0, 64]");
+  std::uint64_t v = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t byte_index = pos_ >> 3;
+    if (byte_index >= static_cast<std::int64_t>(bytes_.size())) {
+      overrun_ = true;
+      v <<= 1;
+      ++pos_;
+      continue;
+    }
+    const int bit_index = 7 - static_cast<int>(pos_ & 7);
+    const bool bit = ((bytes_[static_cast<std::size_t>(byte_index)] >>
+                       bit_index) & 1) != 0;
+    v = (v << 1) | (bit ? 1 : 0);
+    ++pos_;
+  }
+  return v;
+}
+
+}  // namespace qosctrl::util

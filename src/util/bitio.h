@@ -1,0 +1,60 @@
+// Bit-level writer/reader used by the entropy coder.
+//
+// BitWriter accumulates bits MSB-first into a byte buffer; BitReader
+// replays them.  Both are deliberately simple: the encoder substrate
+// needs exact bit accounting (the rate controller steers on it), not
+// peak throughput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qosctrl::util {
+
+/// MSB-first bit sink.
+class BitWriter {
+ public:
+  /// Appends the `count` low bits of `value`, most significant first.
+  /// Requires 0 <= count <= 64.
+  void put_bits(std::uint64_t value, int count);
+
+  /// Appends a single bit.
+  void put_bit(bool bit) { put_bits(bit ? 1 : 0, 1); }
+
+  /// Number of bits written so far.
+  std::int64_t bit_count() const { return bit_count_; }
+
+  /// Pads with zero bits to a byte boundary and returns the buffer.
+  std::vector<std::uint8_t> finish();
+
+  /// Read-only view of the (possibly unpadded) buffer.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  int filled_ = 0;  // bits used in current_
+  std::int64_t bit_count_ = 0;
+};
+
+/// MSB-first bit source over a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  /// Reads `count` bits (MSB first).  Reading past the end returns zero
+  /// bits and sets overrun().
+  std::uint64_t get_bits(int count);
+  bool get_bit() { return get_bits(1) != 0; }
+
+  std::int64_t bits_consumed() const { return pos_; }
+  bool overrun() const { return overrun_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::int64_t pos_ = 0;
+  bool overrun_ = false;
+};
+
+}  // namespace qosctrl::util

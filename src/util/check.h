@@ -1,0 +1,30 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// The library follows the C++ Core Guidelines I.6 / I.8 style: public
+// interfaces state their expectations and enforce them.  Violations are
+// programming errors, so they terminate with a message rather than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qosctrl::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "qosctrl: check `%s` failed at %s:%d: %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+
+}  // namespace qosctrl::util
+
+// Precondition on arguments of a public function.
+#define QC_EXPECT(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) ::qosctrl::util::check_failed(#cond, __FILE__, __LINE__, \
+                                               msg);                     \
+  } while (0)
+
+// Internal invariant; same behaviour, different intent.
+#define QC_ENSURE(cond, msg) QC_EXPECT(cond, msg)

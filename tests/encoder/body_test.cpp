@@ -1,0 +1,77 @@
+#include "encoder/body.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/cost_model.h"
+#include "sched/edf.h"
+
+namespace qosctrl::enc {
+namespace {
+
+TEST(BodyGraph, HasNineActionsMatchingFigure2Names) {
+  const rt::PrecedenceGraph g = make_body_graph();
+  ASSERT_EQ(g.num_actions(), 9u);
+  EXPECT_EQ(g.name(id(BodyAction::kGrabMacroBlock)), "Grab_Macro_Block");
+  EXPECT_EQ(g.name(id(BodyAction::kMotionEstimate)), "Motion_Estimate");
+  EXPECT_EQ(g.name(id(BodyAction::kDct)), "Discrete_Cosine_Transform");
+  EXPECT_EQ(g.name(id(BodyAction::kQuantize)), "Quantize");
+  EXPECT_EQ(g.name(id(BodyAction::kIntraPredict)), "Intra_Predict");
+  EXPECT_EQ(g.name(id(BodyAction::kCompress)), "Compress");
+  EXPECT_EQ(g.name(id(BodyAction::kInverseQuantize)), "Inverse_Quantize");
+  EXPECT_EQ(g.name(id(BodyAction::kInverseDct)),
+            "Inverse_Discrete_Cosine_Transform");
+  EXPECT_EQ(g.name(id(BodyAction::kReconstruct)), "Reconstruct");
+}
+
+TEST(BodyGraph, IsAcyclicWithGrabAsUniqueSource) {
+  const rt::PrecedenceGraph g = make_body_graph();
+  EXPECT_TRUE(g.is_acyclic());
+  int sources = 0;
+  for (rt::ActionId a = 0; a < 9; ++a) {
+    if (g.predecessors(a).empty()) ++sources;
+  }
+  EXPECT_EQ(sources, 1);
+  EXPECT_TRUE(g.predecessors(id(BodyAction::kGrabMacroBlock)).empty());
+}
+
+TEST(BodyGraph, EncoderDataflowOrderIsEnforced) {
+  const rt::PrecedenceGraph g = make_body_graph();
+  // Quantize fans out to Compress and the reconstruction path.
+  const auto& succ = g.successors(id(BodyAction::kQuantize));
+  EXPECT_EQ(succ.size(), 2u);
+  // The EDF order under uniform deadlines must be a valid schedule
+  // running ME before the transform and reconstruction last.
+  rt::DeadlineFunction d(9, 1000);
+  const auto alpha = sched::edf_schedule(g, d);
+  EXPECT_TRUE(g.is_schedule(alpha));
+  std::vector<std::size_t> pos(9);
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    pos[static_cast<std::size_t>(alpha[i])] = i;
+  }
+  EXPECT_LT(pos[0], pos[1]);  // Grab before ME
+  EXPECT_LT(pos[1], pos[2]);  // ME before DCT (via Intra_Predict)
+  EXPECT_LT(pos[3], pos[5]);  // Quantize before Compress
+  EXPECT_EQ(pos[8], 8u);      // Reconstruct is last
+}
+
+TEST(BodyGraph, ActionIdsMatchFigure5CostTableRows) {
+  // The platform cost table is indexed by these ids; a mismatch would
+  // silently charge wrong costs.
+  const auto table = platform::figure5_cost_table();
+  EXPECT_EQ(table.num_actions(), static_cast<std::size_t>(kNumBodyActions));
+  // Motion_Estimate is the only quality-dependent row.
+  const auto me = id(BodyAction::kMotionEstimate);
+  EXPECT_NE(table.at(me, 0).average, table.at(me, 7).average);
+}
+
+TEST(DecodeUnrolled, MapsIdsToMacroblockAndAction) {
+  const UnrolledAction u0 = decode_unrolled(0);
+  EXPECT_EQ(u0.macroblock, 0);
+  EXPECT_EQ(u0.action, BodyAction::kGrabMacroBlock);
+  const UnrolledAction u = decode_unrolled(9 * 14 + 5);
+  EXPECT_EQ(u.macroblock, 14);
+  EXPECT_EQ(u.action, BodyAction::kCompress);
+}
+
+}  // namespace
+}  // namespace qosctrl::enc

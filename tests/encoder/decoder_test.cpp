@@ -1,0 +1,151 @@
+#include "encoder/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "encoder/frame_encoder.h"
+#include "encoder/system_builder.h"
+#include "media/synthetic_video.h"
+
+namespace qosctrl::enc {
+namespace {
+
+constexpr int kW = 64;
+constexpr int kH = 48;
+
+EncoderConfig cfg() {
+  EncoderConfig c;
+  c.width = kW;
+  c.height = kH;
+  return c;
+}
+
+platform::CostModel cost_model() {
+  return platform::CostModel(platform::figure5_cost_table(),
+                             platform::CostModelConfig{}, util::Rng(1));
+}
+
+media::SyntheticVideo video() {
+  media::VideoConfig vc;
+  vc.width = kW;
+  vc.height = kH;
+  vc.num_frames = 12;
+  vc.num_scenes = 2;
+  vc.seed = 77;
+  return media::SyntheticVideo(vc);
+}
+
+TEST(Decoder, FirstFrameRoundTripsBitExactly) {
+  FrameEncoder encoder(cfg(), cost_model());
+  const auto es = build_encoder_system(12, 12 * 250000,
+                                       platform::figure5_cost_table());
+  qos::ConstantController ctl(*es.system, 3);
+  const auto v = video();
+  encoder.encode_frame(v.frame_yuv(0), ctl, *es.system, 8);
+  const DecodeResult d = decode_frame(encoder.bitstream(), nullptr);
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.qp, 8);
+  EXPECT_EQ(d.frame.y.data(), encoder.reconstructed().y.data())
+      << "decoder must reproduce the encoder's luma exactly";
+  EXPECT_EQ(d.frame.cb.data(), encoder.reconstructed().cb.data());
+  EXPECT_EQ(d.frame.cr.data(), encoder.reconstructed().cr.data());
+  EXPECT_EQ(d.intra_macroblocks, 12);
+}
+
+TEST(Decoder, InterFramesRoundTripAcrossAGop) {
+  FrameEncoder encoder(cfg(), cost_model());
+  const auto es = build_encoder_system(12, 12 * 250000,
+                                       platform::figure5_cost_table());
+  qos::TableController ctl(es.tables);
+  const auto v = video();
+  media::YuvFrame displayed;  // decoder-side reference
+  for (int f = 0; f < 10; ++f) {
+    const int qp = 4 + f;  // exercise several quantizers
+    encoder.encode_frame(v.frame_yuv(f), ctl, *es.system, qp);
+    const DecodeResult d =
+        decode_frame(encoder.bitstream(), f == 0 ? nullptr : &displayed);
+    ASSERT_TRUE(d.ok) << "frame " << f;
+    EXPECT_EQ(d.qp, qp);
+    ASSERT_EQ(d.frame.y.data(), encoder.reconstructed().y.data())
+        << "luma drift at frame " << f;
+    ASSERT_EQ(d.frame.cb.data(), encoder.reconstructed().cb.data())
+        << "cb drift at frame " << f;
+    ASSERT_EQ(d.frame.cr.data(), encoder.reconstructed().cr.data())
+        << "cr drift at frame " << f;
+    displayed = d.frame;
+  }
+}
+
+TEST(Decoder, ReportsIntraCounts) {
+  FrameEncoder encoder(cfg(), cost_model());
+  const auto es = build_encoder_system(12, 12 * 250000,
+                                       platform::figure5_cost_table());
+  qos::ConstantController ctl(*es.system, 5);
+  const auto v = video();
+  encoder.encode_frame(v.frame_yuv(0), ctl, *es.system, 8);
+  media::YuvFrame ref = encoder.reconstructed();
+  encoder.encode_frame(v.frame_yuv(1), ctl, *es.system, 8);
+  const DecodeResult d = decode_frame(encoder.bitstream(), &ref);
+  ASSERT_TRUE(d.ok);
+  EXPECT_LT(d.intra_macroblocks, 12) << "continuing scene should be inter";
+}
+
+TEST(Decoder, RejectsTruncatedStream) {
+  FrameEncoder encoder(cfg(), cost_model());
+  const auto es = build_encoder_system(12, 12 * 250000,
+                                       platform::figure5_cost_table());
+  qos::ConstantController ctl(*es.system, 3);
+  encoder.encode_frame(video().frame_yuv(0), ctl, *es.system, 8);
+  auto bytes = encoder.bitstream();
+  bytes.resize(bytes.size() / 2);
+  const DecodeResult d = decode_frame(bytes, nullptr);
+  EXPECT_FALSE(d.ok);
+}
+
+TEST(Decoder, RejectsEmptyAndGarbage) {
+  EXPECT_FALSE(decode_frame({}, nullptr).ok);
+  EXPECT_FALSE(decode_frame({0x00}, nullptr).ok);
+  const std::vector<std::uint8_t> garbage(64, 0xFF);
+  // All-ones parses as tiny geometry with huge QP or overruns; either
+  // way it must fail cleanly, not crash.
+  (void)decode_frame(garbage, nullptr);
+}
+
+TEST(Decoder, RejectsInterWithoutReference) {
+  FrameEncoder encoder(cfg(), cost_model());
+  const auto es = build_encoder_system(12, 12 * 250000,
+                                       platform::figure5_cost_table());
+  qos::ConstantController ctl(*es.system, 5);
+  const auto v = video();
+  encoder.encode_frame(v.frame_yuv(0), ctl, *es.system, 8);
+  encoder.encode_frame(v.frame_yuv(1), ctl, *es.system, 8);  // has inter MBs
+  const DecodeResult d = decode_frame(encoder.bitstream(), nullptr);
+  EXPECT_FALSE(d.ok);
+}
+
+TEST(Decoder, RejectsGeometryMismatch) {
+  FrameEncoder encoder(cfg(), cost_model());
+  const auto es = build_encoder_system(12, 12 * 250000,
+                                       platform::figure5_cost_table());
+  qos::ConstantController ctl(*es.system, 3);
+  const auto v = video();
+  encoder.encode_frame(v.frame_yuv(0), ctl, *es.system, 8);
+  encoder.encode_frame(v.frame_yuv(1), ctl, *es.system, 8);
+  const media::YuvFrame wrong(32, 32);
+  const DecodeResult d = decode_frame(encoder.bitstream(), &wrong);
+  EXPECT_FALSE(d.ok);
+}
+
+TEST(Decoder, BitstreamSizeMatchesReportedBits) {
+  FrameEncoder encoder(cfg(), cost_model());
+  const auto es = build_encoder_system(12, 12 * 250000,
+                                       platform::figure5_cost_table());
+  qos::ConstantController ctl(*es.system, 3);
+  const FrameStats stats =
+      encoder.encode_frame(video().frame_yuv(0), ctl, *es.system, 8);
+  const std::size_t padded_bytes =
+      static_cast<std::size_t>((stats.bits + 7) / 8);
+  EXPECT_EQ(encoder.bitstream().size(), padded_bytes);
+}
+
+}  // namespace
+}  // namespace qosctrl::enc

@@ -1,0 +1,185 @@
+#include "encoder/frame_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "encoder/system_builder.h"
+#include "media/synthetic_video.h"
+
+namespace qosctrl::enc {
+namespace {
+
+constexpr int kW = 64;
+constexpr int kH = 48;  // 4 x 3 = 12 macroblocks
+
+EncoderConfig small_encoder_config() {
+  EncoderConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  return cfg;
+}
+
+platform::CostModel make_cost_model(std::uint64_t seed = 1) {
+  return platform::CostModel(platform::figure5_cost_table(),
+                             platform::CostModelConfig{}, util::Rng(seed));
+}
+
+EncoderSystem small_system(rt::Cycles budget = 12 * 250000) {
+  return build_encoder_system(12, budget, platform::figure5_cost_table());
+}
+
+media::SyntheticVideo small_video() {
+  media::VideoConfig vc;
+  vc.width = kW;
+  vc.height = kH;
+  vc.num_frames = 20;
+  vc.num_scenes = 2;
+  vc.seed = 99;
+  return media::SyntheticVideo(vc);
+}
+
+TEST(FrameEncoder, EncodesAllMacroblocks) {
+  FrameEncoder encoder(small_encoder_config(), make_cost_model());
+  const auto es = small_system();
+  qos::TableController ctl(es.tables);
+  const auto video = small_video();
+  const FrameStats stats =
+      encoder.encode_frame(video.frame_yuv(0), ctl, *es.system, 8);
+  EXPECT_GT(stats.encode_cycles, 0);
+  EXPECT_GT(stats.bits, 0);
+  EXPECT_GT(stats.psnr, 20.0);
+  EXPECT_TRUE(ctl.done());
+}
+
+TEST(FrameEncoder, FirstFrameIsAllIntra) {
+  FrameEncoder encoder(small_encoder_config(), make_cost_model());
+  const auto es = small_system();
+  qos::ConstantController ctl(*es.system, 3);
+  const auto video = small_video();
+  const FrameStats stats =
+      encoder.encode_frame(video.frame_yuv(0), ctl, *es.system, 8);
+  EXPECT_EQ(stats.intra_macroblocks, 12);
+  EXPECT_FALSE(encoder.has_reference() == false);  // set after encoding
+}
+
+TEST(FrameEncoder, SecondFrameUsesInterPrediction) {
+  FrameEncoder encoder(small_encoder_config(), make_cost_model());
+  const auto es = small_system();
+  qos::ConstantController ctl(*es.system, 5);
+  const auto video = small_video();
+  encoder.encode_frame(video.frame_yuv(0), ctl, *es.system, 8);
+  const FrameStats s1 =
+      encoder.encode_frame(video.frame_yuv(1), ctl, *es.system, 8);
+  EXPECT_LT(s1.intra_macroblocks, 12)
+      << "a continuing scene must yield inter macroblocks";
+}
+
+TEST(FrameEncoder, ResetReferenceForcesIntra) {
+  FrameEncoder encoder(small_encoder_config(), make_cost_model());
+  const auto es = small_system();
+  qos::ConstantController ctl(*es.system, 5);
+  const auto video = small_video();
+  encoder.encode_frame(video.frame_yuv(0), ctl, *es.system, 8);
+  encoder.reset_reference();
+  const FrameStats s =
+      encoder.encode_frame(video.frame_yuv(1), ctl, *es.system, 8);
+  EXPECT_EQ(s.intra_macroblocks, 12);
+}
+
+TEST(FrameEncoder, LowerQpGivesHigherPsnrAndMoreBits) {
+  const auto video = small_video();
+  const auto es = small_system();
+  FrameStats fine, coarse;
+  {
+    FrameEncoder encoder(small_encoder_config(), make_cost_model());
+    qos::ConstantController ctl(*es.system, 3);
+    encoder.encode_frame(video.frame_yuv(0), ctl, *es.system, 2);
+    fine = encoder.encode_frame(video.frame_yuv(1), ctl, *es.system, 2);
+  }
+  {
+    FrameEncoder encoder(small_encoder_config(), make_cost_model());
+    qos::ConstantController ctl(*es.system, 3);
+    encoder.encode_frame(video.frame_yuv(0), ctl, *es.system, 20);
+    coarse = encoder.encode_frame(video.frame_yuv(1), ctl, *es.system, 20);
+  }
+  EXPECT_GT(fine.psnr, coarse.psnr + 3.0);
+  EXPECT_GT(fine.bits, coarse.bits);
+}
+
+TEST(FrameEncoder, ReconstructionTracksInput) {
+  // PSNR computed against the reconstruction must be what the stats
+  // report, and at moderate QP it should comfortably beat 25 dB.
+  FrameEncoder encoder(small_encoder_config(), make_cost_model());
+  const auto es = small_system();
+  qos::ConstantController ctl(*es.system, 3);
+  const auto video = small_video();
+  const media::YuvFrame input = video.frame_yuv(0);
+  const FrameStats stats = encoder.encode_frame(input, ctl, *es.system, 6);
+  EXPECT_DOUBLE_EQ(stats.psnr,
+                   media::psnr(input.y, encoder.reconstructed().y));
+  EXPECT_GT(stats.psnr, 25.0);
+}
+
+TEST(FrameEncoder, DeterministicForFixedSeedAndController) {
+  const auto video = small_video();
+  const auto es = small_system();
+  FrameStats a, b;
+  {
+    FrameEncoder encoder(small_encoder_config(), make_cost_model(5));
+    qos::TableController ctl(es.tables);
+    a = encoder.encode_frame(video.frame_yuv(0), ctl, *es.system, 8);
+  }
+  {
+    FrameEncoder encoder(small_encoder_config(), make_cost_model(5));
+    qos::TableController ctl(es.tables);
+    b = encoder.encode_frame(video.frame_yuv(0), ctl, *es.system, 8);
+  }
+  EXPECT_EQ(a.encode_cycles, b.encode_cycles);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_DOUBLE_EQ(a.psnr, b.psnr);
+}
+
+TEST(FrameEncoder, LateStartShrinksChosenQuality) {
+  const auto video = small_video();
+  const auto es = small_system();
+  FrameEncoder e1(small_encoder_config(), make_cost_model(7));
+  FrameEncoder e2(small_encoder_config(), make_cost_model(7));
+  qos::TableController c1(es.tables), c2(es.tables);
+  // Warm both with the same first frame.
+  e1.encode_frame(video.frame_yuv(0), c1, *es.system, 8, 0);
+  e2.encode_frame(video.frame_yuv(0), c2, *es.system, 8, 0);
+  const FrameStats on_time =
+      e1.encode_frame(video.frame_yuv(1), c1, *es.system, 8, 0);
+  const FrameStats late = e2.encode_frame(video.frame_yuv(1), c2, *es.system, 8,
+                                          es.budget / 2);
+  EXPECT_LT(late.mean_quality, on_time.mean_quality);
+}
+
+TEST(FrameEncoder, ControlledRunMeetsDeadlines) {
+  const auto video = small_video();
+  const auto es = small_system();
+  FrameEncoder encoder(small_encoder_config(), make_cost_model(11));
+  qos::TableController ctl(es.tables);
+  for (int f = 0; f < 10; ++f) {
+    const FrameStats s =
+        encoder.encode_frame(video.frame_yuv(f), ctl, *es.system, 8);
+    EXPECT_EQ(s.deadline_misses, 0) << "frame " << f;
+    EXPECT_LE(s.encode_cycles, es.budget) << "frame " << f;
+  }
+}
+
+TEST(FrameEncoder, QualityRangeIsReported) {
+  const auto video = small_video();
+  const auto es = small_system();
+  FrameEncoder encoder(small_encoder_config(), make_cost_model(13));
+  qos::TableController ctl(es.tables);
+  const FrameStats s =
+      encoder.encode_frame(video.frame_yuv(0), ctl, *es.system, 8);
+  EXPECT_LE(s.min_quality, s.max_quality);
+  EXPECT_GE(s.mean_quality, static_cast<double>(s.min_quality));
+  EXPECT_LE(s.mean_quality, static_cast<double>(s.max_quality));
+}
+
+}  // namespace
+}  // namespace qosctrl::enc

@@ -1,0 +1,128 @@
+// Robustness and metamorphic properties across modules.
+#include <gtest/gtest.h>
+
+#include "encoder/decoder.h"
+#include "qos/slack_tables.h"
+#include "toolgen/spec_parser.h"
+#include "util/rng.h"
+
+namespace qosctrl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fuzz: hostile bytes must never crash the decoder, only fail cleanly.
+
+class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrash) {
+  util::Rng rng(GetParam());
+  const media::YuvFrame ref(64, 48, 100);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform_i64(0, 600));
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_i64(0, 255));
+    }
+    // Must terminate and either fail or produce a well-formed frame.
+    const enc::DecodeResult without_ref = enc::decode_frame(bytes, nullptr);
+    if (without_ref.ok) {
+      EXPECT_GT(without_ref.frame.width(), 0);
+    }
+    const enc::DecodeResult with_ref = enc::decode_frame(bytes, &ref);
+    if (with_ref.ok) {
+      EXPECT_EQ(with_ref.frame.width() % 16, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz,
+                         ::testing::Values(1, 2, 3, 4, 99));
+
+// Fuzz: random text must never crash the spec parser.
+class SpecParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpecParserFuzz, RandomTextNeverCrashes) {
+  util::Rng rng(GetParam());
+  const char* words[] = {"action",    "edge",   "levels", "times",
+                         "iterations", "budget", "a",      "b",
+                         "*",          "-3",     "7",      "999999",
+                         "#x",         "\n"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const int tokens = static_cast<int>(rng.uniform_i64(0, 60));
+    for (int i = 0; i < tokens; ++i) {
+      text += words[rng.uniform_i64(0, 13)];
+      text += rng.chance(0.3) ? "\n" : " ";
+    }
+    const toolgen::ParsedSpec spec = toolgen::parse_spec_string(text);
+    if (spec.ok) {
+      // If it parsed, it must be internally consistent.
+      EXPECT_FALSE(spec.input.qualities.empty());
+      EXPECT_GT(spec.budget, 0);
+    } else {
+      EXPECT_FALSE(spec.error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecParserFuzz,
+                         ::testing::Values(11, 22, 33));
+
+// ---------------------------------------------------------------------------
+// Metamorphic: scaling every time and deadline by k scales both slack
+// tables by exactly k (the controller is unit-free).
+
+class TimeScaling : public ::testing::TestWithParam<rt::Cycles> {};
+
+TEST_P(TimeScaling, SlackTablesScaleLinearly) {
+  const rt::Cycles k = GetParam();
+  util::Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Build a base system.
+    const int n = static_cast<int>(rng.uniform_i64(3, 8));
+    rt::PrecedenceGraph g1, g2;
+    for (int i = 0; i < n; ++i) {
+      g1.add_action("a" + std::to_string(i));
+      g2.add_action("a" + std::to_string(i));
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.chance(0.3)) {
+          g1.add_edge(i, j);
+          g2.add_edge(i, j);
+        }
+      }
+    }
+    rt::ParameterizedSystem base(std::move(g1), {0, 1, 2});
+    rt::ParameterizedSystem scaled(std::move(g2), {0, 1, 2});
+    rt::Cycles deadline = 0;
+    for (rt::ActionId a = 0; a < n; ++a) {
+      rt::Cycles av = rng.uniform_i64(1, 20);
+      rt::Cycles wc = av + rng.uniform_i64(0, 30);
+      for (rt::QualityLevel q = 0; q <= 2; ++q) {
+        base.set_times(q, a, av, wc);
+        scaled.set_times(q, a, av * k, wc * k);
+        av += rng.uniform_i64(0, 15);
+        wc = std::max(wc + rng.uniform_i64(0, 25), av);
+      }
+      deadline += 60;
+      base.set_deadline_all_q(a, deadline);
+      scaled.set_deadline_all_q(a, deadline * k);
+    }
+    const qos::SlackTables t1 = qos::SlackTables::build(base);
+    const qos::SlackTables t2 = qos::SlackTables::build(scaled);
+    ASSERT_EQ(t1.schedule(), t2.schedule());
+    for (std::size_t i = 0; i < t1.num_positions(); ++i) {
+      for (std::size_t qi = 0; qi < 3; ++qi) {
+        EXPECT_EQ(t1.slack_av(i, qi) * k, t2.slack_av(i, qi));
+        EXPECT_EQ(t1.slack_wc(i, qi) * k, t2.slack_wc(i, qi));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, TimeScaling,
+                         ::testing::Values(2, 10, 1000));
+
+}  // namespace
+}  // namespace qosctrl

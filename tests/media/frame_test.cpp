@@ -1,0 +1,113 @@
+#include "media/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qosctrl::media {
+namespace {
+
+TEST(Frame, ConstructionAndFill) {
+  Frame f(32, 16, 7);
+  EXPECT_EQ(f.width(), 32);
+  EXPECT_EQ(f.height(), 16);
+  EXPECT_EQ(f.at(0, 0), 7);
+  EXPECT_EQ(f.at(31, 15), 7);
+  EXPECT_EQ(f.mb_cols(), 2);
+  EXPECT_EQ(f.mb_rows(), 1);
+  EXPECT_EQ(f.num_macroblocks(), 2);
+}
+
+TEST(Frame, SetGetRoundTrip) {
+  Frame f(16, 16);
+  f.set(3, 5, 200);
+  EXPECT_EQ(f.at(3, 5), 200);
+  EXPECT_EQ(f.at(5, 3), 0);
+}
+
+TEST(Frame, ClampedReads) {
+  Frame f(16, 16);
+  f.set(0, 0, 11);
+  f.set(15, 15, 22);
+  EXPECT_EQ(f.at_clamped(-5, -5), 11);
+  EXPECT_EQ(f.at_clamped(100, 100), 22);
+  EXPECT_EQ(f.at_clamped(5, -1), f.at(5, 0));
+}
+
+TEST(Frame, MbOriginRasterOrder) {
+  Frame f(48, 32);  // 3 x 2 macroblocks
+  EXPECT_EQ(f.mb_origin(0), std::make_pair(0, 0));
+  EXPECT_EQ(f.mb_origin(2), std::make_pair(32, 0));
+  EXPECT_EQ(f.mb_origin(3), std::make_pair(0, 16));
+  EXPECT_EQ(f.mb_origin(5), std::make_pair(32, 16));
+}
+
+TEST(FrameDeath, RejectsNonMacroblockDimensions) {
+  EXPECT_DEATH(Frame(17, 16), "multiples");
+  EXPECT_DEATH(Frame(16, 20), "multiples");
+}
+
+TEST(Macroblock, ReadWriteRoundTrip) {
+  Frame f(32, 32);
+  std::array<Sample, 256> block;
+  for (std::size_t i = 0; i < 256; ++i) {
+    block[i] = static_cast<Sample>(i);
+  }
+  write_macroblock(f, 16, 16, block);
+  EXPECT_EQ(read_macroblock(f, 16, 16), block);
+  // Neighboring macroblock untouched.
+  EXPECT_EQ(f.at(0, 0), 0);
+}
+
+TEST(Block8, SubBlockLayout) {
+  Frame f(16, 16);
+  f.set(0, 0, 1);    // block 0
+  f.set(8, 0, 2);    // block 1
+  f.set(0, 8, 3);    // block 2
+  f.set(8, 8, 4);    // block 3
+  EXPECT_EQ(read_block8(f, 0, 0, 0)[0], 1);
+  EXPECT_EQ(read_block8(f, 0, 0, 1)[0], 2);
+  EXPECT_EQ(read_block8(f, 0, 0, 2)[0], 3);
+  EXPECT_EQ(read_block8(f, 0, 0, 3)[0], 4);
+}
+
+TEST(Sad256, ZeroForIdentical) {
+  std::array<Sample, 256> a{}, b{};
+  a.fill(9);
+  b.fill(9);
+  EXPECT_EQ(sad_256(a, b), 0);
+}
+
+TEST(Sad256, SumsAbsoluteDifferences) {
+  std::array<Sample, 256> a{}, b{};
+  a.fill(10);
+  b.fill(13);
+  EXPECT_EQ(sad_256(a, b), 256 * 3);
+  b[0] = 0;  // |10 - 0| = 10 replaces |10 - 13| = 3
+  EXPECT_EQ(sad_256(a, b), 255 * 3 + 10);
+}
+
+TEST(Psnr, IdenticalFramesHitTheCap) {
+  Frame a(16, 16, 100), b(16, 16, 100);
+  EXPECT_DOUBLE_EQ(psnr(a, b), 99.0);
+  EXPECT_DOUBLE_EQ(psnr(a, b, 60.0), 60.0);
+}
+
+TEST(Psnr, KnownValue) {
+  Frame a(16, 16, 100), b(16, 16, 110);  // MSE = 100
+  EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0), 1e-9);
+}
+
+TEST(Psnr, MonotoneInError) {
+  Frame a(16, 16, 100);
+  Frame small_err(16, 16, 102), big_err(16, 16, 140);
+  EXPECT_GT(psnr(a, small_err), psnr(a, big_err));
+}
+
+TEST(FrameSse, CountsAllPixels) {
+  Frame a(16, 16, 0), b(16, 16, 1);
+  EXPECT_DOUBLE_EQ(frame_sse(a, b), 256.0);
+}
+
+}  // namespace
+}  // namespace qosctrl::media

@@ -1,0 +1,132 @@
+#include "media/motion.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace qosctrl::media {
+namespace {
+
+/// A textured frame whose content is a pure function of (x, y) so exact
+/// translations can be synthesized.
+Frame textured(int w, int h, int shift_x = 0, int shift_y = 0) {
+  Frame f(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int wx = x + shift_x;
+      const int wy = y + shift_y;
+      f.set(x, y, static_cast<Sample>((wx * 7 + wy * 13 + wx * wy) & 0xFF));
+    }
+  }
+  return f;
+}
+
+TEST(SearchRadius, MonotoneAndAnchored) {
+  EXPECT_EQ(search_radius_for_level(0), 0);
+  EXPECT_EQ(search_radius_for_level(7), 8);
+  for (std::size_t qi = 1; qi < 8; ++qi) {
+    EXPECT_GE(search_radius_for_level(qi), search_radius_for_level(qi - 1));
+  }
+}
+
+TEST(EstimateMotion, FindsExactTranslation) {
+  const Frame ref = textured(64, 64);
+  const Frame cur = textured(64, 64, 3, -2);  // content moved by (-3, +2)?
+  // cur(x,y) = ref(x+3, y-2), so block at (x0,y0) of cur matches ref at
+  // (x0+3, y0-2): motion vector (dx, dy) = (3, -2).
+  MotionConfig cfg{8, 0};
+  const MotionResult r = estimate_motion(cur, ref, 24, 24, cfg);
+  EXPECT_EQ(r.dx, 3);
+  EXPECT_EQ(r.dy, -2);
+  EXPECT_EQ(r.sad, 0);
+}
+
+TEST(EstimateMotion, ZeroRadiusOnlyChecksZeroVector) {
+  const Frame ref = textured(64, 64);
+  const Frame cur = textured(64, 64, 5, 5);
+  MotionConfig cfg{0, 0};
+  const MotionResult r = estimate_motion(cur, ref, 24, 24, cfg);
+  EXPECT_EQ(r.dx, 0);
+  EXPECT_EQ(r.dy, 0);
+  EXPECT_EQ(r.points_examined, 1);
+  EXPECT_EQ(r.points_total, 1);
+  EXPECT_GT(r.sad, 0);
+}
+
+TEST(EstimateMotion, EarlyExitStopsAtGoodMatch) {
+  const Frame ref = textured(64, 64);
+  const Frame cur = textured(64, 64);  // identical: zero vector perfect
+  MotionConfig lazy{8, 512};
+  const MotionResult r = estimate_motion(cur, ref, 24, 24, lazy);
+  EXPECT_EQ(r.points_examined, 1);
+  EXPECT_EQ(r.sad, 0);
+  MotionConfig eager{8, 0};  // disabled early exit scans everything
+  const MotionResult r2 = estimate_motion(cur, ref, 24, 24, eager);
+  EXPECT_EQ(r2.points_examined, r2.points_total);
+}
+
+TEST(EstimateMotion, WindowTooSmallMissesTheMatch) {
+  const Frame ref = textured(64, 64);
+  const Frame cur = textured(64, 64, 6, 0);
+  MotionConfig small{3, 0};
+  const MotionResult r = estimate_motion(cur, ref, 24, 24, small);
+  EXPECT_GT(r.sad, 0) << "radius 3 cannot reach the (6,0) match";
+  MotionConfig big{8, 0};
+  const MotionResult r2 = estimate_motion(cur, ref, 24, 24, big);
+  EXPECT_EQ(r2.sad, 0);
+  EXPECT_EQ(r2.dx, 6);
+}
+
+TEST(EstimateMotion, PointCounts) {
+  const Frame ref = textured(64, 64);
+  const Frame cur = textured(64, 64, 1, 1);
+  for (int radius : {0, 1, 2, 4}) {
+    MotionConfig cfg{radius, 0};
+    const MotionResult r = estimate_motion(cur, ref, 24, 24, cfg);
+    EXPECT_EQ(r.points_total, (2 * radius + 1) * (2 * radius + 1));
+    EXPECT_EQ(r.points_examined, r.points_total);
+  }
+}
+
+TEST(EstimateMotion, SadIsBestOverWindow) {
+  // The reported SAD must equal the true minimum over all candidates.
+  util::Rng rng(11);
+  Frame ref(64, 64), cur(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      ref.set(x, y, static_cast<Sample>(rng.uniform_i64(0, 255)));
+      cur.set(x, y, static_cast<Sample>(rng.uniform_i64(0, 255)));
+    }
+  }
+  MotionConfig cfg{2, 0};
+  const MotionResult r = estimate_motion(cur, ref, 24, 24, cfg);
+  const auto src = read_macroblock(cur, 24, 24);
+  std::int64_t best = INT64_MAX;
+  for (int dy = -2; dy <= 2; ++dy) {
+    for (int dx = -2; dx <= 2; ++dx) {
+      const auto pred = motion_compensate(ref, 24, 24, dx, dy);
+      best = std::min(best, sad_256(src, pred));
+    }
+  }
+  EXPECT_EQ(r.sad, best);
+}
+
+TEST(MotionCompensate, CopiesShiftedBlock) {
+  const Frame ref = textured(64, 64);
+  const auto pred = motion_compensate(ref, 16, 16, 2, -1);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(pred[static_cast<std::size_t>(y * 16 + x)],
+                ref.at(16 + x + 2, 16 + y - 1));
+    }
+  }
+}
+
+TEST(MotionCompensate, ClampsAtBorders) {
+  const Frame ref = textured(32, 32);
+  const auto pred = motion_compensate(ref, 0, 0, -10, -10);
+  EXPECT_EQ(pred[0], ref.at(0, 0));
+}
+
+}  // namespace
+}  // namespace qosctrl::media

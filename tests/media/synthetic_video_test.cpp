@@ -1,0 +1,132 @@
+#include "media/synthetic_video.h"
+
+#include <gtest/gtest.h>
+
+#include "media/motion.h"
+
+namespace qosctrl::media {
+namespace {
+
+VideoConfig small_config() {
+  VideoConfig c;
+  c.width = 64;
+  c.height = 48;
+  c.num_frames = 90;
+  c.num_scenes = 3;
+  c.seed = 7;
+  return c;
+}
+
+TEST(SyntheticVideo, DeterministicInConfig) {
+  const SyntheticVideo a(small_config());
+  const SyntheticVideo b(small_config());
+  for (int f : {0, 17, 89}) {
+    EXPECT_EQ(a.frame(f).data(), b.frame(f).data()) << "frame " << f;
+  }
+}
+
+TEST(SyntheticVideo, SeedChangesContent) {
+  VideoConfig c1 = small_config();
+  VideoConfig c2 = small_config();
+  c2.seed = 8;
+  EXPECT_NE(SyntheticVideo(c1).frame(5).data(),
+            SyntheticVideo(c2).frame(5).data());
+}
+
+TEST(SyntheticVideo, SceneStartsPartitionTheTimeline) {
+  const SyntheticVideo v(small_config());
+  const auto starts = v.scene_starts();
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 30);
+  EXPECT_EQ(starts[2], 60);
+}
+
+TEST(SyntheticVideo, SceneOfAndCuts) {
+  const SyntheticVideo v(small_config());
+  EXPECT_EQ(v.scene_of(0), 0);
+  EXPECT_EQ(v.scene_of(29), 0);
+  EXPECT_EQ(v.scene_of(30), 1);
+  EXPECT_EQ(v.scene_of(89), 2);
+  EXPECT_TRUE(v.is_scene_cut(0));
+  EXPECT_TRUE(v.is_scene_cut(30));
+  EXPECT_TRUE(v.is_scene_cut(60));
+  EXPECT_FALSE(v.is_scene_cut(31));
+}
+
+TEST(SyntheticVideo, UnevenSceneSplitSpreadsRemainder) {
+  VideoConfig c = small_config();
+  c.num_frames = 10;
+  c.num_scenes = 3;  // sizes 4, 3, 3
+  const SyntheticVideo v(c);
+  const auto starts = v.scene_starts();
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 4);
+  EXPECT_EQ(starts[2], 7);
+}
+
+TEST(SyntheticVideo, CutChangesContentMoreThanContinuation) {
+  const SyntheticVideo v(small_config());
+  // Within-scene consecutive frames are closer than frames across a cut.
+  const double within = frame_sse(v.frame(10), v.frame(11));
+  const double across = frame_sse(v.frame(29), v.frame(30));
+  EXPECT_GT(across, 2.0 * within);
+}
+
+TEST(SyntheticVideo, ConsecutiveFramesAreTrackableWithinAScene) {
+  // The generator's central promise: inside a scene, a wide-window
+  // full-pel search finds a good match for most macroblocks.
+  const SyntheticVideo v(VideoConfig{});  // default 176x144, 9 scenes
+  const Frame a = v.frame(40);
+  const Frame b = v.frame(41);
+  MotionConfig cfg{8, 0};
+  int good = 0, total = 0;
+  for (int mb = 0; mb < b.num_macroblocks(); mb += 3) {
+    const auto [x0, y0] = b.mb_origin(mb);
+    const MotionResult r = estimate_motion(b, a, x0, y0, cfg);
+    ++total;
+    if (r.sad < 256 * 6) ++good;  // < 6 gray levels per pixel
+  }
+  EXPECT_GE(good * 10, total * 7)
+      << good << "/" << total << " macroblocks trackable";
+}
+
+TEST(SyntheticVideo, BusyScenesOutpanSmallWindows) {
+  // Scene 2 (a designated busy scene) pans beyond radius 4.
+  const SyntheticVideo v(VideoConfig{});
+  const auto starts = v.scene_starts();
+  const int f = starts[2] + 5;
+  const Frame a = v.frame(f);
+  const Frame b = v.frame(f + 1);
+  MotionConfig narrow{4, 0};
+  MotionConfig wide{8, 0};
+  std::int64_t sad_narrow = 0, sad_wide = 0;
+  for (int mb = 0; mb < b.num_macroblocks(); mb += 5) {
+    const auto [x0, y0] = b.mb_origin(mb);
+    sad_narrow += estimate_motion(b, a, x0, y0, narrow).sad;
+    sad_wide += estimate_motion(b, a, x0, y0, wide).sad;
+  }
+  EXPECT_GT(sad_narrow, 2 * sad_wide)
+      << "radius 4 should not track the busy pan";
+}
+
+TEST(SyntheticVideo, PixelsSpanAUsefulRange) {
+  const SyntheticVideo v(small_config());
+  const Frame f = v.frame(0);
+  int lo = 255, hi = 0;
+  for (Sample s : f.data()) {
+    lo = std::min<int>(lo, s);
+    hi = std::max<int>(hi, s);
+  }
+  EXPECT_LT(lo, 100);
+  EXPECT_GT(hi, 150);
+}
+
+TEST(SyntheticVideoDeath, RejectsBadConfig) {
+  VideoConfig c = small_config();
+  c.num_scenes = 0;
+  EXPECT_DEATH({ SyntheticVideo v(c); }, "scene count");
+}
+
+}  // namespace
+}  // namespace qosctrl::media

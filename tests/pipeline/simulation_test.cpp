@@ -1,0 +1,209 @@
+#include "pipeline/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace qosctrl::pipe {
+namespace {
+
+PipelineConfig small_config() {
+  PipelineConfig cfg;
+  cfg.video.width = 64;
+  cfg.video.height = 48;  // 12 macroblocks
+  cfg.video.num_frames = 60;
+  cfg.video.num_scenes = 3;
+  cfg.video.seed = 11;
+  // 12 MBs at the paper's per-MB averages: budget scaled accordingly.
+  cfg.frame_period = 19555569 * 12 / 99;
+  return cfg;
+}
+
+TEST(Pipeline, ControlledRunHasNoSkipsOrMisses) {
+  PipelineConfig cfg = small_config();
+  cfg.mode = ControlMode::kControlled;
+  const PipelineResult r = run_pipeline(cfg);
+  EXPECT_EQ(r.total_skips, 0);
+  EXPECT_EQ(r.total_deadline_misses, 0);
+  EXPECT_EQ(r.frames.size(), 60u);
+}
+
+TEST(Pipeline, ControlledEncodeTimeStaysWithinBudget) {
+  PipelineConfig cfg = small_config();
+  cfg.mode = ControlMode::kControlled;
+  const PipelineResult r = run_pipeline(cfg);
+  for (const auto& f : r.frames) {
+    EXPECT_LE(f.start_lag + f.encode_cycles,
+              cfg.frame_period * cfg.buffer_capacity)
+        << "frame " << f.index;
+  }
+}
+
+TEST(Pipeline, SceneCutsAreMarked) {
+  const PipelineResult r = run_pipeline(small_config());
+  int cuts = 0;
+  for (const auto& f : r.frames) cuts += f.scene_cut ? 1 : 0;
+  EXPECT_EQ(cuts, 3);
+  EXPECT_TRUE(r.frames[0].scene_cut);
+  EXPECT_TRUE(r.frames[20].scene_cut);
+  EXPECT_TRUE(r.frames[40].scene_cut);
+}
+
+TEST(Pipeline, ConstantQualityAtHighLevelSkips) {
+  PipelineConfig cfg = small_config();
+  cfg.mode = ControlMode::kConstantQuality;
+  cfg.constant_quality = 7;  // hopeless at this budget
+  const PipelineResult r = run_pipeline(cfg);
+  EXPECT_GT(r.total_skips, 0);
+}
+
+TEST(Pipeline, SkippedFramesCarryLowPsnr) {
+  PipelineConfig cfg = small_config();
+  cfg.mode = ControlMode::kConstantQuality;
+  cfg.constant_quality = 7;
+  const PipelineResult r = run_pipeline(cfg);
+  double skipped_psnr = 0.0, encoded_psnr = 0.0;
+  int ns = 0, ne = 0;
+  for (const auto& f : r.frames) {
+    if (f.skipped) {
+      skipped_psnr += f.psnr;
+      ++ns;
+    } else {
+      encoded_psnr += f.psnr;
+      ++ne;
+    }
+  }
+  ASSERT_GT(ns, 0);
+  ASSERT_GT(ne, 0);
+  EXPECT_LT(skipped_psnr / ns, encoded_psnr / ne)
+      << "re-displayed frames must score worse than encoded ones";
+}
+
+TEST(Pipeline, LargerBufferReducesSkips) {
+  PipelineConfig cfg = small_config();
+  cfg.mode = ControlMode::kConstantQuality;
+  cfg.constant_quality = 6;
+  cfg.buffer_capacity = 1;
+  const int skips_k1 = run_pipeline(cfg).total_skips;
+  cfg.buffer_capacity = 3;
+  const int skips_k3 = run_pipeline(cfg).total_skips;
+  EXPECT_LE(skips_k3, skips_k1);
+}
+
+TEST(Pipeline, BitrateHitsTarget) {
+  PipelineConfig cfg = small_config();
+  cfg.rate.bitrate_bps = 300000;  // small frames -> modest target
+  const PipelineResult r = run_pipeline(cfg);
+  EXPECT_NEAR(r.achieved_bps, 300000.0, 300000.0 * 0.2);
+}
+
+TEST(Pipeline, HigherBitrateBuysHigherPsnr) {
+  PipelineConfig cfg = small_config();
+  cfg.rate.bitrate_bps = 120000;
+  const double low = run_pipeline(cfg).mean_psnr_encoded;
+  cfg.rate.bitrate_bps = 500000;
+  const double high = run_pipeline(cfg).mean_psnr_encoded;
+  EXPECT_GT(high, low + 1.0)
+      << "rate-distortion must slope the right way";
+}
+
+TEST(Pipeline, DeterministicForFixedSeed) {
+  const PipelineResult a = run_pipeline(small_config());
+  const PipelineResult b = run_pipeline(small_config());
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i].encode_cycles, b.frames[i].encode_cycles);
+    EXPECT_DOUBLE_EQ(a.frames[i].psnr, b.frames[i].psnr);
+  }
+}
+
+class PipelineSeedSafety : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PipelineSeedSafety, SeedChangesJitterButNotSafety) {
+  PipelineConfig cfg = small_config();
+  cfg.seed = GetParam();
+  const PipelineResult r = run_pipeline(cfg);
+  EXPECT_EQ(r.total_skips, 0);
+  EXPECT_EQ(r.total_deadline_misses, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSafety,
+                         ::testing::Values(1234, 5678, 31337, 271828,
+                                           314159));
+
+TEST(Pipeline, AdaptiveControllerAlsoSafe) {
+  PipelineConfig cfg = small_config();
+  cfg.use_adaptive_controller = true;
+  const PipelineResult r = run_pipeline(cfg);
+  EXPECT_EQ(r.total_skips, 0);
+  EXPECT_EQ(r.total_deadline_misses, 0);
+}
+
+TEST(Pipeline, FeedbackModeRunsButIsFallible) {
+  PipelineConfig cfg = small_config();
+  cfg.mode = ControlMode::kFeedback;
+  const PipelineResult r = run_pipeline(cfg);
+  EXPECT_EQ(r.frames.size(), 60u);
+  // No safety assertion: the PID baseline is fallible by construction;
+  // just verify it produces sane output.
+  EXPECT_GT(r.mean_psnr, 20.0);
+}
+
+TEST(Pipeline, OnlineControllerAlsoSafe) {
+  PipelineConfig cfg = small_config();
+  cfg.video.num_frames = 12;  // the online controller is slower
+  cfg.use_online_controller = true;
+  const PipelineResult r = run_pipeline(cfg);
+  EXPECT_EQ(r.total_skips, 0);
+  EXPECT_EQ(r.total_deadline_misses, 0);
+}
+
+TEST(Pipeline, SoftModeTradesSafetyForQuality) {
+  PipelineConfig hard_cfg = small_config();
+  PipelineConfig soft_cfg = small_config();
+  soft_cfg.soft_deadlines = true;
+  const PipelineResult hard = run_pipeline(hard_cfg);
+  const PipelineResult soft = run_pipeline(soft_cfg);
+  EXPECT_GE(soft.mean_quality, hard.mean_quality)
+      << "dropping the wc constraint must not lower quality";
+}
+
+TEST(Pipeline, SmoothnessReducesQualityJumps) {
+  PipelineConfig cfg = small_config();
+  const PipelineResult plain = run_pipeline(cfg);
+  cfg.smoothness = qos::SmoothnessPolicy{1};
+  const PipelineResult smooth = run_pipeline(cfg);
+  // Quality span within a frame can only shrink.
+  double plain_span = 0, smooth_span = 0;
+  for (std::size_t i = 0; i < plain.frames.size(); ++i) {
+    plain_span += plain.frames[i].max_quality - plain.frames[i].min_quality;
+    smooth_span +=
+        smooth.frames[i].max_quality - smooth.frames[i].min_quality;
+  }
+  EXPECT_LE(smooth_span, plain_span + 1e-9);
+  EXPECT_EQ(smooth.total_deadline_misses, 0);
+}
+
+TEST(Pipeline, CoarseGrainControlLosesQualityOrSafety) {
+  PipelineConfig fine_cfg = small_config();
+  PipelineConfig coarse_cfg = small_config();
+  coarse_cfg.decimation = 12 * 9;  // one decision per frame
+  const PipelineResult fine = run_pipeline(fine_cfg);
+  const PipelineResult coarse = run_pipeline(coarse_cfg);
+  // Coarse control must pay somewhere: either lower delivered quality,
+  // or deadline misses/skips that fine-grain control avoided.
+  const bool pays = coarse.mean_quality < fine.mean_quality ||
+                    coarse.total_deadline_misses > 0 ||
+                    coarse.total_skips > 0;
+  EXPECT_TRUE(pays);
+}
+
+TEST(Pipeline, SummaryMentionsKeyFields) {
+  const PipelineResult r = run_pipeline(small_config());
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("skips="), std::string::npos);
+  EXPECT_NE(s.find("mean_psnr="), std::string::npos);
+  EXPECT_NE(s.find("kbps="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qosctrl::pipe

@@ -1,0 +1,99 @@
+#include "platform/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qosctrl::platform {
+namespace {
+
+std::vector<ExecutionRecord> sample_trace() {
+  return {
+      ExecutionRecord{3, 2, 0, 100},
+      ExecutionRecord{4, 1, 100, 50},
+      ExecutionRecord{5, 0, 200, 25},  // 50-cycle idle gap before
+  };
+}
+
+TEST(Vcd, ContainsHeaderAndDefinitions) {
+  std::ostringstream os;
+  write_vcd(os, sample_trace());
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module qosctrl $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 32 ! action $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 # busy $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, EmitsTimestampsInOrder) {
+  std::ostringstream os;
+  write_vcd(os, sample_trace());
+  const std::string vcd = os.str();
+  const auto t0 = vcd.find("#0\n", vcd.find("$end\n"));
+  const auto t100 = vcd.find("#100\n");
+  const auto t150 = vcd.find("#150\n");  // idle gap start
+  const auto t200 = vcd.find("#200\n");
+  const auto t225 = vcd.find("#225\n");  // final busy drop
+  ASSERT_NE(t0, std::string::npos);
+  ASSERT_NE(t100, std::string::npos);
+  ASSERT_NE(t150, std::string::npos);
+  ASSERT_NE(t200, std::string::npos);
+  ASSERT_NE(t225, std::string::npos);
+  EXPECT_LT(t0, t100);
+  EXPECT_LT(t100, t150);
+  EXPECT_LT(t150, t200);
+  EXPECT_LT(t200, t225);
+}
+
+TEST(Vcd, EncodesActionIdsAsBinary) {
+  std::ostringstream os;
+  write_vcd(os, sample_trace());
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("b11 !"), std::string::npos);   // action 3
+  EXPECT_NE(vcd.find("b100 !"), std::string::npos);  // action 4
+  EXPECT_NE(vcd.find("b10 \""), std::string::npos);  // quality 2
+}
+
+TEST(Vcd, IdleGapDropsBusy) {
+  std::ostringstream os;
+  write_vcd(os, sample_trace());
+  const std::string vcd = os.str();
+  // At #150 the busy flag must fall before rising again at #200.
+  const auto gap = vcd.find("#150\n0#");
+  EXPECT_NE(gap, std::string::npos);
+}
+
+TEST(Vcd, EmptyTraceIsStillValid) {
+  std::ostringstream os;
+  write_vcd(os, {});
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+}
+
+TEST(Vcd, EndToEndWithVirtualProcessor) {
+  CostModelConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  CostModel model(CostTable({{CostSpec{10, 20}, CostSpec{30, 40}}}), cfg,
+                  util::Rng(1));
+  VirtualProcessor proc(std::move(model), /*keep_trace=*/true);
+  proc.execute(0, 0, 1.0);
+  proc.execute(0, 1, 1.0);
+  std::ostringstream os;
+  write_vcd(os, proc.trace());
+  EXPECT_NE(os.str().find("#10"), std::string::npos);
+  EXPECT_NE(os.str().find("#40"), std::string::npos);
+}
+
+TEST(VcdDeath, RejectsNonChronologicalTrace) {
+  std::vector<ExecutionRecord> bad{
+      ExecutionRecord{0, 0, 100, 10},
+      ExecutionRecord{1, 0, 50, 10},
+  };
+  std::ostringstream os;
+  EXPECT_DEATH(write_vcd(os, bad), "chronological");
+}
+
+}  // namespace
+}  // namespace qosctrl::platform

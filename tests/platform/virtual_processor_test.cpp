@@ -1,0 +1,58 @@
+#include "platform/virtual_processor.h"
+
+#include <gtest/gtest.h>
+
+namespace qosctrl::platform {
+namespace {
+
+CostModel deterministic_model() {
+  CostModelConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  return CostModel(CostTable({{CostSpec{100, 200}}}), cfg, util::Rng(1));
+}
+
+TEST(CycleClock, StartsAtZeroAndAdvances) {
+  CycleClock clk;
+  EXPECT_EQ(clk.now(), 0);
+  clk.advance(10);
+  clk.advance(5);
+  EXPECT_EQ(clk.now(), 15);
+  clk.reset();
+  EXPECT_EQ(clk.now(), 0);
+  clk.reset(99);
+  EXPECT_EQ(clk.now(), 99);
+}
+
+TEST(CycleClockDeath, RejectsNegativeAdvance) {
+  CycleClock clk;
+  EXPECT_DEATH(clk.advance(-1), "monotone");
+}
+
+TEST(VirtualProcessor, ChargesCostsAndAdvancesClock) {
+  VirtualProcessor proc(deterministic_model());
+  const rt::Cycles c = proc.execute(0, 0, 1.0);
+  EXPECT_EQ(c, 100);
+  EXPECT_EQ(proc.clock().now(), 100);
+  proc.execute(0, 0, 1.0);
+  EXPECT_EQ(proc.clock().now(), 200);
+}
+
+TEST(VirtualProcessor, TraceIsOptIn) {
+  VirtualProcessor silent(deterministic_model(), /*keep_trace=*/false);
+  silent.execute(0, 0, 1.0);
+  EXPECT_TRUE(silent.trace().empty());
+
+  VirtualProcessor traced(deterministic_model(), /*keep_trace=*/true);
+  traced.execute(0, 0, 1.0);
+  traced.execute(0, 0, 0.5);
+  ASSERT_EQ(traced.trace().size(), 2u);
+  EXPECT_EQ(traced.trace()[0].start, 0);
+  EXPECT_EQ(traced.trace()[0].cost, 100);
+  EXPECT_EQ(traced.trace()[1].start, 100);
+  EXPECT_EQ(traced.trace()[1].cost, 50);
+  traced.clear_trace();
+  EXPECT_TRUE(traced.trace().empty());
+}
+
+}  // namespace
+}  // namespace qosctrl::platform

@@ -1,0 +1,138 @@
+#include "qos/qual_const.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/edf.h"
+#include "test_systems.h"
+#include "util/rng.h"
+
+namespace qosctrl::qos {
+namespace {
+
+using rt::Cycles;
+
+/// A 2-action chain with 2 quality levels and hand-computable numbers.
+rt::ParameterizedSystem tiny() {
+  rt::PrecedenceGraph g;
+  g.add_action("x");
+  g.add_action("y");
+  g.add_edge(0, 1);
+  rt::ParameterizedSystem sys(std::move(g), {0, 1});
+  // q=0: av 10 / wc 20; q=1: av 30 / wc 60 (both actions).
+  for (rt::ActionId a = 0; a < 2; ++a) {
+    sys.set_times(0, a, 10, 20);
+    sys.set_times(1, a, 30, 60);
+    sys.set_deadline_all_q(a, a == 0 ? 100 : 200);
+  }
+  return sys;
+}
+
+TEST(AvSuffixSlack, FullScheduleAtQmin) {
+  const auto sys = tiny();
+  const rt::ExecutionSequence alpha{0, 1};
+  rt::QualityAssignment theta(2, 0);
+  // min(100 - 10, 200 - 20) = 90.
+  EXPECT_EQ(av_suffix_slack(sys, alpha, theta, 0), 90);
+}
+
+TEST(AvSuffixSlack, FullScheduleAtQmax) {
+  const auto sys = tiny();
+  const rt::ExecutionSequence alpha{0, 1};
+  rt::QualityAssignment theta(2, 1);
+  // min(100 - 30, 200 - 60) = 70.
+  EXPECT_EQ(av_suffix_slack(sys, alpha, theta, 1 - 1), 70);
+}
+
+TEST(AvSuffixSlack, MidCycleSuffix) {
+  const auto sys = tiny();
+  const rt::ExecutionSequence alpha{0, 1};
+  rt::QualityAssignment theta(2, 1);
+  // Only action 1 remains: 200 - 30 = 170.
+  EXPECT_EQ(av_suffix_slack(sys, alpha, theta, 1), 170);
+}
+
+TEST(WcSuffixSlack, NextAtThetaRestAtQmin) {
+  const auto sys = tiny();
+  const rt::ExecutionSequence alpha{0, 1};
+  rt::QualityAssignment theta(2, 1);
+  // Next (action 0) at q=1 wc=60; tail (action 1) at qmin wc=20:
+  // min(100 - 60, 200 - 80) = 40.
+  EXPECT_EQ(wc_suffix_slack(sys, alpha, theta, 0), 40);
+}
+
+TEST(QualConst, ThresholdBehaviour) {
+  const auto sys = tiny();
+  const rt::ExecutionSequence alpha{0, 1};
+  rt::QualityAssignment theta(2, 1);
+  // av slack 70, wc slack 40 -> combined threshold 40.
+  EXPECT_TRUE(qual_const(sys, alpha, theta, 40, 0));
+  EXPECT_FALSE(qual_const(sys, alpha, theta, 41, 0));
+  // soft mode uses only the av side (threshold 70).
+  EXPECT_TRUE(qual_const(sys, alpha, theta, 70, 0, /*soft=*/true));
+  EXPECT_FALSE(qual_const(sys, alpha, theta, 71, 0, /*soft=*/true));
+}
+
+TEST(QualConst, EndOfCycleAlwaysHolds) {
+  const auto sys = tiny();
+  const rt::ExecutionSequence alpha{0, 1};
+  rt::QualityAssignment theta(2, 1);
+  EXPECT_TRUE(qual_const(sys, alpha, theta, 1 << 20, 2));
+}
+
+TEST(QualConst, MonotoneInQuality) {
+  // Higher uniform suffix quality can only shrink both slacks.
+  util::Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    qos::testing::RandomSystemOptions opts;
+    const auto sys = qos::testing::random_system(rng, opts);
+    const auto alpha =
+        sched::edf_schedule(sys.graph(), sys.deadline_of(sys.qmin()));
+    const std::size_t i = static_cast<std::size_t>(
+        rng.uniform_i64(0, static_cast<std::int64_t>(alpha.size()) - 1));
+    Cycles prev_av = rt::kNoDeadline;
+    Cycles prev_wc = rt::kNoDeadline;
+    for (rt::QualityLevel q : sys.quality_levels()) {
+      rt::QualityAssignment theta(sys.num_actions(), q);
+      const Cycles av = av_suffix_slack(sys, alpha, theta, i);
+      const Cycles wc = wc_suffix_slack(sys, alpha, theta, i);
+      if (q != sys.qmin()) {
+        EXPECT_LE(av, prev_av) << "av slack must not grow with q";
+        EXPECT_LE(wc, prev_wc) << "wc slack must not grow with q";
+      }
+      prev_av = av;
+      prev_wc = wc;
+    }
+  }
+}
+
+TEST(QualConst, WcImpliesQminTailFeasibleUnderWorstCase) {
+  // If Qual_Const_wc accepts (t, q) then running the next action at q's
+  // WORST case and everything after at qmin worst case misses nothing.
+  util::Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    qos::testing::RandomSystemOptions opts;
+    const auto sys = qos::testing::random_system(rng, opts);
+    const auto alpha =
+        sched::edf_schedule(sys.graph(), sys.deadline_of(sys.qmin()));
+    const std::size_t i = static_cast<std::size_t>(
+        rng.uniform_i64(0, static_cast<std::int64_t>(alpha.size()) - 1));
+    const rt::QualityLevel q = sys.qmax();
+    rt::QualityAssignment theta(sys.num_actions(), q);
+    const Cycles slack = wc_suffix_slack(sys, alpha, theta, i);
+    if (slack < 0) continue;
+    const Cycles t = slack;  // boundary case
+    // Simulate the pessimistic suffix.
+    Cycles elapsed = t;
+    for (std::size_t j = i; j < alpha.size(); ++j) {
+      const rt::QualityLevel qq = (j == i) ? q : sys.qmin();
+      elapsed += sys.cwc(qq, alpha[j]);
+      const Cycles dl = sys.deadline(qq, alpha[j]);
+      if (!rt::is_no_deadline(dl)) {
+        EXPECT_LE(elapsed, dl) << "wc constraint admitted a miss";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qosctrl::qos

@@ -1,0 +1,200 @@
+// Proposition 2.1, tested adversarially.
+//
+// Safety: for ANY actual execution time function C <= Cwc_theta, the
+// schedule and quality assignment produced by the controller are
+// feasible — zero deadline misses — provided the system satisfies the
+// Problem precondition (feasible at Cwc_qmin / Dqmin).
+//
+// Optimality: each decision picks the *maximal* quality satisfying
+// Qual_Const, so no single decision can be raised without violating a
+// constraint (greedy maximality — verified in controller_test); here we
+// additionally check that the budget is actually being used: under
+// benign (average-or-less) costs the controller does not idle at qmin
+// when a feasible higher level exists.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qos/runner.h"
+#include "qos/slack_tables.h"
+#include "test_systems.h"
+#include "util/rng.h"
+
+namespace qosctrl::qos {
+namespace {
+
+using rt::Cycles;
+
+enum class Adversary {
+  kAlwaysWorstCase,   // C = Cwc_theta exactly
+  kRandomBelowWc,     // uniform in [0, Cwc_theta]
+  kAverage,           // C = Cav_theta
+  kBursty,            // worst case with probability 0.3, else cheap
+  kZero,              // instantaneous actions
+};
+
+struct SafetyCase {
+  std::uint64_t seed;
+  Adversary adversary;
+};
+
+class SafetyProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(SafetyProperty, NoDeadlineMissesForAnyAdmissibleCosts) {
+  const auto [seed, adv_int] = GetParam();
+  const auto adversary = static_cast<Adversary>(adv_int);
+  util::Rng rng(seed);
+  int checked = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    qos::testing::RandomSystemOptions opts;
+    opts.num_levels = 1 + static_cast<int>(rng.uniform_i64(1, 5));
+    // Headroom 1.0 is the tightest system that still satisfies the
+    // Problem precondition; mix in looser ones too.
+    opts.deadline_headroom = rng.chance(0.5) ? 1.0 : 1.25;
+    const auto sys = qos::testing::random_system(rng, opts);
+    auto tables =
+        std::make_shared<const SlackTables>(SlackTables::build(sys));
+    ++checked;
+
+    for (const bool use_online : {false, true}) {
+      std::unique_ptr<Controller> ctl;
+      if (use_online) {
+        ctl = std::make_unique<OnlineController>(sys);
+      } else {
+        ctl = std::make_unique<TableController>(tables);
+      }
+      util::Rng costs(rng.next_u64());
+      const CycleTrace trace = run_cycle(
+          sys, *ctl,
+          [&](rt::ActionId a, rt::QualityLevel q) -> Cycles {
+            const Cycles wc = sys.cwc(q, a);
+            switch (adversary) {
+              case Adversary::kAlwaysWorstCase:
+                return wc;
+              case Adversary::kRandomBelowWc:
+                return costs.uniform_i64(0, wc);
+              case Adversary::kAverage:
+                return sys.cav(q, a);
+              case Adversary::kBursty:
+                return costs.chance(0.3) ? wc
+                                         : costs.uniform_i64(0, wc / 4 + 1);
+              case Adversary::kZero:
+                return 0;
+            }
+            return wc;
+          });
+      EXPECT_EQ(trace.deadline_misses, 0)
+          << "safety violated: seed=" << seed << " trial=" << trial
+          << " adversary=" << adv_int << " online=" << use_online;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdversaryGrid, SafetyProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 5, 8, 13,
+                                                        21, 42, 2005),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+TEST(OptimalityProperty, BudgetIsUsedUnderBenignCosts) {
+  // Under exactly-average costs the controller should sustain a level
+  // above qmin whenever the average tables leave room for one.
+  util::Rng rng(4242);
+  int above_min_runs = 0;
+  int runs = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    qos::testing::RandomSystemOptions opts;
+    opts.num_levels = 4;
+    opts.deadline_headroom = 2.0;  // generous budget
+    const auto sys = qos::testing::random_system(rng, opts);
+    auto tables =
+        std::make_shared<const SlackTables>(SlackTables::build(sys));
+    TableController ctl(tables);
+    const CycleTrace trace = run_cycle(
+        sys, ctl, [&](rt::ActionId a, rt::QualityLevel q) -> Cycles {
+          return sys.cav(q, a);
+        });
+    ++runs;
+    if (trace.mean_quality() > 0.0) ++above_min_runs;
+    EXPECT_EQ(trace.deadline_misses, 0);
+  }
+  // With 2x headroom nearly every random system admits q > qmin
+  // somewhere; demand it in at least 80% of runs.
+  EXPECT_GE(above_min_runs * 10, runs * 8)
+      << above_min_runs << "/" << runs << " runs exceeded qmin";
+}
+
+TEST(OptimalityProperty, UtilizationDominatesConstantQmin) {
+  // The controlled run must use at least as much of the budget as the
+  // constant-qmin baseline under identical average costs (Prop. 2.1's
+  // optimal time budget utilization, in its observable form).
+  util::Rng rng(515151);
+  for (int trial = 0; trial < 20; ++trial) {
+    qos::testing::RandomSystemOptions opts;
+    opts.deadline_headroom = 1.8;
+    const auto sys = qos::testing::random_system(rng, opts);
+    auto tables =
+        std::make_shared<const SlackTables>(SlackTables::build(sys));
+    const auto avg_costs = [&](rt::ActionId a, rt::QualityLevel q) {
+      return sys.cav(q, a);
+    };
+    TableController controlled(tables);
+    ConstantController baseline(sys, sys.qmin());
+    const CycleTrace a = run_cycle(sys, controlled, avg_costs);
+    const CycleTrace b = run_cycle(sys, baseline, avg_costs);
+    EXPECT_GE(a.total_cycles, b.total_cycles);
+    EXPECT_EQ(a.deadline_misses, 0);
+  }
+}
+
+TEST(SafetyEdgeCase, TightestSystemAtPureWorstCase) {
+  // headroom exactly 1.0, all actions always at worst case, quality
+  // pinned by the controller: the run must graze every deadline but
+  // never cross one.
+  util::Rng rng(777);
+  qos::testing::RandomSystemOptions opts;
+  opts.deadline_headroom = 1.0;
+  opts.num_levels = 3;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sys = qos::testing::random_system(rng, opts);
+    auto tables =
+        std::make_shared<const SlackTables>(SlackTables::build(sys));
+    TableController ctl(tables);
+    const CycleTrace trace = run_cycle(
+        sys, ctl, [&](rt::ActionId a, rt::QualityLevel q) -> Cycles {
+          return sys.cwc(q, a);
+        });
+    EXPECT_EQ(trace.deadline_misses, 0);
+  }
+}
+
+TEST(SafetyEdgeCase, SoftModeMayMissButHardModeNever) {
+  // Construct a system where average times are optimistic: soft mode
+  // (av-only) overcommits and misses; hard mode stays safe.
+  rt::PrecedenceGraph g;
+  g.add_action("x");
+  g.add_action("y");
+  g.add_edge(0, 1);
+  rt::ParameterizedSystem sys(std::move(g), {0, 1});
+  for (rt::ActionId a = 0; a < 2; ++a) {
+    sys.set_times(0, a, 10, 40);
+    sys.set_times(1, a, 20, 400);  // huge av/wc gap at q=1
+    sys.set_deadline_all_q(a, a == 0 ? 100 : 200);
+  }
+  auto tables = std::make_shared<const SlackTables>(SlackTables::build(sys));
+  const auto worst = [&](rt::ActionId a, rt::QualityLevel q) -> Cycles {
+    return sys.cwc(q, a);
+  };
+  TableController hard(tables);
+  TableController soft(tables, SmoothnessPolicy{}, /*soft=*/true);
+  const CycleTrace h = run_cycle(sys, hard, worst);
+  const CycleTrace s = run_cycle(sys, soft, worst);
+  EXPECT_EQ(h.deadline_misses, 0);
+  EXPECT_GT(s.deadline_misses, 0)
+      << "soft mode was expected to overcommit on this system";
+}
+
+}  // namespace
+}  // namespace qosctrl::qos

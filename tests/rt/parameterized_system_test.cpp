@@ -1,0 +1,141 @@
+#include "rt/parameterized_system.h"
+
+#include <gtest/gtest.h>
+
+namespace qosctrl::rt {
+namespace {
+
+PrecedenceGraph chain3() {
+  PrecedenceGraph g;
+  g.add_action("a");
+  g.add_action("b");
+  g.add_action("c");
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  return g;
+}
+
+ParameterizedSystem make_sys() {
+  ParameterizedSystem sys(chain3(), {0, 1, 2});
+  for (QualityLevel q = 0; q <= 2; ++q) {
+    for (ActionId a = 0; a < 3; ++a) {
+      sys.set_times(q, a, 10 * (q + 1), 20 * (q + 1));
+      sys.set_deadline(q, a, 100 * (a + 1));
+    }
+  }
+  return sys;
+}
+
+TEST(QualityAssignment, SetAndGet) {
+  QualityAssignment theta(4, 2);
+  EXPECT_EQ(theta(0), 2);
+  theta.set(1, 5);
+  EXPECT_EQ(theta(1), 5);
+}
+
+TEST(QualityAssignment, OverrideSuffix) {
+  QualityAssignment theta(4, 1);
+  const ExecutionSequence alpha{3, 1, 0, 2};
+  // Keep the first 2 scheduled elements (actions 3 and 1), set the
+  // rest (actions 0 and 2) to 7.
+  const QualityAssignment out = theta.override_suffix(alpha, 2, 7);
+  EXPECT_EQ(out(3), 1);
+  EXPECT_EQ(out(1), 1);
+  EXPECT_EQ(out(0), 7);
+  EXPECT_EQ(out(2), 7);
+}
+
+TEST(QualityAssignment, OverrideFullAndEmptyPrefix) {
+  QualityAssignment theta(2, 1);
+  const ExecutionSequence alpha{0, 1};
+  EXPECT_EQ(theta.override_suffix(alpha, 0, 9)(0), 9);
+  EXPECT_EQ(theta.override_suffix(alpha, 2, 9)(0), 1);
+}
+
+TEST(ParameterizedSystem, QminQmax) {
+  const ParameterizedSystem sys = make_sys();
+  EXPECT_EQ(sys.qmin(), 0);
+  EXPECT_EQ(sys.qmax(), 2);
+  EXPECT_TRUE(sys.has_quality(1));
+  EXPECT_FALSE(sys.has_quality(3));
+}
+
+TEST(ParameterizedSystem, TimesAndDeadlines) {
+  const ParameterizedSystem sys = make_sys();
+  EXPECT_EQ(sys.cav(1, 2), 20);
+  EXPECT_EQ(sys.cwc(1, 2), 40);
+  EXPECT_EQ(sys.deadline(0, 1), 200);
+}
+
+TEST(ParameterizedSystem, ThetaIndexedAccess) {
+  const ParameterizedSystem sys = make_sys();
+  QualityAssignment theta(3, 0);
+  theta.set(1, 2);
+  EXPECT_EQ(sys.cav(theta, 0), 10);
+  EXPECT_EQ(sys.cav(theta, 1), 30);
+  const TimeFunction cav = sys.cav_of(theta);
+  EXPECT_EQ(cav(1), 30);
+  const TimeFunction cwc = sys.cwc_of(theta);
+  EXPECT_EQ(cwc(1), 60);
+}
+
+TEST(ParameterizedSystem, UniformMaterialization) {
+  const ParameterizedSystem sys = make_sys();
+  EXPECT_EQ(sys.cav_of(2)(0), 30);
+  EXPECT_EQ(sys.cwc_of(0)(0), 20);
+  EXPECT_EQ(sys.deadline_of(1)(2), 300);
+}
+
+TEST(ParameterizedSystem, ValidateAcceptsMonotoneTables) {
+  EXPECT_TRUE(make_sys().validate().empty());
+}
+
+TEST(ParameterizedSystem, ValidateRejectsDecreasingCav) {
+  ParameterizedSystem sys = make_sys();
+  sys.set_times(2, 0, 5, 60);  // cav drops from q=1's 20 to 5
+  EXPECT_FALSE(sys.validate().empty());
+}
+
+TEST(ParameterizedSystem, ValidateRejectsDecreasingCwc) {
+  ParameterizedSystem sys = make_sys();
+  sys.set_times(2, 0, 30, 30);  // cwc drops from q=1's 40 to 30
+  EXPECT_FALSE(sys.validate().empty());
+}
+
+TEST(ParameterizedSystem, DeadlineQualityIndependence) {
+  ParameterizedSystem sys = make_sys();
+  EXPECT_TRUE(sys.deadlines_quality_independent());
+  sys.set_deadline(2, 0, 999);
+  EXPECT_FALSE(sys.deadlines_quality_independent());
+}
+
+TEST(ParameterizedSystem, SetDeadlineAllQ) {
+  ParameterizedSystem sys = make_sys();
+  sys.set_deadline_all_q(0, 555);
+  for (QualityLevel q = 0; q <= 2; ++q) {
+    EXPECT_EQ(sys.deadline(q, 0), 555);
+  }
+  EXPECT_TRUE(sys.deadlines_quality_independent());
+}
+
+TEST(ParameterizedSystem, DefaultDeadlineIsInfinite) {
+  ParameterizedSystem sys(chain3(), {0});
+  EXPECT_TRUE(is_no_deadline(sys.deadline(0, 0)));
+}
+
+TEST(ParameterizedSystemDeath, NonMonotoneQualityListRejected) {
+  EXPECT_DEATH(ParameterizedSystem(chain3(), {2, 1}), "sorted");
+}
+
+TEST(ParameterizedSystemDeath, CavAboveCwcRejected) {
+  ParameterizedSystem sys(chain3(), {0});
+  EXPECT_DEATH(sys.set_times(0, 0, 10, 5), "Cav");
+}
+
+TEST(ParameterizedSystemDeath, UnknownQualityRejected) {
+  ParameterizedSystem sys(chain3(), {0, 1});
+  EXPECT_DEATH(sys.set_times(7, 0, 1, 2), "not in Q");
+}
+
+}  // namespace
+}  // namespace qosctrl::rt

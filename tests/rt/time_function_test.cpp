@@ -1,0 +1,114 @@
+#include "rt/time_function.h"
+
+#include <gtest/gtest.h>
+
+namespace qosctrl::rt {
+namespace {
+
+TEST(TimeFunction, DefaultFillAndSet) {
+  TimeFunction c(3, 7);
+  EXPECT_EQ(c(0), 7);
+  c.set(1, 42);
+  EXPECT_EQ(c(1), 42);
+  EXPECT_EQ(c(2), 7);
+}
+
+TEST(TimeFunction, DominatedBy) {
+  TimeFunction a(std::vector<Cycles>{1, 2, 3});
+  TimeFunction b(std::vector<Cycles>{1, 5, 3});
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_FALSE(b.dominated_by(a));
+  EXPECT_TRUE(a.dominated_by(a));
+}
+
+TEST(Cumulative, MatchesPaperHatOperator) {
+  const std::vector<Cycles> sigma{3, 1, 4, 1, 5};
+  const auto hat = cumulative(sigma);
+  const std::vector<Cycles> expected{3, 4, 8, 9, 14};
+  EXPECT_EQ(hat, expected);
+}
+
+TEST(Cumulative, SaturatesAtSentinel) {
+  const std::vector<Cycles> sigma{kNoDeadline, 100};
+  const auto hat = cumulative(sigma);
+  EXPECT_EQ(hat[0], kNoDeadline);
+  EXPECT_EQ(hat[1], kNoDeadline);  // no overflow past the sentinel
+}
+
+TEST(MinSlack, FeasibleSchedule) {
+  // Two actions: costs 3 and 4, deadlines 5 and 10.
+  TimeFunction c(std::vector<Cycles>{3, 4});
+  DeadlineFunction d(std::vector<Cycles>{5, 10});
+  const ExecutionSequence alpha{0, 1};
+  EXPECT_EQ(min_slack(alpha, c, d), 2);  // min(5-3, 10-7) = 2
+  EXPECT_TRUE(is_feasible(alpha, c, d));
+}
+
+TEST(MinSlack, InfeasibleSchedule) {
+  TimeFunction c(std::vector<Cycles>{6, 4});
+  DeadlineFunction d(std::vector<Cycles>{5, 10});
+  const ExecutionSequence alpha{0, 1};
+  EXPECT_EQ(min_slack(alpha, c, d), -1);
+  EXPECT_FALSE(is_feasible(alpha, c, d));
+}
+
+TEST(MinSlack, OrderMatters) {
+  TimeFunction c(std::vector<Cycles>{3, 4});
+  DeadlineFunction d(std::vector<Cycles>{5, 10});
+  EXPECT_TRUE(is_feasible({0, 1}, c, d));
+  // Running the long-deadline action first misses the tight deadline.
+  EXPECT_FALSE(is_feasible({1, 0}, c, d));
+}
+
+TEST(MinSlack, NoDeadlinePositionsDoNotConstrain) {
+  TimeFunction c(std::vector<Cycles>{1000, 1});
+  DeadlineFunction d(std::vector<Cycles>{kNoDeadline, 2000});
+  EXPECT_EQ(min_slack({0, 1}, c, d), 999);
+}
+
+TEST(MinSlack, EmptySequenceHasInfiniteSlack) {
+  TimeFunction c(0);
+  DeadlineFunction d(0);
+  EXPECT_EQ(min_slack({}, c, d), kNoDeadline);
+}
+
+TEST(MinSlackFrom, InitialElapsedTimeShiftsEverything) {
+  TimeFunction c(std::vector<Cycles>{3, 4});
+  DeadlineFunction d(std::vector<Cycles>{5, 10});
+  EXPECT_EQ(min_slack_from({0, 1}, c, d, 0), 2);
+  EXPECT_EQ(min_slack_from({0, 1}, c, d, 2), 0);
+  EXPECT_EQ(min_slack_from({0, 1}, c, d, 3), -1);
+}
+
+TEST(TimesOf, ExtractsSequenceTimes) {
+  TimeFunction c(std::vector<Cycles>{10, 20, 30});
+  const auto t = times_of(c, {2, 0, 1});
+  const std::vector<Cycles> expected{30, 10, 20};
+  EXPECT_EQ(t, expected);
+}
+
+// Property: feasibility via min_slack agrees with the direct definition
+// min(D(alpha) - cumsum(C(alpha))) >= 0 computed by hand.
+class SlackDefinition : public ::testing::TestWithParam<Cycles> {};
+
+TEST_P(SlackDefinition, AgreesWithDefinition) {
+  const Cycles shift = GetParam();
+  TimeFunction c(std::vector<Cycles>{5, 7, 2, 9});
+  DeadlineFunction d(std::vector<Cycles>{6 + shift, 13 + shift, 20 + shift,
+                                         30 + shift});
+  const ExecutionSequence alpha{0, 1, 2, 3};
+  const auto times = times_of(c, alpha);
+  const auto hat = cumulative(times);
+  Cycles direct = kNoDeadline;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    direct = std::min(direct, d(alpha[i]) - hat[i]);
+  }
+  EXPECT_EQ(min_slack(alpha, c, d), direct);
+  EXPECT_EQ(is_feasible(alpha, c, d), direct >= 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, SlackDefinition,
+                         ::testing::Values(-10, -2, -1, 0, 1, 5, 100));
+
+}  // namespace
+}  // namespace qosctrl::rt

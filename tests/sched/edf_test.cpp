@@ -1,0 +1,222 @@
+#include "sched/edf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace qosctrl::sched {
+namespace {
+
+using rt::ActionId;
+using rt::Cycles;
+
+rt::PrecedenceGraph independent(int n) {
+  rt::PrecedenceGraph g;
+  for (int i = 0; i < n; ++i) g.add_action("a" + std::to_string(i));
+  return g;
+}
+
+TEST(Edf, OrdersIndependentActionsByDeadline) {
+  rt::PrecedenceGraph g = independent(3);
+  rt::DeadlineFunction d(std::vector<Cycles>{30, 10, 20});
+  const auto alpha = edf_schedule(g, d);
+  const rt::ExecutionSequence expected{1, 2, 0};
+  EXPECT_EQ(alpha, expected);
+}
+
+TEST(Edf, BreaksTiesBySmallestId) {
+  rt::PrecedenceGraph g = independent(3);
+  rt::DeadlineFunction d(std::vector<Cycles>{10, 10, 10});
+  const auto alpha = edf_schedule(g, d);
+  const rt::ExecutionSequence expected{0, 1, 2};
+  EXPECT_EQ(alpha, expected);
+}
+
+TEST(Edf, RespectsPrecedenceOverDeadlines) {
+  rt::PrecedenceGraph g = independent(2);
+  g.add_edge(0, 1);
+  // Successor has the earlier deadline but cannot jump its predecessor.
+  rt::DeadlineFunction d(std::vector<Cycles>{100, 1});
+  const auto alpha = edf_schedule(g, d);
+  const rt::ExecutionSequence expected{0, 1};
+  EXPECT_EQ(alpha, expected);
+  EXPECT_TRUE(g.is_schedule(alpha));
+}
+
+TEST(BestSched, CompletesPrefix) {
+  rt::PrecedenceGraph g = independent(4);
+  rt::DeadlineFunction d(std::vector<Cycles>{40, 30, 20, 10});
+  // Force prefix [0]; remainder must be EDF: 3, 2, 1.
+  const auto alpha = best_sched(g, d, {0, 9, 9, 9}, 1);
+  const rt::ExecutionSequence expected{0, 3, 2, 1};
+  EXPECT_EQ(alpha, expected);
+}
+
+TEST(BestSched, EmptyPrefixEqualsEdf) {
+  rt::PrecedenceGraph g = independent(3);
+  rt::DeadlineFunction d(std::vector<Cycles>{3, 2, 1});
+  EXPECT_EQ(best_sched(g, d, {}, 0), edf_schedule(g, d));
+}
+
+TEST(ModifiedDeadlines, PropagateBackwards) {
+  rt::PrecedenceGraph g = independent(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  rt::TimeFunction c(std::vector<Cycles>{1, 2, 3});
+  rt::DeadlineFunction d(std::vector<Cycles>{100, 100, 10});
+  const auto md = modified_deadlines(g, c, d);
+  EXPECT_EQ(md(2), 10);
+  EXPECT_EQ(md(1), 7);   // 10 - 3
+  EXPECT_EQ(md(0), 5);   // 7 - 2
+}
+
+TEST(ModifiedDeadlines, NoDeadlineStaysLarge) {
+  rt::PrecedenceGraph g = independent(2);
+  g.add_edge(0, 1);
+  rt::TimeFunction c(std::vector<Cycles>{1, 1});
+  rt::DeadlineFunction d(std::vector<Cycles>{rt::kNoDeadline,
+                                             rt::kNoDeadline});
+  const auto md = modified_deadlines(g, c, d);
+  EXPECT_GT(md(0), rt::kNoDeadline / 2);
+}
+
+TEST(Schedulable, AcceptsFeasibleSystem) {
+  rt::PrecedenceGraph g = independent(2);
+  rt::TimeFunction c(std::vector<Cycles>{3, 3});
+  rt::DeadlineFunction d(std::vector<Cycles>{3, 6});
+  EXPECT_TRUE(schedulable(g, c, d));
+}
+
+TEST(Schedulable, RejectsOverload) {
+  rt::PrecedenceGraph g = independent(2);
+  rt::TimeFunction c(std::vector<Cycles>{4, 3});
+  rt::DeadlineFunction d(std::vector<Cycles>{3, 6});
+  EXPECT_FALSE(schedulable(g, c, d));
+}
+
+TEST(Schedulable, PlainEdfWouldFailButLawlerSucceeds) {
+  // Classic case where plain EDF on original deadlines is misled by a
+  // loose deadline on a predecessor of an urgent action.
+  rt::PrecedenceGraph g = independent(3);
+  g.add_edge(0, 1);  // 0 -> 1
+  rt::TimeFunction c(std::vector<Cycles>{2, 2, 2});
+  // Action 1 (deadline 4) needs its predecessor 0 (deadline 100) to run
+  // first; action 2 (deadline 6) would be chosen first by naive EDF,
+  // which then misses action 1.  Only 0, 1, 2 is feasible.
+  rt::DeadlineFunction d(std::vector<Cycles>{100, 4, 6});
+  const auto naive = edf_schedule(g, d);
+  EXPECT_FALSE(rt::is_feasible(naive, c, d));
+  EXPECT_TRUE(schedulable(g, c, d));
+  const auto opt = optimal_schedule(g, c, d);
+  EXPECT_TRUE(g.is_schedule(opt));
+  EXPECT_TRUE(rt::is_feasible(opt, c, d));
+}
+
+// ---------------------------------------------------------------------------
+// Property: on small random instances, `schedulable` agrees with
+// brute-force enumeration of all schedules (Lawler-EDF optimality).
+
+struct RandomCase {
+  std::uint64_t seed;
+};
+
+class EdfOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+void all_schedules(const rt::PrecedenceGraph& g,
+                   std::vector<ActionId>& current, std::vector<bool>& used,
+                   bool& found_feasible, const rt::TimeFunction& c,
+                   const rt::DeadlineFunction& d) {
+  if (found_feasible) return;
+  if (current.size() == g.num_actions()) {
+    if (rt::is_feasible(current, c, d)) found_feasible = true;
+    return;
+  }
+  for (std::size_t a = 0; a < g.num_actions(); ++a) {
+    if (used[a]) continue;
+    bool ready = true;
+    for (ActionId p : g.predecessors(static_cast<ActionId>(a))) {
+      if (!used[static_cast<std::size_t>(p)]) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) continue;
+    used[a] = true;
+    current.push_back(static_cast<ActionId>(a));
+    all_schedules(g, current, used, found_feasible, c, d);
+    current.pop_back();
+    used[a] = false;
+  }
+}
+
+TEST_P(EdfOptimality, AgreesWithBruteForce) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.uniform_i64(2, 6));
+    rt::PrecedenceGraph g = independent(n);
+    // Random forward edges with probability 0.3.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.chance(0.3)) g.add_edge(i, j);
+      }
+    }
+    std::vector<Cycles> cv, dv;
+    Cycles total = 0;
+    for (int i = 0; i < n; ++i) {
+      const Cycles ci = rng.uniform_i64(1, 10);
+      cv.push_back(ci);
+      total += ci;
+    }
+    for (int i = 0; i < n; ++i) {
+      dv.push_back(rng.uniform_i64(1, total + 3));
+    }
+    rt::TimeFunction c(cv);
+    rt::DeadlineFunction d(dv);
+
+    std::vector<ActionId> cur;
+    std::vector<bool> used(static_cast<std::size_t>(n), false);
+    bool exists = false;
+    all_schedules(g, cur, used, exists, c, d);
+
+    EXPECT_EQ(schedulable(g, c, d), exists)
+        << "mismatch on trial " << trial << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfOptimality,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 123, 999));
+
+// Property: best_sched always returns a well-formed schedule extending
+// the given prefix.
+class BestSchedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BestSchedProperty, ExtendsPrefixWithValidSchedule) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = static_cast<int>(rng.uniform_i64(3, 8));
+    rt::PrecedenceGraph g = independent(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.chance(0.25)) g.add_edge(i, j);
+      }
+    }
+    std::vector<Cycles> dv;
+    for (int i = 0; i < n; ++i) dv.push_back(rng.uniform_i64(1, 50));
+    rt::DeadlineFunction d(dv);
+    const auto full = edf_schedule(g, d);
+    const std::size_t i =
+        static_cast<std::size_t>(rng.uniform_i64(0, n - 1));
+    const auto alpha = best_sched(g, d, full, i);
+    ASSERT_TRUE(g.is_schedule(alpha));
+    for (std::size_t k = 0; k < i; ++k) EXPECT_EQ(alpha[k], full[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BestSchedProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace qosctrl::sched

@@ -1,0 +1,93 @@
+#include "toolgen/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "toolgen/tool.h"
+
+namespace qosctrl::toolgen {
+namespace {
+
+ToolOutput sample_tool_output() {
+  ToolInput in;
+  in.body.add_action("alpha");
+  in.body.add_action("beta");
+  in.body.add_edge(0, 1);
+  in.iterations = 2;
+  in.qualities = {0, 1};
+  in.times = {
+      {TimeEntry{10, 20}, TimeEntry{10, 20}},
+      {TimeEntry{30, 60}, TimeEntry{30, 60}},
+  };
+  in.deadline = evenly_paced_deadlines(400, 2);
+  return run_tool(in);
+}
+
+TEST(Codegen, EmitsAllSections) {
+  const ToolOutput out = sample_tool_output();
+  const std::string c = generate_c_controller(
+      *out.tables, out.system->graph());
+  EXPECT_NE(c.find("#include <stdint.h>"), std::string::npos);
+  EXPECT_NE(c.find("qos_schedule"), std::string::npos);
+  EXPECT_NE(c.find("qos_slack_av"), std::string::npos);
+  EXPECT_NE(c.find("qos_slack_wc"), std::string::npos);
+  EXPECT_NE(c.find("qos_next"), std::string::npos);
+  EXPECT_NE(c.find("qos_reset"), std::string::npos);
+  EXPECT_NE(c.find("#define qos_NUM_STEPS 4"), std::string::npos);
+  EXPECT_NE(c.find("#define qos_NUM_LEVELS 2"), std::string::npos);
+}
+
+TEST(Codegen, SymbolPrefixIsApplied) {
+  const ToolOutput out = sample_tool_output();
+  CodegenOptions opts;
+  opts.symbol_prefix = "enc";
+  const std::string c =
+      generate_c_controller(*out.tables, out.system->graph(), opts);
+  EXPECT_NE(c.find("enc_next"), std::string::npos);
+  EXPECT_EQ(c.find("qos_next"), std::string::npos);
+}
+
+TEST(Codegen, NamesCanBeOmitted) {
+  const ToolOutput out = sample_tool_output();
+  CodegenOptions opts;
+  opts.emit_names = false;
+  const std::string c =
+      generate_c_controller(*out.tables, out.system->graph(), opts);
+  EXPECT_EQ(c.find("action names"), std::string::npos);
+}
+
+TEST(Codegen, TableValuesAppearVerbatim) {
+  const ToolOutput out = sample_tool_output();
+  const std::string c =
+      generate_c_controller(*out.tables, out.system->graph());
+  // Slack values from the tables must be embedded as INT64_C literals.
+  const std::string expected =
+      "INT64_C(" + std::to_string(out.tables->slack_av(0, 0)) + ")";
+  EXPECT_NE(c.find(expected), std::string::npos);
+}
+
+TEST(Codegen, GeneratedUnitCompilesStandalone) {
+  const ToolOutput out = sample_tool_output();
+  const std::string c =
+      generate_c_controller(*out.tables, out.system->graph());
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/qosctrl_codegen_test.c";
+  {
+    std::ofstream f(path);
+    ASSERT_TRUE(f.is_open());
+    f << c;
+  }
+  // Syntax-check with the host C compiler when one is available; the
+  // test is vacuous (but not failing) on systems without cc.
+  const std::string cmd = "cc -std=c99 -fsyntax-only -Wall -Werror " + path +
+                          " 2> " + dir + "/qosctrl_codegen_err.txt";
+  const int rc = std::system("cc --version > /dev/null 2>&1");
+  if (rc != 0) GTEST_SKIP() << "no host C compiler";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << "generated C failed to compile";
+}
+
+}  // namespace
+}  // namespace qosctrl::toolgen

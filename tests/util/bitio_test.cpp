@@ -1,0 +1,85 @@
+#include "util/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace qosctrl::util {
+namespace {
+
+TEST(BitWriter, CountsBits) {
+  BitWriter bw;
+  bw.put_bit(true);
+  bw.put_bits(0b1010, 4);
+  EXPECT_EQ(bw.bit_count(), 5);
+}
+
+TEST(BitWriter, PadsToByteOnFinish) {
+  BitWriter bw;
+  bw.put_bits(0b101, 3);
+  const auto bytes = bw.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitWriter, MsbFirstAcrossBytes) {
+  BitWriter bw;
+  bw.put_bits(0xABCD, 16);
+  const auto bytes = bw.finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xAB);
+  EXPECT_EQ(bytes[1], 0xCD);
+}
+
+TEST(BitReader, ReadsBackWhatWasWritten) {
+  BitWriter bw;
+  bw.put_bits(0x3, 2);
+  bw.put_bits(0x15, 5);
+  bw.put_bits(0xDEADBEEF, 32);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bits(2), 0x3u);
+  EXPECT_EQ(br.get_bits(5), 0x15u);
+  EXPECT_EQ(br.get_bits(32), 0xDEADBEEFu);
+  EXPECT_FALSE(br.overrun());
+}
+
+TEST(BitReader, OverrunIsFlaggedNotFatal) {
+  const std::vector<std::uint8_t> bytes{0xFF};
+  BitReader br(bytes);
+  br.get_bits(8);
+  EXPECT_FALSE(br.overrun());
+  br.get_bits(1);
+  EXPECT_TRUE(br.overrun());
+}
+
+TEST(BitIo, RandomRoundTrips) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter bw;
+    std::vector<std::pair<std::uint64_t, int>> written;
+    for (int i = 0; i < 200; ++i) {
+      const int count = static_cast<int>(rng.uniform_i64(1, 24));
+      const std::uint64_t value =
+          rng.next_u64() & ((1ULL << count) - 1);
+      bw.put_bits(value, count);
+      written.emplace_back(value, count);
+    }
+    const auto bytes = bw.finish();
+    BitReader br(bytes);
+    for (const auto& [value, count] : written) {
+      EXPECT_EQ(br.get_bits(count), value);
+    }
+    EXPECT_FALSE(br.overrun());
+  }
+}
+
+TEST(BitWriter, ZeroCountIsNoop) {
+  BitWriter bw;
+  bw.put_bits(123, 0);
+  EXPECT_EQ(bw.bit_count(), 0);
+  EXPECT_TRUE(bw.finish().empty());
+}
+
+}  // namespace
+}  // namespace qosctrl::util

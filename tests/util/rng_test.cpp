@@ -1,0 +1,105 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qosctrl::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next_u64() != c.next_u64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformI64Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformI64HitsAllValues) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_i64(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformI64Degenerate) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_i64(3, 3), 3);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double acc = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform_01();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalUnitMean) {
+  // exp(N(-s^2/2, s)) has mean 1.
+  Rng rng(13);
+  const double sigma = 0.25;
+  double acc = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    acc += rng.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  EXPECT_NEAR(acc / n, 1.0, 0.01);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(15);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace qosctrl::util

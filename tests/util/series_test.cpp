@@ -1,0 +1,86 @@
+#include "util/series.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace qosctrl::util {
+namespace {
+
+TEST(ComputeStats, BasicMoments) {
+  const SeriesStats s = compute_stats({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(ComputeStats, SkipsNaN) {
+  const double nan = std::nan("");
+  const SeriesStats s = compute_stats({1.0, nan, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(ComputeStats, EmptyIsZero) {
+  const SeriesStats s = compute_stats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SeriesTable, CsvLayout) {
+  SeriesTable t("frame");
+  t.add_series("a");
+  t.add_series("b");
+  t.add_row(0, {1.0, 2.0});
+  t.add_row(1, {3.0});  // missing b -> empty cell
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("frame,a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,2\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,3,\n"), std::string::npos);
+}
+
+TEST(SeriesTable, ColumnExtraction) {
+  SeriesTable t("x");
+  t.add_series("v");
+  for (int i = 0; i < 5; ++i) t.add_row(i, {static_cast<double>(i * i)});
+  const auto col = t.column(0);
+  ASSERT_EQ(col.size(), 5u);
+  EXPECT_DOUBLE_EQ(col[3], 9.0);
+  EXPECT_EQ(t.num_rows(), 5u);
+}
+
+TEST(SeriesTable, AsciiChartRendersAxesAndGlyphs) {
+  SeriesTable t("x");
+  t.add_series("up");
+  for (int i = 0; i < 50; ++i) t.add_row(i, {static_cast<double>(i)});
+  std::ostringstream os;
+  t.render_ascii(os, 60, 10);
+  const std::string chart = os.str();
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("y: ["), std::string::npos);
+  // 10 canvas rows between the legend lines.
+  int rows = 0;
+  for (std::size_t p = chart.find("|"); p != std::string::npos;
+       p = chart.find("|", p + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 20);  // 10 lines x 2 borders
+}
+
+TEST(SeriesTable, StatsPrinting) {
+  SeriesTable t("x");
+  t.add_series("v");
+  t.add_row(0, {2.0});
+  t.add_row(1, {4.0});
+  std::ostringstream os;
+  t.print_stats(os);
+  EXPECT_NE(os.str().find("mean=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qosctrl::util
