@@ -4,12 +4,16 @@
 // and the encoder kernels charged to the virtual platform.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 
 #include "encoder/system_builder.h"
 #include "media/dct.h"
 #include "media/entropy.h"
 #include "media/motion.h"
+#include "media/padded_frame.h"
 #include "media/synthetic_video.h"
 #include "qos/controller.h"
 #include "sched/edf.h"
@@ -83,31 +87,136 @@ void BM_GenerateCController(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateCController);
 
-void BM_ForwardDct8(benchmark::State& state) {
+media::Block8 dct_input_block() {
   media::Block8 block;
   for (std::size_t i = 0; i < 64; ++i) {
     block[i] = static_cast<media::Residual>((i * 37) % 255 - 127);
   }
+  return block;
+}
+
+void BM_ForwardDct8(benchmark::State& state) {
+  const media::Block8 block = dct_input_block();
   for (auto _ : state) {
     benchmark::DoNotOptimize(media::forward_dct8(block));
   }
 }
 BENCHMARK(BM_ForwardDct8);
 
+void BM_ForwardDct8Ref(benchmark::State& state) {
+  // The double-precision triple-loop the fixed-point kernel replaced.
+  const media::Block8 block = dct_input_block();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(media::forward_dct8_ref(block));
+  }
+}
+BENCHMARK(BM_ForwardDct8Ref);
+
+void BM_InverseDct8(benchmark::State& state) {
+  const media::Coeffs8 coeffs = media::forward_dct8(dct_input_block());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(media::inverse_dct8(coeffs));
+  }
+}
+BENCHMARK(BM_InverseDct8);
+
+void BM_InverseDct8Ref(benchmark::State& state) {
+  const media::Coeffs8 coeffs = media::forward_dct8(dct_input_block());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(media::inverse_dct8_ref(coeffs));
+  }
+}
+BENCHMARK(BM_InverseDct8Ref);
+
+// ---------------------------------------------------------------------------
+// SAD per macroblock: the span kernel vs the per-pixel clamped scalar
+// loop it replaced (unconditional bounds check on the current frame, a
+// clamp branch on the reference, per pixel).
+
+std::int64_t sad_macroblock_scalar(const media::Frame& cur,
+                                   const media::Frame& ref, int x0, int y0,
+                                   int dx, int dy) {
+  std::int64_t acc = 0;
+  for (int y = 0; y < media::kMacroBlockSize; ++y) {
+    for (int x = 0; x < media::kMacroBlockSize; ++x) {
+      const int a = cur.at(x0 + x, y0 + y);
+      const int b = ref.at_clamped(x0 + x + dx, y0 + y + dy);
+      acc += std::abs(a - b);
+    }
+  }
+  return acc;
+}
+
+struct SadFixture {
+  media::Frame cur;
+  media::Frame ref;
+  media::PaddedFrame padded;
+  std::array<media::Sample, 256> block;
+  SadFixture() {
+    media::VideoConfig vc;
+    vc.num_frames = 2;
+    vc.num_scenes = 1;
+    const media::SyntheticVideo video(vc);
+    cur = video.frame(1);
+    ref = video.frame(0);
+    padded.update_from(ref);
+    block = media::read_macroblock(cur, 80, 64);
+  }
+};
+
+const SadFixture& sad_fixture() {
+  static const SadFixture f;
+  return f;
+}
+
+void BM_SadMacroblock(benchmark::State& state) {
+  const auto& f = sad_fixture();
+  int dx = -8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        media::sad_16x16(f.block.data(), f.padded.row(64 + 3) + 80 + dx,
+                         f.padded.stride(), INT64_C(1) << 60));
+    dx = (dx < 8) ? dx + 1 : -8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SadMacroblock);
+
+void BM_SadMacroblockRef(benchmark::State& state) {
+  const auto& f = sad_fixture();
+  int dx = -8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sad_macroblock_scalar(f.cur, f.ref, 80, 64, dx, 3));
+    dx = (dx < 8) ? dx + 1 : -8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SadMacroblockRef);
+
 void BM_MotionSearch(benchmark::State& state) {
-  media::VideoConfig vc;
-  vc.num_frames = 2;
-  vc.num_scenes = 1;
-  const media::SyntheticVideo video(vc);
-  const media::Frame f0 = video.frame(0);
-  const media::Frame f1 = video.frame(1);
+  const auto& f = sad_fixture();
   const int radius = static_cast<int>(state.range(0));
   for (auto _ : state) {
     media::MotionConfig cfg{radius, 0};
-    benchmark::DoNotOptimize(media::estimate_motion(f1, f0, 80, 64, cfg));
+    benchmark::DoNotOptimize(
+        media::estimate_motion(f.cur, f.ref, 80, 64, cfg));
   }
 }
 BENCHMARK(BM_MotionSearch)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_MotionSearchPadded(benchmark::State& state) {
+  // The encoder's hot configuration: the padded reference is built once
+  // per frame, so the per-macroblock search sees only the span kernel.
+  const auto& f = sad_fixture();
+  const int radius = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    media::MotionConfig cfg{radius, 0};
+    benchmark::DoNotOptimize(
+        media::estimate_motion(f.cur, f.padded, 80, 64, cfg));
+  }
+}
+BENCHMARK(BM_MotionSearchPadded)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
 
 void BM_EntropyEncodeBlock(benchmark::State& state) {
   util::Rng rng(5);

@@ -6,6 +6,7 @@
 #include "media/entropy.h"
 #include "media/intra.h"
 #include "media/motion.h"
+#include "media/padded_frame.h"
 #include "media/plane.h"
 #include "media/quant.h"
 #include "util/bitio.h"
@@ -15,61 +16,6 @@ namespace {
 
 constexpr int kMb = media::kMacroBlockSize;
 constexpr int kTb = media::kTransformSize;
-
-/// Re-derives the encoder's intra prediction for one macroblock from
-/// the decoder's own reconstruction (identical neighbor logic).
-std::array<media::Sample, 256> intra_prediction(const media::Frame& recon,
-                                                int x0, int y0,
-                                                media::IntraMode mode) {
-  std::array<media::Sample, 256> out;
-  switch (mode) {
-    case media::IntraMode::kDc: {
-      int sum = 0;
-      int count = 0;
-      for (int x = 0; x < kMb; ++x) {
-        if (recon.in_bounds(x0 + x, y0 - 1)) {
-          sum += recon.at(x0 + x, y0 - 1);
-          ++count;
-        }
-      }
-      for (int y = 0; y < kMb; ++y) {
-        if (recon.in_bounds(x0 - 1, y0 + y)) {
-          sum += recon.at(x0 - 1, y0 + y);
-          ++count;
-        }
-      }
-      const media::Sample dc =
-          count > 0 ? static_cast<media::Sample>((sum + count / 2) / count)
-                    : 128;
-      out.fill(dc);
-      return out;
-    }
-    case media::IntraMode::kHorizontal: {
-      for (int y = 0; y < kMb; ++y) {
-        const media::Sample left = recon.in_bounds(x0 - 1, y0 + y)
-                                       ? recon.at(x0 - 1, y0 + y)
-                                       : 128;
-        for (int x = 0; x < kMb; ++x) {
-          out[static_cast<std::size_t>(y * kMb + x)] = left;
-        }
-      }
-      return out;
-    }
-    case media::IntraMode::kVertical: {
-      for (int x = 0; x < kMb; ++x) {
-        const media::Sample top = recon.in_bounds(x0 + x, y0 - 1)
-                                      ? recon.at(x0 + x, y0 - 1)
-                                      : 128;
-        for (int y = 0; y < kMb; ++y) {
-          out[static_cast<std::size_t>(y * kMb + x)] = top;
-        }
-      }
-      return out;
-    }
-  }
-  out.fill(128);
-  return out;
-}
 
 }  // namespace
 
@@ -92,6 +38,14 @@ DecodeResult decode_frame(const std::vector<std::uint8_t>& bitstream,
   result.qp = qp;
   result.frame = media::YuvFrame(mb_cols * kMb, mb_rows * kMb);
 
+  // Pad the luma reference once so inter prediction runs the span
+  // kernels; vectors larger than the margin (legal in the bitstream,
+  // never produced by the encoder) fall back to the clamped path.
+  media::PaddedFrame padded_ref;
+  if (reference != nullptr) {
+    padded_ref.update_from(reference->y);
+  }
+
   for (int mb = 0; mb < mb_cols * mb_rows; ++mb) {
     const int x0 = (mb % mb_cols) * kMb;
     const int y0 = (mb / mb_cols) * kMb;
@@ -103,7 +57,7 @@ DecodeResult decode_frame(const std::vector<std::uint8_t>& bitstream,
       const auto mode =
           static_cast<media::IntraMode>(br.get_bits(2));
       if (static_cast<int>(mode) > 2) return result;
-      prediction = intra_prediction(result.frame.y, x0, y0, mode);
+      prediction = media::intra_prediction_mode(result.frame.y, x0, y0, mode);
       for (int c = 0; c < 2; ++c) {
         const media::Plane& plane =
             (c == 0) ? result.frame.cb : result.frame.cr;
@@ -116,8 +70,13 @@ DecodeResult decode_frame(const std::vector<std::uint8_t>& bitstream,
       const auto dx2 = media::get_se(br);  // half-pel units
       const auto dy2 = media::get_se(br);
       if (std::abs(dx2) > 128 || std::abs(dy2) > 128) return result;
-      prediction = media::motion_compensate_halfpel(reference->y, x0, y0,
-                                                    dx2, dy2);
+      if (padded_ref.covers_block16_halfpel(x0, y0, dx2, dy2)) {
+        prediction = media::motion_compensate_halfpel(padded_ref, x0, y0,
+                                                      dx2, dy2);
+      } else {
+        prediction = media::motion_compensate_halfpel(reference->y, x0, y0,
+                                                      dx2, dy2);
+      }
       for (int c = 0; c < 2; ++c) {
         const media::Plane& plane =
             (c == 0) ? reference->cb : reference->cr;

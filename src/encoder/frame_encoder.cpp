@@ -46,6 +46,11 @@ FrameStats FrameEncoder::encode_frame(const media::YuvFrame& input,
   QC_EXPECT(qp >= media::kMinQp && qp <= media::kMaxQp, "QP out of range");
 
   std::swap(reference_, recon_);
+  if (has_reference_) {
+    // One O(perimeter) pad replaces the per-pixel clamp branches in
+    // every SAD and motion-compensation call of the frame.
+    padded_reference_.update_from(reference_.y);
+  }
   controller.start_cycle();
 
   // Frame header: geometry and quantizer (what enc::decode_frame needs
@@ -149,7 +154,7 @@ double FrameEncoder::run_action(const UnrolledAction& ua,
                     static_cast<std::int64_t>(256.0 *
                                               config_.me_early_exit_qp_gain *
                                               qp);
-      ctx.motion = media::estimate_motion(input.y, reference_.y, ctx.x0,
+      ctx.motion = media::estimate_motion(input.y, padded_reference_, ctx.x0,
                                           ctx.y0, cfg);
       ctx.motion_valid = true;
       const double typical =
@@ -179,7 +184,8 @@ double FrameEncoder::run_action(const UnrolledAction& ua,
         }
       } else {
         ctx.prediction = media::motion_compensate_halfpel(
-            reference_.y, ctx.x0, ctx.y0, ctx.motion.dx2, ctx.motion.dy2);
+            padded_reference_, ctx.x0, ctx.y0, ctx.motion.dx2,
+            ctx.motion.dy2);
         for (int c = 0; c < 2; ++c) {
           const media::Plane& plane =
               (c == 0) ? reference_.cb : reference_.cr;

@@ -1,21 +1,31 @@
 // 8x8 type-II DCT and its inverse.
 //
-// Separable implementation with a precomputed 8x8 cosine basis in
-// double precision; coefficients are rounded to 32-bit integers.  The
-// pair is not bit-exact (no IEEE DCT is) but round-trips within +/-1
-// per sample for arbitrary 9-bit residual input, which the tests pin
-// down.  Throughput is irrelevant here: the *virtual* platform charges
-// the cycle costs; host-side math only has to be correct.
+// The production pair (forward_dct8 / inverse_dct8) is a separable
+// fixed-point integer transform built from LLM-style butterflies (the
+// structure popularized by libjpeg's "islow" path), descaled to the
+// orthonormal range so coefficients are interchangeable with the
+// double-precision reference pair kept below.  The integer pair is not
+// bit-exact with the reference (no two rounding schemes are) but tracks
+// it within +/-1 per coefficient and round-trips 9-bit residuals within
+// +/-1 per sample; the tests pin both bounds and a round-trip PSNR
+// floor.  Unlike the reference — a triple-loop double matrix product —
+// the butterflies run in a handful of integer multiplies per row, which
+// matters now that benchmarks drive millions of blocks through it.
 #pragma once
 
 #include "media/frame.h"
 
 namespace qosctrl::media {
 
-/// Forward 8x8 DCT of a residual block.
+/// Forward 8x8 DCT of a residual block (fixed-point integer kernel).
 Coeffs8 forward_dct8(const Block8& block);
 
 /// Inverse 8x8 DCT back to (rounded) residual samples.
 Block8 inverse_dct8(const Coeffs8& coeffs);
+
+/// Double-precision reference pair: the original implementation, kept
+/// as the oracle for equivalence tests and the ref side of bench_micro.
+Coeffs8 forward_dct8_ref(const Block8& block);
+Block8 inverse_dct8_ref(const Coeffs8& coeffs);
 
 }  // namespace qosctrl::media

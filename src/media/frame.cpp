@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace qosctrl::media {
 
@@ -28,23 +29,29 @@ std::pair<int, int> Frame::mb_origin(int mb) const {
 }
 
 std::array<Sample, 256> read_macroblock(const Frame& frame, int x0, int y0) {
+  QC_EXPECT(frame.in_bounds(x0, y0) &&
+                frame.in_bounds(x0 + kMacroBlockSize - 1,
+                                y0 + kMacroBlockSize - 1),
+            "macroblock out of bounds");
   std::array<Sample, 256> out;
+  Sample* dst = out.data();
   for (int y = 0; y < kMacroBlockSize; ++y) {
-    for (int x = 0; x < kMacroBlockSize; ++x) {
-      out[static_cast<std::size_t>(y * kMacroBlockSize + x)] =
-          frame.at(x0 + x, y0 + y);
-    }
+    std::memcpy(dst, frame.row(y0 + y) + x0, kMacroBlockSize);
+    dst += kMacroBlockSize;
   }
   return out;
 }
 
 void write_macroblock(Frame& frame, int x0, int y0,
                       const std::array<Sample, 256>& pixels) {
+  QC_EXPECT(frame.in_bounds(x0, y0) &&
+                frame.in_bounds(x0 + kMacroBlockSize - 1,
+                                y0 + kMacroBlockSize - 1),
+            "macroblock out of bounds");
+  const Sample* src = pixels.data();
   for (int y = 0; y < kMacroBlockSize; ++y) {
-    for (int x = 0; x < kMacroBlockSize; ++x) {
-      frame.set(x0 + x, y0 + y,
-                pixels[static_cast<std::size_t>(y * kMacroBlockSize + x)]);
-    }
+    std::memcpy(frame.row(y0 + y) + x0, src, kMacroBlockSize);
+    src += kMacroBlockSize;
   }
 }
 
@@ -52,11 +59,16 @@ Block8 read_block8(const Frame& frame, int x0, int y0, int b) {
   QC_EXPECT(b >= 0 && b < 4, "sub-block index must be 0..3");
   const int bx = x0 + (b % 2) * kTransformSize;
   const int by = y0 + (b / 2) * kTransformSize;
+  QC_EXPECT(frame.in_bounds(bx, by) &&
+                frame.in_bounds(bx + kTransformSize - 1,
+                                by + kTransformSize - 1),
+            "sub-block out of bounds");
   Block8 out;
   for (int y = 0; y < kTransformSize; ++y) {
+    const Sample* src = frame.row(by + y) + bx;
+    Residual* dst = out.data() + y * kTransformSize;
     for (int x = 0; x < kTransformSize; ++x) {
-      out[static_cast<std::size_t>(y * kTransformSize + x)] =
-          static_cast<Residual>(frame.at(bx + x, by + y));
+      dst[x] = static_cast<Residual>(src[x]);
     }
   }
   return out;

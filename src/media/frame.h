@@ -45,14 +45,31 @@ class Frame {
   int num_macroblocks() const { return mb_cols() * mb_rows(); }
 
   Sample at(int x, int y) const {
-    QC_EXPECT(in_bounds(x, y), "pixel out of bounds");
+    QC_DCHECK(in_bounds(x, y), "pixel out of bounds");
     return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
                  static_cast<std::size_t>(x)];
   }
   void set(int x, int y, Sample v) {
-    QC_EXPECT(in_bounds(x, y), "pixel out of bounds");
+    QC_DCHECK(in_bounds(x, y), "pixel out of bounds");
     data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
           static_cast<std::size_t>(x)] = v;
+  }
+
+  /// Distance in samples between vertically adjacent pixels.
+  int stride() const { return width_; }
+
+  /// Raw pointer to row `y` (column 0); valid for `width()` samples.
+  /// The bounds check is hoisted to the call, so kernels iterating a
+  /// row pay no per-pixel checks.
+  const Sample* row(int y) const {
+    QC_DCHECK(y >= 0 && y < height_, "row out of bounds");
+    return data_.data() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(width_);
+  }
+  Sample* row(int y) {
+    QC_DCHECK(y >= 0 && y < height_, "row out of bounds");
+    return data_.data() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(width_);
   }
 
   /// Clamped read: coordinates outside the frame are clamped to the

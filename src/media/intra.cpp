@@ -1,26 +1,29 @@
 #include "media/intra.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace qosctrl::media {
 namespace {
 
 constexpr int kMb = kMacroBlockSize;
 
+// Frames tile exactly into macroblocks, so the row of neighbors above
+// exists as a whole iff y0 > 0, and the column to the left iff x0 > 0:
+// the per-pixel in_bounds probes of the scalar version reduce to two
+// checks hoisted out of the loops, and all reads become dense spans.
+
 std::array<Sample, 256> predict_dc(const Frame& recon, int x0, int y0) {
   int sum = 0;
   int count = 0;
-  for (int x = 0; x < kMb; ++x) {
-    if (recon.in_bounds(x0 + x, y0 - 1)) {
-      sum += recon.at(x0 + x, y0 - 1);
-      ++count;
-    }
+  if (y0 > 0) {
+    const Sample* top = recon.row(y0 - 1) + x0;
+    for (int x = 0; x < kMb; ++x) sum += top[x];
+    count += kMb;
   }
-  for (int y = 0; y < kMb; ++y) {
-    if (recon.in_bounds(x0 - 1, y0 + y)) {
-      sum += recon.at(x0 - 1, y0 + y);
-      ++count;
-    }
+  if (x0 > 0) {
+    for (int y = 0; y < kMb; ++y) sum += recon.row(y0 + y)[x0 - 1];
+    count += kMb;
   }
   const Sample dc =
       count > 0 ? static_cast<Sample>((sum + count / 2) / count) : 128;
@@ -32,29 +35,46 @@ std::array<Sample, 256> predict_dc(const Frame& recon, int x0, int y0) {
 std::array<Sample, 256> predict_horizontal(const Frame& recon, int x0,
                                            int y0) {
   std::array<Sample, 256> out;
+  Sample* dst = out.data();
   for (int y = 0; y < kMb; ++y) {
-    const Sample left =
-        recon.in_bounds(x0 - 1, y0 + y) ? recon.at(x0 - 1, y0 + y) : 128;
-    for (int x = 0; x < kMb; ++x) {
-      out[static_cast<std::size_t>(y * kMb + x)] = left;
-    }
+    const Sample left = x0 > 0 ? recon.row(y0 + y)[x0 - 1] : 128;
+    std::memset(dst, left, kMb);
+    dst += kMb;
   }
   return out;
 }
 
 std::array<Sample, 256> predict_vertical(const Frame& recon, int x0, int y0) {
   std::array<Sample, 256> out;
-  for (int x = 0; x < kMb; ++x) {
-    const Sample top =
-        recon.in_bounds(x0 + x, y0 - 1) ? recon.at(x0 + x, y0 - 1) : 128;
+  if (y0 > 0) {
+    const Sample* top = recon.row(y0 - 1) + x0;
+    Sample* dst = out.data();
     for (int y = 0; y < kMb; ++y) {
-      out[static_cast<std::size_t>(y * kMb + x)] = top;
+      std::memcpy(dst, top, kMb);
+      dst += kMb;
     }
+  } else {
+    out.fill(128);
   }
   return out;
 }
 
 }  // namespace
+
+std::array<Sample, 256> intra_prediction_mode(const Frame& recon, int x0,
+                                              int y0, IntraMode mode) {
+  switch (mode) {
+    case IntraMode::kDc:
+      return predict_dc(recon, x0, y0);
+    case IntraMode::kHorizontal:
+      return predict_horizontal(recon, x0, y0);
+    case IntraMode::kVertical:
+      return predict_vertical(recon, x0, y0);
+  }
+  std::array<Sample, 256> out;
+  out.fill(128);
+  return out;
+}
 
 IntraResult intra_predict(const Frame& source, const Frame& recon, int x0,
                           int y0) {

@@ -27,4 +27,10 @@ struct IntraResult {
 IntraResult intra_predict(const Frame& source, const Frame& recon, int x0,
                           int y0);
 
+/// The prediction block for one specific mode — the shared primitive
+/// behind intra_predict's mode decision and the decoder's
+/// reconstruction, so both sides are bit-exact by construction.
+std::array<Sample, 256> intra_prediction_mode(const Frame& recon, int x0,
+                                              int y0, IntraMode mode);
+
 }  // namespace qosctrl::media

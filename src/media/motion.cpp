@@ -2,52 +2,137 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace qosctrl::media {
-namespace {
 
-/// SAD between the macroblock of `current` at (x0, y0) and the
-/// border-clamped block of `reference` at (x0+dx, y0+dy), aborting as
-/// soon as the partial sum exceeds `best`.
-std::int64_t sad_at(const Frame& current, const Frame& reference, int x0,
-                    int y0, int dx, int dy, std::int64_t best) {
+std::int64_t sad_16x16(const Sample* cur, const Sample* ref,
+                       std::ptrdiff_t ref_stride, std::int64_t best) {
   std::int64_t acc = 0;
   for (int y = 0; y < kMacroBlockSize; ++y) {
+    const Sample* c = cur + y * kMacroBlockSize;
+    const Sample* r = ref + y * ref_stride;
+    int row = 0;
     for (int x = 0; x < kMacroBlockSize; ++x) {
-      const int a = current.at(x0 + x, y0 + y);
-      const int b = reference.at_clamped(x0 + x + dx, y0 + y + dy);
-      acc += std::abs(a - b);
+      row += std::abs(static_cast<int>(c[x]) - static_cast<int>(r[x]));
     }
+    acc += row;
     if (acc >= best) return acc;  // cannot improve; partial sum suffices
   }
   return acc;
 }
 
-}  // namespace
-
-int search_radius_for_level(std::size_t qi) {
-  // Monotone in quality; level 0 is "zero vector only" matching the
-  // paper's nearly-free Motion_Estimate at q=0 (215 cycles average).
-  static constexpr int kRadii[8] = {0, 1, 2, 3, 4, 5, 6, 8};
-  QC_EXPECT(qi < 8, "quality index out of range for search radius");
-  return kRadii[qi];
-}
-
 namespace {
 
+/// Scalar fallback: SAD between the cached block `cur` and the
+/// border-clamped block of `reference` at (bx, by), with the same
+/// per-row early exit as sad_16x16.
+std::int64_t sad_clamped(const Sample* cur, const Frame& reference, int bx,
+                         int by, std::int64_t best) {
+  std::int64_t acc = 0;
+  for (int y = 0; y < kMacroBlockSize; ++y) {
+    for (int x = 0; x < kMacroBlockSize; ++x) {
+      const int a = cur[x];
+      const int b = reference.at_clamped(bx + x, by + y);
+      acc += std::abs(a - b);
+    }
+    if (acc >= best) return acc;
+    cur += kMacroBlockSize;
+  }
+  return acc;
+}
+
+/// Copies a 16x16 block from `src` (row stride `stride`) into `out`.
+void copy_block16(const Sample* src, std::ptrdiff_t stride,
+                  std::array<Sample, 256>& out) {
+  Sample* dst = out.data();
+  for (int y = 0; y < kMacroBlockSize; ++y) {
+    std::memcpy(dst, src, kMacroBlockSize);
+    src += stride;
+    dst += kMacroBlockSize;
+  }
+}
+
+/// Bilinear half-pel interpolation of a 16x16 block anchored at `src`;
+/// (fx, fy) in {0, 1}^2 \ {(0, 0)}.  Reads one extra column/row.
+void halfpel_block16(const Sample* src, std::ptrdiff_t stride, int fx,
+                     int fy, std::array<Sample, 256>& out) {
+  Sample* dst = out.data();
+  for (int y = 0; y < kMacroBlockSize; ++y) {
+    const Sample* p = src;
+    const Sample* q = src + stride;
+    if (fx == 1 && fy == 0) {
+      for (int x = 0; x < kMacroBlockSize; ++x) {
+        dst[x] = static_cast<Sample>((p[x] + p[x + 1] + 1) / 2);
+      }
+    } else if (fx == 0) {  // fy == 1
+      for (int x = 0; x < kMacroBlockSize; ++x) {
+        dst[x] = static_cast<Sample>((p[x] + q[x] + 1) / 2);
+      }
+    } else {
+      for (int x = 0; x < kMacroBlockSize; ++x) {
+        dst[x] = static_cast<Sample>(
+            (p[x] + p[x + 1] + q[x] + q[x + 1] + 2) / 4);
+      }
+    }
+    src += stride;
+    dst += kMacroBlockSize;
+  }
+}
+
+/// True when the 16x16 block at (bx, by) lies fully inside `frame`.
+bool block16_interior(const Frame& frame, int bx, int by) {
+  return bx >= 0 && by >= 0 && bx + kMacroBlockSize <= frame.width() &&
+         by + kMacroBlockSize <= frame.height();
+}
+
+/// Reference views abstract where candidate blocks are read from, so
+/// the spiral search is written once.  Both are bit-exact with the
+/// original clamped scalar code.
+
+struct PaddedRefView {
+  const PaddedFrame* ref;
+
+  std::int64_t sad(const Sample* cur, int bx, int by,
+                   std::int64_t best) const {
+    QC_DCHECK(ref->covers_block16(0, 0, bx, by),
+              "search displacement exceeds reference padding");
+    return sad_16x16(cur, ref->row(by) + bx, ref->stride(), best);
+  }
+  std::array<Sample, 256> compensate_halfpel(int x0, int y0, int dx2,
+                                             int dy2) const {
+    return motion_compensate_halfpel(*ref, x0, y0, dx2, dy2);
+  }
+};
+
+struct ClampedRefView {
+  const Frame* ref;
+
+  std::int64_t sad(const Sample* cur, int bx, int by,
+                   std::int64_t best) const {
+    if (block16_interior(*ref, bx, by)) {
+      return sad_16x16(cur, ref->row(by) + bx, ref->stride(), best);
+    }
+    return sad_clamped(cur, *ref, bx, by, best);
+  }
+  std::array<Sample, 256> compensate_halfpel(int x0, int y0, int dx2,
+                                             int dy2) const {
+    return motion_compensate_halfpel(*ref, x0, y0, dx2, dy2);
+  }
+};
+
 /// Half-pel refinement around the full-pel winner.
-void refine_half_pel(const Frame& current, const Frame& reference, int x0,
-                     int y0, MotionResult& result) {
-  const auto src = read_macroblock(current, x0, y0);
+template <typename RefView>
+void refine_half_pel(const std::array<Sample, 256>& src, const RefView& view,
+                     int x0, int y0, MotionResult& result) {
   for (int fy = -1; fy <= 1; ++fy) {
     for (int fx = -1; fx <= 1; ++fx) {
       if (fx == 0 && fy == 0) continue;
       const int dx2 = 2 * result.dx + fx;
       const int dy2 = 2 * result.dy + fy;
-      const auto pred =
-          motion_compensate_halfpel(reference, x0, y0, dx2, dy2);
+      const auto pred = view.compensate_halfpel(x0, y0, dx2, dy2);
       const std::int64_t s = sad_256(src, pred);
       ++result.points_examined;
       if (s < result.sad) {
@@ -59,24 +144,32 @@ void refine_half_pel(const Frame& current, const Frame& reference, int x0,
   }
 }
 
-}  // namespace
-
-MotionResult estimate_motion(const Frame& current, const Frame& reference,
-                             int x0, int y0, const MotionConfig& config) {
+template <typename RefView>
+MotionResult estimate_motion_impl(const Frame& current, const RefView& view,
+                                  int x0, int y0,
+                                  const MotionConfig& config) {
   QC_EXPECT(config.radius >= 0, "search radius must be >= 0");
+  QC_EXPECT(x0 >= 0 && y0 >= 0 && x0 + kMacroBlockSize <= current.width() &&
+                y0 + kMacroBlockSize <= current.height(),
+            "macroblock origin out of bounds");
   MotionResult result;
   const int r = config.radius;
   result.points_total = (2 * r + 1) * (2 * r + 1);
 
-  std::int64_t best = sad_at(current, reference, x0, y0, 0, 0,
-                             INT64_C(1) << 60);
+  // The current macroblock is fully interior (frames tile exactly into
+  // macroblocks), so cache it once as a contiguous block: every SAD
+  // below then runs over two dense spans with no per-pixel checks.
+  std::array<Sample, 256> cur;
+  copy_block16(current.row(y0) + x0, current.stride(), cur);
+
+  std::int64_t best = view.sad(cur.data(), x0, y0, INT64_C(1) << 60);
   result.sad = best;
   result.points_examined = 1;
   const auto finish = [&]() -> MotionResult {
     result.dx2 = 2 * result.dx;
     result.dy2 = 2 * result.dy;
     if (config.half_pel) {
-      refine_half_pel(current, reference, x0, y0, result);
+      refine_half_pel(cur, view, x0, y0, result);
     }
     return result;
   };
@@ -86,10 +179,11 @@ MotionResult estimate_motion(const Frame& current, const Frame& reference,
   // Spiral: rings of increasing Chebyshev radius.
   for (int ring = 1; ring <= r; ++ring) {
     for (int dy = -ring; dy <= ring; ++dy) {
-      for (int dx = -ring; dx <= ring; ++dx) {
-        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+      const bool edge_row = std::abs(dy) == ring;
+      const int step = edge_row ? 1 : 2 * ring;  // skip the ring interior
+      for (int dx = -ring; dx <= ring; dx += step) {
         const std::int64_t s =
-            sad_at(current, reference, x0, y0, dx, dy, best);
+            view.sad(cur.data(), x0 + dx, y0 + dy, best);
         ++result.points_examined;
         if (s < best) {
           best = s;
@@ -106,15 +200,53 @@ MotionResult estimate_motion(const Frame& current, const Frame& reference,
   return finish();
 }
 
+}  // namespace
+
+int search_radius_for_level(std::size_t qi) {
+  // Monotone in quality; level 0 is "zero vector only" matching the
+  // paper's nearly-free Motion_Estimate at q=0 (215 cycles average).
+  static constexpr int kRadii[8] = {0, 1, 2, 3, 4, 5, 6, 8};
+  QC_EXPECT(qi < 8, "quality index out of range for search radius");
+  return kRadii[qi];
+}
+
+MotionResult estimate_motion(const Frame& current, const Frame& reference,
+                             int x0, int y0, const MotionConfig& config) {
+  return estimate_motion_impl(current, ClampedRefView{&reference}, x0, y0,
+                              config);
+}
+
+MotionResult estimate_motion(const Frame& current,
+                             const PaddedFrame& reference, int x0, int y0,
+                             const MotionConfig& config) {
+  QC_EXPECT(config.radius + 1 <= reference.pad(),
+            "search radius (plus half-pel margin) exceeds reference pad");
+  return estimate_motion_impl(current, PaddedRefView{&reference}, x0, y0,
+                              config);
+}
+
 std::array<Sample, 256> motion_compensate(const Frame& reference, int x0,
                                           int y0, int dx, int dy) {
   std::array<Sample, 256> out;
+  if (block16_interior(reference, x0 + dx, y0 + dy)) {
+    copy_block16(reference.row(y0 + dy) + x0 + dx, reference.stride(), out);
+    return out;
+  }
   for (int y = 0; y < kMacroBlockSize; ++y) {
     for (int x = 0; x < kMacroBlockSize; ++x) {
       out[static_cast<std::size_t>(y * kMacroBlockSize + x)] =
           reference.at_clamped(x0 + x + dx, y0 + y + dy);
     }
   }
+  return out;
+}
+
+std::array<Sample, 256> motion_compensate(const PaddedFrame& reference,
+                                          int x0, int y0, int dx, int dy) {
+  QC_EXPECT(reference.covers_block16(x0, y0, dx, dy),
+            "motion vector exceeds reference padding");
+  std::array<Sample, 256> out;
+  copy_block16(reference.row(y0 + dy) + x0 + dx, reference.stride(), out);
   return out;
 }
 
@@ -130,24 +262,52 @@ std::array<Sample, 256> motion_compensate_halfpel(const Frame& reference,
     return motion_compensate(reference, x0, y0, ix, iy);
   }
   std::array<Sample, 256> out;
+  const int bx = x0 + ix;
+  const int by = y0 + iy;
+  // Interpolation reads one extra pixel right/down; hoist the bounds
+  // check for the whole (17x17-covering) read.
+  if (bx >= 0 && by >= 0 && bx + kMacroBlockSize + 1 <= reference.width() &&
+      by + kMacroBlockSize + 1 <= reference.height()) {
+    halfpel_block16(reference.row(by) + bx, reference.stride(), fx, fy, out);
+    return out;
+  }
   for (int y = 0; y < kMacroBlockSize; ++y) {
     for (int x = 0; x < kMacroBlockSize; ++x) {
-      const int bx = x0 + x + ix;
-      const int by = y0 + y + iy;
-      const int a = reference.at_clamped(bx, by);
+      const int cx = bx + x;
+      const int cy = by + y;
+      const int a = reference.at_clamped(cx, cy);
       int v;
       if (fx == 1 && fy == 0) {
-        v = (a + reference.at_clamped(bx + 1, by) + 1) / 2;
+        v = (a + reference.at_clamped(cx + 1, cy) + 1) / 2;
       } else if (fx == 0) {  // fy == 1
-        v = (a + reference.at_clamped(bx, by + 1) + 1) / 2;
+        v = (a + reference.at_clamped(cx, cy + 1) + 1) / 2;
       } else {
-        v = (a + reference.at_clamped(bx + 1, by) +
-             reference.at_clamped(bx, by + 1) +
-             reference.at_clamped(bx + 1, by + 1) + 2) / 4;
+        v = (a + reference.at_clamped(cx + 1, cy) +
+             reference.at_clamped(cx, cy + 1) +
+             reference.at_clamped(cx + 1, cy + 1) + 2) / 4;
       }
       out[static_cast<std::size_t>(y * kMacroBlockSize + x)] =
           static_cast<Sample>(v);
     }
+  }
+  return out;
+}
+
+std::array<Sample, 256> motion_compensate_halfpel(const PaddedFrame& reference,
+                                                  int x0, int y0, int dx2,
+                                                  int dy2) {
+  const int ix = (dx2 >= 0) ? dx2 / 2 : (dx2 - 1) / 2;
+  const int iy = (dy2 >= 0) ? dy2 / 2 : (dy2 - 1) / 2;
+  const int fx = dx2 - 2 * ix;  // 0 or 1
+  const int fy = dy2 - 2 * iy;
+  QC_EXPECT(reference.covers_block16(x0, y0, ix, iy),
+            "motion vector exceeds reference padding");
+  std::array<Sample, 256> out;
+  if (fx == 0 && fy == 0) {
+    copy_block16(reference.row(y0 + iy) + x0 + ix, reference.stride(), out);
+  } else {
+    halfpel_block16(reference.row(y0 + iy) + x0 + ix, reference.stride(),
+                    fx, fy, out);
   }
   return out;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "media/frame.h"
+#include "media/padded_frame.h"
 #include "rt/types.h"
 
 namespace qosctrl::media {
@@ -46,11 +47,30 @@ struct MotionConfig {
 /// (zero-vector only), level 7 the widest window.
 int search_radius_for_level(std::size_t qi);
 
+/// Fused early-exit SAD between a cached 16x16 block `cur` (contiguous,
+/// stride 16) and the 16x16 block at `ref` with row stride
+/// `ref_stride`.  Returns the exact SAD when it is < `best`; aborts
+/// with a partial sum >= `best` as soon as the block cannot win.
+std::int64_t sad_16x16(const Sample* cur, const Sample* ref,
+                       std::ptrdiff_t ref_stride, std::int64_t best);
+
 /// Estimates motion of the macroblock at (x0, y0) of `current` against
 /// `reference`.  Candidates are visited in spiral (increasing Chebyshev
-/// ring) order starting at the zero vector.
+/// ring) order starting at the zero vector.  The current macroblock is
+/// read once per call; each candidate runs the fused early-exit SAD
+/// kernel, falling back to the border-clamped scalar path only for
+/// candidate blocks that overlap the frame edge.
 MotionResult estimate_motion(const Frame& current, const Frame& reference,
                              int x0, int y0, const MotionConfig& config);
+
+/// Fast variant against a pre-padded reference: every candidate —
+/// border macroblocks included — runs the span kernel with no clamping
+/// branches.  Bit-exact with the Frame overload as long as the search
+/// window (radius + 1 for half-pel) fits in reference.pad().  This is
+/// the path the encoder uses, amortizing the pad over a whole frame.
+MotionResult estimate_motion(const Frame& current,
+                             const PaddedFrame& reference, int x0, int y0,
+                             const MotionConfig& config);
 
 /// Motion-compensated 16x16 prediction from `reference` at
 /// (x0 + dx, y0 + dy), border-clamped.
@@ -62,6 +82,14 @@ std::array<Sample, 256> motion_compensate(const Frame& reference, int x0,
 /// rounding ((a+b+1)/2 axis-aligned, (a+b+c+d+2)/4 diagonal).  The
 /// even-vector case reduces exactly to motion_compensate.
 std::array<Sample, 256> motion_compensate_halfpel(const Frame& reference,
+                                                  int x0, int y0, int dx2,
+                                                  int dy2);
+
+/// Padded variants: contiguous row reads, no per-pixel clamping.
+/// Bit-exact with the Frame overloads for displacements within the pad.
+std::array<Sample, 256> motion_compensate(const PaddedFrame& reference,
+                                          int x0, int y0, int dx, int dy);
+std::array<Sample, 256> motion_compensate_halfpel(const PaddedFrame& reference,
                                                   int x0, int y0, int dx2,
                                                   int dy2);
 

@@ -1,0 +1,48 @@
+#include "media/padded_frame.h"
+
+#include <cstring>
+
+namespace qosctrl::media {
+
+PaddedFrame::PaddedFrame(const Frame& frame, int pad) {
+  update_from(frame, pad);
+}
+
+void PaddedFrame::update_from(const Frame& frame, int pad) {
+  QC_EXPECT(!frame.empty(), "cannot pad an empty frame");
+  QC_EXPECT(pad > 0, "pad must be positive");
+  const int w = frame.width();
+  const int h = frame.height();
+  if (w != width_ || h != height_ || pad != pad_) {
+    width_ = w;
+    height_ = h;
+    pad_ = pad;
+    stride_ = w + 2 * pad;
+    data_.resize(static_cast<std::size_t>(stride_) *
+                 static_cast<std::size_t>(h + 2 * pad));
+    origin_ = data_.data() + static_cast<std::ptrdiff_t>(pad_) * stride_ +
+              pad_;
+  }
+
+  // Interior rows with left/right border replication.
+  for (int y = 0; y < h; ++y) {
+    Sample* dst = origin_ + static_cast<std::ptrdiff_t>(y) * stride_;
+    const Sample* src = frame.row(y);
+    std::memcpy(dst, src, static_cast<std::size_t>(w));
+    std::memset(dst - pad_, src[0], static_cast<std::size_t>(pad_));
+    std::memset(dst + w, src[w - 1], static_cast<std::size_t>(pad_));
+  }
+  // Top and bottom margins replicate the first/last padded row whole.
+  const Sample* first = origin_ - pad_;
+  const Sample* last =
+      origin_ + static_cast<std::ptrdiff_t>(h - 1) * stride_ - pad_;
+  for (int y = 1; y <= pad_; ++y) {
+    std::memcpy(origin_ - static_cast<std::ptrdiff_t>(y) * stride_ - pad_,
+                first, static_cast<std::size_t>(stride_));
+    std::memcpy(origin_ + static_cast<std::ptrdiff_t>(h - 1 + y) * stride_ -
+                    pad_,
+                last, static_cast<std::size_t>(stride_));
+  }
+}
+
+}  // namespace qosctrl::media

@@ -1,6 +1,7 @@
 #include "media/plane.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace qosctrl::media {
 
@@ -18,11 +19,16 @@ Sample Plane::at_clamped(int x, int y) const {
 }
 
 Block8 read_plane_block8(const Plane& plane, int x0, int y0) {
+  QC_EXPECT(plane.in_bounds(x0, y0) &&
+                plane.in_bounds(x0 + kTransformSize - 1,
+                                y0 + kTransformSize - 1),
+            "plane block out of bounds");
   Block8 out;
   for (int y = 0; y < kTransformSize; ++y) {
+    const Sample* src = plane.row(y0 + y) + x0;
+    Residual* dst = out.data() + y * kTransformSize;
     for (int x = 0; x < kTransformSize; ++x) {
-      out[static_cast<std::size_t>(y * kTransformSize + x)] =
-          static_cast<Residual>(plane.at(x0 + x, y0 + y));
+      dst[x] = static_cast<Residual>(src[x]);
     }
   }
   return out;
@@ -30,11 +36,14 @@ Block8 read_plane_block8(const Plane& plane, int x0, int y0) {
 
 void write_plane_block8(Plane& plane, int x0, int y0,
                         const std::array<Sample, 64>& pixels) {
+  QC_EXPECT(plane.in_bounds(x0, y0) &&
+                plane.in_bounds(x0 + kTransformSize - 1,
+                                y0 + kTransformSize - 1),
+            "plane block out of bounds");
+  const Sample* src = pixels.data();
   for (int y = 0; y < kTransformSize; ++y) {
-    for (int x = 0; x < kTransformSize; ++x) {
-      plane.set(x0 + x, y0 + y,
-                pixels[static_cast<std::size_t>(y * kTransformSize + x)]);
-    }
+    std::memcpy(plane.row(y0 + y) + x0, src, kTransformSize);
+    src += kTransformSize;
   }
 }
 

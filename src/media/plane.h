@@ -23,14 +23,29 @@ class Plane {
   bool empty() const { return data_.empty(); }
 
   Sample at(int x, int y) const {
-    QC_EXPECT(in_bounds(x, y), "plane pixel out of bounds");
+    QC_DCHECK(in_bounds(x, y), "plane pixel out of bounds");
     return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
                  static_cast<std::size_t>(x)];
   }
   void set(int x, int y, Sample v) {
-    QC_EXPECT(in_bounds(x, y), "plane pixel out of bounds");
+    QC_DCHECK(in_bounds(x, y), "plane pixel out of bounds");
     data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
           static_cast<std::size_t>(x)] = v;
+  }
+
+  /// Distance in samples between vertically adjacent pixels.
+  int stride() const { return width_; }
+
+  /// Raw pointer to row `y` (column 0); bounds hoisted to the call.
+  const Sample* row(int y) const {
+    QC_DCHECK(y >= 0 && y < height_, "plane row out of bounds");
+    return data_.data() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(width_);
+  }
+  Sample* row(int y) {
+    QC_DCHECK(y >= 0 && y < height_, "plane row out of bounds");
+    return data_.data() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(width_);
   }
   Sample at_clamped(int x, int y) const;
   bool in_bounds(int x, int y) const {

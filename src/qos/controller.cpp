@@ -100,13 +100,10 @@ Decision TableController::next(rt::Cycles t) {
   const std::size_t hi =
       smoothness_cap(levels.size() - 1, smoothness_, choice_history_);
 
-  std::size_t chosen_qi = 0;  // fallback: qmin
-  for (std::size_t qi = hi + 1; qi-- > 0;) {
-    if (tables_->acceptable(i_, qi, t, soft_)) {
-      chosen_qi = qi;
-      break;
-    }
-  }
+  // O(log|Q|) predecessor query over the monotone slack columns,
+  // decision-identical to the original downward scan (qmin fallback
+  // included).
+  const std::size_t chosen_qi = tables_->best_quality(i_, hi, t, soft_);
   choice_history_.push_back(chosen_qi);
   const rt::ActionId action = tables_->schedule()[i_];
   ++i_;

@@ -58,6 +58,32 @@ class SlackTables {
     return t <= wc_[i][qi];
   }
 
+  /// The maximal quality index in [0, hi] acceptable at elapsed time t;
+  /// when even index 0 (qmin) fails, returns 0 — the safety fallback,
+  /// exactly like the original downward scan.
+  ///
+  /// Costs are non-decreasing in q (Definition 2.3, enforced by
+  /// ParameterizedSystem::validate), so both slack columns are
+  /// non-increasing in qi and `acceptable` is downward-closed: true on
+  /// a prefix [0, k] of quality indices, false above.  That makes the
+  /// decision a predecessor query answerable in O(log|Q|) by binary
+  /// search instead of the O(|Q|) downward scan (tested equivalent).
+  std::size_t best_quality(std::size_t i, std::size_t hi, rt::Cycles t,
+                           bool soft = false) const {
+    if (!acceptable(i, 0, t, soft)) return 0;  // qmin fallback
+    // Invariant: acceptable at lo, not acceptable at hi + 1.
+    std::size_t lo = 0;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      if (acceptable(i, mid, t, soft)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  }
+
   /// Memory footprint of the tables in bytes (reported by the overhead
   /// benchmark, mirroring the paper's <= 1% memory figure).
   std::size_t table_bytes() const;

@@ -28,3 +28,15 @@ namespace qosctrl::util {
 
 // Internal invariant; same behaviour, different intent.
 #define QC_ENSURE(cond, msg) QC_EXPECT(cond, msg)
+
+// Debug-only check for per-pixel / per-element invariants inside hot
+// loops: full QC_EXPECT behaviour in debug builds, zero cost in release
+// builds (NDEBUG).  Public API boundaries keep QC_EXPECT, which is
+// always on.
+#ifdef NDEBUG
+#define QC_DCHECK(cond, msg) \
+  do {                       \
+  } while (0)
+#else
+#define QC_DCHECK(cond, msg) QC_EXPECT(cond, msg)
+#endif

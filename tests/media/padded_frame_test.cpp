@@ -1,0 +1,97 @@
+#include "media/padded_frame.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace qosctrl::media {
+namespace {
+
+Frame random_frame(util::Rng& rng, int w, int h) {
+  Frame f(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      f.set(x, y, static_cast<Sample>(rng.uniform_i64(0, 255)));
+    }
+  }
+  return f;
+}
+
+TEST(PaddedFrame, ReplicatesAtClampedOverWholeMargin) {
+  util::Rng rng(11);
+  const Frame f = random_frame(rng, 48, 32);
+  const PaddedFrame p(f, 16);
+  ASSERT_EQ(p.width(), 48);
+  ASSERT_EQ(p.height(), 32);
+  ASSERT_EQ(p.pad(), 16);
+  for (int y = -16; y < 32 + 16; ++y) {
+    for (int x = -16; x < 48 + 16; ++x) {
+      ASSERT_EQ(p.at(x, y), f.at_clamped(x, y))
+          << "mismatch at (" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(PaddedFrame, RowPointersAreContiguousSpans) {
+  util::Rng rng(12);
+  const Frame f = random_frame(rng, 32, 32);
+  const PaddedFrame p(f, 8);
+  for (int y = 0; y < 32; ++y) {
+    const Sample* r = p.row(y);
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_EQ(r[x], f.at(x, y));
+    }
+    // Successive rows are exactly one stride apart.
+    if (y > 0) {
+      EXPECT_EQ(p.row(y), p.row(y - 1) + p.stride());
+    }
+  }
+}
+
+TEST(PaddedFrame, UpdateFromReusesStorageAndTracksContent) {
+  util::Rng rng(13);
+  Frame f = random_frame(rng, 32, 16);
+  PaddedFrame p(f, 16);
+  const Sample before = p.at(-5, -5);
+  EXPECT_EQ(before, f.at(0, 0));
+
+  // Mutate and re-pad: contents must follow, geometry unchanged.
+  f.set(0, 0, static_cast<Sample>(f.at(0, 0) ^ 0xFF));
+  p.update_from(f);
+  EXPECT_EQ(p.at(-5, -5), f.at(0, 0));
+  for (int y = -4; y < 20; ++y) {
+    for (int x = -4; x < 36; ++x) {
+      ASSERT_EQ(p.at(x, y), f.at_clamped(x, y));
+    }
+  }
+}
+
+TEST(PaddedFrame, UpdateFromAdoptsNewGeometry) {
+  util::Rng rng(14);
+  PaddedFrame p(random_frame(rng, 16, 16), 4);
+  const Frame g = random_frame(rng, 64, 32);
+  p.update_from(g, 8);
+  EXPECT_EQ(p.width(), 64);
+  EXPECT_EQ(p.height(), 32);
+  EXPECT_EQ(p.pad(), 8);
+  for (int y = -8; y < 40; ++y) {
+    for (int x = -8; x < 72; ++x) {
+      ASSERT_EQ(p.at(x, y), g.at_clamped(x, y));
+    }
+  }
+}
+
+TEST(PaddedFrame, CoversBlock16Geometry) {
+  util::Rng rng(15);
+  const PaddedFrame p(random_frame(rng, 48, 32), 16);
+  // Top-left macroblock: any displacement up to pad-1 (the +1 for
+  // interpolation consumes one pixel) stays covered.
+  EXPECT_TRUE(p.covers_block16(0, 0, -15, -15));
+  EXPECT_FALSE(p.covers_block16(0, 0, -17, 0));
+  // Bottom-right macroblock.
+  EXPECT_TRUE(p.covers_block16(32, 16, 15, 15));
+  EXPECT_FALSE(p.covers_block16(32, 16, 16, 0));
+}
+
+}  // namespace
+}  // namespace qosctrl::media

@@ -1,0 +1,131 @@
+// The O(log|Q|) binary-search decision must be indistinguishable from
+// the original O(|Q|) downward scan: same maximal acceptable quality
+// index at every (position, t), the same qmin fallback when nothing is
+// acceptable, and identical TableController decision sequences under
+// every smoothness / soft combination.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qos/controller.h"
+#include "qos/slack_tables.h"
+#include "test_systems.h"
+#include "util/rng.h"
+
+namespace qosctrl::qos {
+namespace {
+
+using rt::Cycles;
+
+/// The original decision procedure, verbatim: scan quality indices
+/// downward from `hi`, first acceptable wins, index 0 as fallback.
+std::size_t linear_scan(const SlackTables& tables, std::size_t i,
+                        std::size_t hi, Cycles t, bool soft) {
+  for (std::size_t qi = hi + 1; qi-- > 0;) {
+    if (tables.acceptable(i, qi, t, soft)) return qi;
+  }
+  return 0;
+}
+
+TEST(TableDecision, SlacksAreMonotoneInQuality) {
+  // The precondition the binary search rests on: higher quality never
+  // has more slack.
+  util::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    qos::testing::RandomSystemOptions opts;
+    opts.num_levels = 1 + static_cast<int>(rng.uniform_i64(1, 7));
+    const auto sys = qos::testing::random_system(rng, opts);
+    const SlackTables tables = SlackTables::build(sys);
+    for (std::size_t i = 0; i < tables.num_positions(); ++i) {
+      for (std::size_t qi = 1; qi < sys.quality_levels().size(); ++qi) {
+        EXPECT_LE(tables.slack_av(i, qi), tables.slack_av(i, qi - 1));
+        EXPECT_LE(tables.slack_wc(i, qi), tables.slack_wc(i, qi - 1));
+      }
+    }
+  }
+}
+
+TEST(TableDecision, BinarySearchMatchesLinearScanOnRandomSystems) {
+  util::Rng rng(32);
+  for (int trial = 0; trial < 40; ++trial) {
+    qos::testing::RandomSystemOptions opts;
+    opts.num_levels = 1 + static_cast<int>(rng.uniform_i64(1, 7));
+    const auto sys = qos::testing::random_system(rng, opts);
+    const SlackTables tables = SlackTables::build(sys);
+    const std::size_t nq = sys.quality_levels().size();
+    for (std::size_t i = 0; i < tables.num_positions(); ++i) {
+      // Sweep t through every slack boundary (one below, at, one above)
+      // plus extremes: decisions can only change at these points.
+      std::vector<Cycles> probes = {0, 1, rt::kNoDeadline};
+      for (std::size_t qi = 0; qi < nq; ++qi) {
+        for (const Cycles s :
+             {tables.slack_av(i, qi), tables.slack_wc(i, qi)}) {
+          probes.push_back(s - 1);
+          probes.push_back(s);
+          probes.push_back(s + 1);
+        }
+      }
+      for (const Cycles t : probes) {
+        if (t < 0) continue;
+        for (const bool soft : {false, true}) {
+          for (std::size_t hi = 0; hi < nq; ++hi) {
+            EXPECT_EQ(tables.best_quality(i, hi, t, soft),
+                      linear_scan(tables, i, hi, t, soft))
+                << "i=" << i << " hi=" << hi << " t=" << t
+                << " soft=" << soft;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TableDecision, ControllerDecisionsIdenticalToLinearScanReplay) {
+  util::Rng rng(33);
+  const SmoothnessPolicy policies[] = {
+      {},          // unlimited
+      {1, 1},      // classic per-decision smoothing
+      {2, 3},      // strided anchor
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    qos::testing::RandomSystemOptions opts;
+    opts.num_levels = 1 + static_cast<int>(rng.uniform_i64(1, 7));
+    const auto sys = qos::testing::random_system(rng, opts);
+    const auto tables = std::make_shared<const SlackTables>(
+        SlackTables::build(sys));
+    const std::size_t nq = sys.quality_levels().size();
+    for (const auto& policy : policies) {
+      for (const bool soft : {false, true}) {
+        TableController ctl(tables, policy, soft);
+        // Replay the same random t sequence against a hand-rolled
+        // linear-scan controller.
+        std::vector<std::size_t> history;
+        ctl.start_cycle();
+        Cycles t = 0;
+        while (!ctl.done()) {
+          const std::size_t i = ctl.step();
+          std::size_t hi = nq - 1;
+          if (policy.max_step_up >= 0 &&
+              history.size() >= static_cast<std::size_t>(policy.stride)) {
+            hi = std::min(hi, history[history.size() -
+                                      static_cast<std::size_t>(
+                                          policy.stride)] +
+                                  static_cast<std::size_t>(
+                                      policy.max_step_up));
+          }
+          const std::size_t expected =
+              linear_scan(*tables, i, hi, t, soft);
+          history.push_back(expected);
+
+          const Decision d = ctl.next(t);
+          EXPECT_EQ(d.quality, sys.quality_levels()[expected])
+              << "step " << i << " t=" << t;
+          t += static_cast<Cycles>(rng.uniform_i64(0, 200));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qosctrl::qos

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Builds bench_micro and records the kernel microbenchmarks to
+# BENCH_micro.json (google-benchmark JSON: ns/op per benchmark) so the
+# perf trajectory of the hot kernels — SAD per macroblock, forward /
+# inverse DCT, motion search, and the table-driven controller decision —
+# is tracked across PRs.
+#
+# Usage: tools/run_bench.sh [build-dir] [output.json]
+set -e
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_micro.json}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DQOSCTRL_BUILD_BENCHES=ON \
+      -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_micro -j "$(nproc)" >/dev/null
+
+"$BUILD_DIR/bench_micro" \
+    --benchmark_filter='BM_(SadMacroblock|ForwardDct8|InverseDct8|MotionSearch|TableControllerDecision)' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out_format=json \
+    --benchmark_out="$OUT"
+
+echo "wrote $OUT"
