@@ -10,6 +10,8 @@
 #include <memory>
 
 #include "encoder/system_builder.h"
+#include "farm/load_gen.h"
+#include "farm/simulator.h"
 #include "media/dct.h"
 #include "media/entropy.h"
 #include "media/motion.h"
@@ -241,6 +243,33 @@ void BM_SyntheticFrame(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SyntheticFrame);
+
+// Whole-farm throughput: a generated multi-stream scenario under
+// admission control, end to end (control plane, per-processor run
+// queues, real pixel encoding).  items_per_second reports simulated
+// stream-frames per wall-second — the farm metric tracked in
+// BENCH_micro.json; Arg is the worker-thread count.
+void BM_FarmThroughput(benchmark::State& state) {
+  farm::LoadGenConfig load;
+  load.num_streams = 6;
+  load.resolutions = {{32, 32}};
+  load.resolution_weights = {1.0};
+  load.min_frames = 4;
+  load.max_frames = 6;
+  load.seed = 13;
+  const farm::FarmScenario scenario = farm::generate_scenario(load);
+  farm::FarmConfig cfg;
+  cfg.num_processors = 2;
+  cfg.workers = static_cast<int>(state.range(0));
+  long long frames = 0;
+  for (auto _ : state) {
+    const farm::FarmResult r = farm::run_farm(scenario, cfg);
+    benchmark::DoNotOptimize(r.encoded_frames);
+    frames += r.total_frames;
+  }
+  state.SetItemsProcessed(frames);
+}
+BENCHMARK(BM_FarmThroughput)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

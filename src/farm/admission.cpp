@@ -1,0 +1,220 @@
+#include "farm/admission.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+
+namespace qosctrl::farm {
+
+TableCache::TableCache(platform::CostTable costs) : costs_(std::move(costs)) {
+  wc_frame_per_mb_.resize(costs_.num_levels(), 0);
+  for (std::size_t qi = 0; qi < costs_.num_levels(); ++qi) {
+    rt::Cycles wc = 0;
+    for (std::size_t a = 0; a < costs_.num_actions(); ++a) {
+      wc += costs_.at(static_cast<rt::ActionId>(a), qi).worst_case;
+    }
+    wc_frame_per_mb_[qi] = wc;
+  }
+}
+
+std::shared_ptr<const enc::EncoderSystem> TableCache::get(int macroblocks,
+                                                          rt::Cycles budget) {
+  const auto key = std::make_pair(macroblocks, budget);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto sys = std::make_shared<const enc::EncoderSystem>(
+      enc::build_encoder_system(macroblocks, budget, costs_));
+  cache_.emplace(key, sys);
+  return sys;
+}
+
+rt::Cycles TableCache::min_budget(int macroblocks) const {
+  return static_cast<rt::Cycles>(macroblocks) * wc_frame_per_mb_.front();
+}
+
+rt::Cycles TableCache::worst_case_frame_cost(int macroblocks,
+                                             std::size_t qi) const {
+  QC_EXPECT(qi < wc_frame_per_mb_.size(),
+            "quality index out of range for cost table");
+  return static_cast<rt::Cycles>(macroblocks) * wc_frame_per_mb_[qi];
+}
+
+AdmissionController::AdmissionController(int num_processors,
+                                         AdmissionConfig config,
+                                         TableCache* tables)
+    : config_(std::move(config)), tables_(tables) {
+  QC_EXPECT(num_processors >= 1, "farm needs at least one processor");
+  QC_EXPECT(tables_ != nullptr, "admission needs a table cache");
+  QC_EXPECT(config_.utilization_cap > 0.0 && config_.utilization_cap <= 1.0,
+            "utilization cap must be in (0, 1]");
+  QC_EXPECT(config_.max_stream_share > 0.0 && config_.max_stream_share <= 1.0,
+            "max stream share must be in (0, 1]");
+  committed_.resize(static_cast<std::size_t>(num_processors));
+}
+
+double AdmissionController::committed_utilization(int processor) const {
+  const auto& cs = committed_.at(static_cast<std::size_t>(processor));
+  double u = 0.0;
+  for (const Commitment& c : cs) {
+    u += static_cast<double>(c.task.cost) /
+         static_cast<double>(c.task.period);
+  }
+  return u;
+}
+
+int AdmissionController::committed_streams(int processor) const {
+  return static_cast<int>(
+      committed_.at(static_cast<std::size_t>(processor)).size());
+}
+
+int AdmissionController::least_loaded() const {
+  int best = 0;
+  double best_u = committed_utilization(0);
+  for (int p = 1; p < num_processors(); ++p) {
+    const double u = committed_utilization(p);
+    if (u < best_u) {
+      best = p;
+      best_u = u;
+    }
+  }
+  return best;
+}
+
+bool AdmissionController::fits(int p, const sched::NpTask& candidate) const {
+  std::vector<sched::NpTask> tasks;
+  const auto& cs = committed_.at(static_cast<std::size_t>(p));
+  tasks.reserve(cs.size() + 1);
+  for (const Commitment& c : cs) tasks.push_back(c.task);
+  tasks.push_back(candidate);
+  if (sched::np_utilization(tasks) > config_.utilization_cap) return false;
+  return sched::np_edf_schedulable(tasks);
+}
+
+bool AdmissionController::try_place(const StreamSpec& spec,
+                                    rt::Cycles table_budget, rt::Cycles cost,
+                                    int preferred, Placement* out) {
+  // Certify the budget against the stream's compiled slack tables:
+  // paced over table_budget from service start, the qmin worst case
+  // must be schedulable (max_initial_delay >= 0).  Processor-
+  // independent, so check it once before any demand test.
+  auto system = tables_->get(macroblocks_of(spec), table_budget);
+  if (system->tables->max_initial_delay() < 0) return false;
+
+  const sched::NpTask task{cost, latency_of(spec), period_of(spec)};
+  for (int k = 0; k < num_processors(); ++k) {
+    // Preferred processor first, then the rest in index order.
+    const int p = k == 0 ? preferred
+                         : (k - 1 < preferred ? k - 1 : k);
+    if (!fits(p, task)) continue;
+
+    committed_[static_cast<std::size_t>(p)].push_back(
+        Commitment{spec.id, task});
+    out->admitted = true;
+    out->processor = p;
+    out->committed_cost = cost;
+    out->table_budget = table_budget;
+    out->migrated = p != preferred;
+    out->initial_quality = system->tables->initial_quality();
+    out->system = std::move(system);
+    return true;
+  }
+  return false;
+}
+
+Placement AdmissionController::admit(const StreamSpec& spec,
+                                     int preferred_processor) {
+  QC_EXPECT(preferred_processor >= 0 &&
+                preferred_processor < num_processors(),
+            "preferred processor out of range");
+  QC_EXPECT(macroblocks_of(spec) >= 1,
+            "stream geometry must cover at least one macroblock");
+  Placement out;
+
+  const int mb = macroblocks_of(spec);
+  const rt::Cycles latency = latency_of(spec);
+  const rt::Cycles min_budget = tables_->min_budget(mb);
+
+  if (spec.mode == pipe::ControlMode::kControlled) {
+    // Candidate service budgets, richest first; rounded down to a
+    // multiple of the macroblock count so the evenly paced deadlines
+    // divide exactly, with the qmin-minimal budget as last resort.
+    std::vector<rt::Cycles> candidates;
+    const double share_cap =
+        config_.max_stream_share * static_cast<double>(period_of(spec));
+    auto add_candidate = [&](double cycles) {
+      const rt::Cycles b =
+          (static_cast<rt::Cycles>(cycles) / mb) * mb;
+      if (b >= min_budget && b <= latency &&
+          static_cast<double>(b) <= share_cap) {
+        candidates.push_back(b);
+      }
+    };
+    for (const double f : config_.budget_fractions) {
+      add_candidate(static_cast<double>(latency) * f);
+    }
+    for (const double m : config_.min_budget_multiples) {
+      add_candidate(static_cast<double>(min_budget) * m);
+    }
+    if (min_budget <= latency) candidates.push_back(min_budget);
+    std::sort(candidates.begin(), candidates.end(),
+              std::greater<rt::Cycles>());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (try_place(spec, candidates[i], candidates[i], preferred_processor,
+                    &out)) {
+        out.degraded = i > 0;
+        return out;
+      }
+    }
+    out.reason = candidates.empty()
+                     ? "latency window below the qmin worst case"
+                     : "no processor can host any candidate budget";
+    return out;
+  }
+
+  // Uncontrolled streams have no compiled occupancy bound below their
+  // level's full worst case; commit that.  Feedback control may pick
+  // any level, so it must be assumed to run at qmax.
+  if (spec.mode == pipe::ControlMode::kConstantQuality &&
+      (spec.constant_quality < 0 ||
+       static_cast<std::size_t>(spec.constant_quality) >=
+           tables_->num_quality_levels())) {
+    // Reject here rather than clamp: the data plane's controller
+    // would refuse the level anyway.
+    out.reason = "constant quality level outside the system's Q";
+    return out;
+  }
+  const std::size_t qi =
+      spec.mode == pipe::ControlMode::kConstantQuality
+          ? static_cast<std::size_t>(spec.constant_quality)
+          : tables_->num_quality_levels() - 1;
+  const rt::Cycles cost = tables_->worst_case_frame_cost(mb, qi);
+  const rt::Cycles table_budget = std::max((latency / mb) * mb, min_budget);
+  if (cost > latency) {
+    out.reason = "worst-case frame cost exceeds the latency window";
+    return out;
+  }
+  if (try_place(spec, table_budget, cost, preferred_processor, &out)) {
+    // The slack-table prediction does not apply: an uncontrolled
+    // stream encodes at its fixed level (resp. wherever feedback
+    // drives it), not at what the tables would grant.
+    out.initial_quality = qi;
+    return out;
+  }
+  out.reason = "no processor can host the worst-case frame cost";
+  return out;
+}
+
+void AdmissionController::release(int stream_id) {
+  for (auto& cs : committed_) {
+    cs.erase(std::remove_if(cs.begin(), cs.end(),
+                            [stream_id](const Commitment& c) {
+                              return c.stream_id == stream_id;
+                            }),
+             cs.end());
+  }
+}
+
+}  // namespace qosctrl::farm

@@ -1,0 +1,165 @@
+// Slack-table admission control for the encoder farm.
+//
+// The latency contract of a stream is per frame: a frame arriving at a
+// must be displayed by a + K * P.  The single-stream pipeline spends
+// the whole window on encoding; a farm processor cannot, because other
+// streams' frames queue ahead.  Admission therefore splits the window:
+//
+//      K * P  =  B  (service budget)  +  L = K * P - B  (queueing slack)
+//
+// The stream's controller tables are compiled paced over B with
+// elapsed time measured from *service start*, so the controller
+// guarantees (paper Prop. 2.1) that an admitted frame occupies the
+// processor for at most B cycles and finishes within B of starting —
+// making the stream, from the processor's point of view, a sporadic
+// non-preemptive task (C = B, D = K * P, T = P).  The compiled slack
+// table is queried to certify the candidate budget (qmin worst case
+// schedulable within B: SlackTables::max_initial_delay >= 0) and to
+// predict the quality the stream's first quality-sensitive decision
+// will be granted at that budget.
+//
+// A processor's committed worst-case load is the task set of its
+// admitted streams; the admission test is sched::np_edf_schedulable
+// plus a utilization cap.  An arriving stream is tried at its richest
+// budget on its preferred processor first, then *migrated* (other
+// processors, same budget), then *degraded* (smaller budgets, all
+// processors) — quality before locality.  If nothing fits the stream
+// is rejected: the farm turns overload into rejections, never into
+// deadline misses on admitted streams.
+//
+// Streams without a compiled occupancy bound pay for it here:
+// constant-quality streams commit their fixed level's full worst case,
+// and feedback-controlled streams must be assumed to run at qmax —
+// usually inadmissible.  Table-driven control is what makes admission
+// at high utilization possible at all.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "encoder/system_builder.h"
+#include "farm/scenario.h"
+#include "sched/np_edf.h"
+
+namespace qosctrl::farm {
+
+struct AdmissionConfig {
+  /// Committed-utilization ceiling per processor (<= 1.0).
+  double utilization_cap = 1.0;
+  /// Candidate service budgets come from two families, merged, clamped
+  /// to [qmin minimum, latency window], and tried richest first:
+  ///  * fractions of the K * P latency window (generous-latency
+  ///    regime: spend most of the window, keep some queueing slack);
+  ///  * multiples of the qmin-minimal budget (packing regime: the
+  ///    worst case of qmin is already a large share of the period, so
+  ///    richer budgets are expressed as headroom over it).
+  /// The qmin-minimal budget itself is always the last resort.
+  std::vector<double> budget_fractions = {0.85, 0.70, 0.55, 0.40};
+  std::vector<double> min_budget_multiples = {3.0, 2.0, 1.5, 1.25, 1.1};
+  /// Cap on one controlled stream's committed utilization share
+  /// (budget / period): rich candidates above it are not offered, so
+  /// early arrivals cannot hog a processor that later streams will
+  /// need.  The qmin-minimal budget is exempt — a stream whose bare
+  /// minimum exceeds the share cap is still offered qmin service.
+  /// Uncontrolled streams are exempt too (their cost is not a choice).
+  double max_stream_share = 0.25;
+};
+
+/// Shares compiled encoder systems (schedule + slack tables) across
+/// streams with the same geometry and budget.  Not thread-safe: the
+/// control plane compiles sequentially; workers only read the shared
+/// immutable systems.
+class TableCache {
+ public:
+  explicit TableCache(platform::CostTable costs);
+
+  /// The compiled system for (macroblocks, budget); built on first use.
+  std::shared_ptr<const enc::EncoderSystem> get(int macroblocks,
+                                                rt::Cycles budget);
+
+  /// Smallest evenly-paced budget that is worst-case schedulable at
+  /// qmin: macroblocks * sum of qmin worst cases over the body.
+  rt::Cycles min_budget(int macroblocks) const;
+
+  /// Worst-case cycles per frame when every action runs at quality
+  /// level index `qi` (the committed cost of uncontrolled streams).
+  rt::Cycles worst_case_frame_cost(int macroblocks, std::size_t qi) const;
+
+  std::size_t num_quality_levels() const { return costs_.num_levels(); }
+  std::size_t compiled_systems() const { return cache_.size(); }
+  const platform::CostTable& costs() const { return costs_; }
+
+ private:
+  platform::CostTable costs_;
+  std::vector<rt::Cycles> wc_frame_per_mb_;  ///< per quality index
+  std::map<std::pair<int, rt::Cycles>,
+           std::shared_ptr<const enc::EncoderSystem>>
+      cache_;
+};
+
+/// The admission verdict for one stream.
+struct Placement {
+  bool admitted = false;
+  int processor = -1;
+  /// Committed worst-case occupancy per frame (the np-task cost).
+  rt::Cycles committed_cost = 0;
+  /// Budget the session's controller tables are paced over.
+  rt::Cycles table_budget = 0;
+  bool migrated = false;  ///< placed off the preferred processor
+  bool degraded = false;  ///< below the richest candidate budget
+  /// Quality index the slack tables grant an on-time frame at its
+  /// first quality-sensitive decision (later decisions may exceed it).
+  std::size_t initial_quality = 0;
+  std::string reason;  ///< why rejected (empty when admitted)
+  /// Compiled system for the session (shared; null when rejected).
+  std::shared_ptr<const enc::EncoderSystem> system;
+};
+
+/// Tracks per-processor committed worst-case load and decides
+/// admission.  Deterministic: same call sequence, same verdicts.
+class AdmissionController {
+ public:
+  AdmissionController(int num_processors, AdmissionConfig config,
+                      TableCache* tables);
+
+  /// Admission decision for `spec`, preferring `preferred_processor`.
+  /// On success the stream's load is committed until release().
+  Placement admit(const StreamSpec& spec, int preferred_processor);
+
+  /// Releases the commitment of a departed stream (no-op if unknown).
+  void release(int stream_id);
+
+  int num_processors() const {
+    return static_cast<int>(committed_.size());
+  }
+  double committed_utilization(int processor) const;
+  int committed_streams(int processor) const;
+
+  /// The processor a newcomer should prefer: least committed
+  /// utilization, ties to the lowest index.
+  int least_loaded() const;
+
+ private:
+  struct Commitment {
+    int stream_id;
+    sched::NpTask task;
+  };
+
+  /// True when `candidate` fits processor `p` on top of its current
+  /// commitments (demand test + utilization cap).
+  bool fits(int p, const sched::NpTask& candidate) const;
+
+  /// Tries one (budget, cost) candidate on the preferred processor
+  /// first, then the others; commits and fills `out` on success.
+  bool try_place(const StreamSpec& spec, rt::Cycles table_budget,
+                 rt::Cycles cost, int preferred, Placement* out);
+
+  AdmissionConfig config_;
+  TableCache* tables_;
+  std::vector<std::vector<Commitment>> committed_;  ///< per processor
+};
+
+}  // namespace qosctrl::farm

@@ -1,0 +1,197 @@
+#include "farm/metrics.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace qosctrl::farm {
+namespace {
+
+const char* mode_name(pipe::ControlMode mode) {
+  switch (mode) {
+    case pipe::ControlMode::kControlled:
+      return "controlled";
+    case pipe::ControlMode::kConstantQuality:
+      return "constant";
+    case pipe::ControlMode::kFeedback:
+      return "feedback";
+  }
+  return "?";
+}
+
+void json_kv(std::ostringstream& os, const char* key, double v,
+             bool comma = true) {
+  os << '"' << key << "\":" << v;
+  if (comma) os << ',';
+}
+
+void json_kv(std::ostringstream& os, const char* key, long long v,
+             bool comma = true) {
+  os << '"' << key << "\":" << v;
+  if (comma) os << ',';
+}
+
+}  // namespace
+
+std::string summarize(const FarmResult& r) {
+  std::ostringstream os;
+  os << "streams=" << r.total_streams << " admitted=" << r.admitted
+     << " rejected=" << r.rejected << " (rate=" << std::fixed
+     << std::setprecision(2) << r.rejection_rate << ")"
+     << " migrated=" << r.migrated << " degraded=" << r.degraded << "\n"
+     << "frames=" << r.total_frames << " encoded=" << r.encoded_frames
+     << " skips=" << r.total_skips
+     << " display_misses=" << r.total_display_misses
+     << " internal_misses=" << r.total_internal_misses << std::setprecision(3)
+     << " mean_psnr=" << r.fleet_mean_psnr
+     << " mean_quality=" << r.fleet_mean_quality << "\n";
+  os << "quality histogram:";
+  for (std::size_t q = 0; q < r.quality_histogram.size(); ++q) {
+    os << " q" << q << "=" << r.quality_histogram[q];
+  }
+  os << "\n";
+  for (std::size_t p = 0; p < r.processors.size(); ++p) {
+    const ProcessorOutcome& po = r.processors[p];
+    os << "proc " << p << ": streams=" << po.streams_hosted
+       << " frames=" << po.frames_encoded << " busy_Mcycles="
+       << static_cast<double>(po.busy_cycles) / 1e6
+       << " util=" << po.utilization
+       << " peak_committed=" << po.peak_committed_utilization << "\n";
+  }
+  for (const StreamOutcome& so : r.streams) {
+    os << "stream " << so.spec.id << " [" << mode_name(so.spec.mode) << " "
+       << so.spec.width << "x" << so.spec.height << " K="
+       << so.spec.buffer_capacity << "]: ";
+    if (!so.placement.admitted) {
+      os << "REJECTED (" << so.placement.reason << ")\n";
+      continue;
+    }
+    os << "proc=" << so.placement.processor
+       << " budget_Mcycles="
+       << static_cast<double>(so.placement.table_budget) / 1e6
+       << (so.placement.migrated ? " migrated" : "")
+       << (so.placement.degraded ? " degraded" : "")
+       << " q_initial=" << so.placement.initial_quality
+       << " frames=" << so.result.frames.size()
+       << " skips=" << so.result.total_skips
+       << " display_misses=" << so.display_misses
+       << " internal_misses=" << so.internal_misses
+       << " mean_psnr=" << so.result.mean_psnr
+       << " mean_quality=" << so.result.mean_quality << "\n";
+  }
+  return os.str();
+}
+
+std::string to_json(const FarmResult& r) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"fleet\":{";
+  json_kv(os, "total_streams", static_cast<long long>(r.total_streams));
+  json_kv(os, "admitted", static_cast<long long>(r.admitted));
+  json_kv(os, "rejected", static_cast<long long>(r.rejected));
+  json_kv(os, "migrated", static_cast<long long>(r.migrated));
+  json_kv(os, "degraded", static_cast<long long>(r.degraded));
+  json_kv(os, "rejection_rate", r.rejection_rate);
+  json_kv(os, "total_frames", r.total_frames);
+  json_kv(os, "encoded_frames", r.encoded_frames);
+  json_kv(os, "total_skips", static_cast<long long>(r.total_skips));
+  json_kv(os, "display_misses",
+          static_cast<long long>(r.total_display_misses));
+  json_kv(os, "internal_misses",
+          static_cast<long long>(r.total_internal_misses));
+  json_kv(os, "mean_psnr", r.fleet_mean_psnr);
+  json_kv(os, "mean_quality", r.fleet_mean_quality, false);
+  os << ",\"quality_histogram\":[";
+  for (std::size_t q = 0; q < r.quality_histogram.size(); ++q) {
+    os << (q ? "," : "") << r.quality_histogram[q];
+  }
+  os << "]},\"processors\":[";
+  for (std::size_t p = 0; p < r.processors.size(); ++p) {
+    const ProcessorOutcome& po = r.processors[p];
+    os << (p ? "," : "") << "{";
+    json_kv(os, "processor", static_cast<long long>(p));
+    json_kv(os, "streams", static_cast<long long>(po.streams_hosted));
+    json_kv(os, "frames", static_cast<long long>(po.frames_encoded));
+    json_kv(os, "busy_cycles", static_cast<long long>(po.busy_cycles));
+    json_kv(os, "span_cycles", static_cast<long long>(po.span_cycles));
+    json_kv(os, "utilization", po.utilization);
+    json_kv(os, "peak_committed_utilization",
+            po.peak_committed_utilization, false);
+    os << "}";
+  }
+  os << "],\"streams\":[";
+  for (std::size_t i = 0; i < r.streams.size(); ++i) {
+    const StreamOutcome& so = r.streams[i];
+    os << (i ? "," : "") << "{";
+    json_kv(os, "id", static_cast<long long>(so.spec.id));
+    os << "\"mode\":\"" << mode_name(so.spec.mode) << "\",";
+    json_kv(os, "width", static_cast<long long>(so.spec.width));
+    json_kv(os, "height", static_cast<long long>(so.spec.height));
+    json_kv(os, "buffer_capacity",
+            static_cast<long long>(so.spec.buffer_capacity));
+    json_kv(os, "frame_period", static_cast<long long>(period_of(so.spec)));
+    json_kv(os, "join_time", static_cast<long long>(so.spec.join_time));
+    json_kv(os, "num_frames", static_cast<long long>(so.spec.num_frames));
+    os << "\"admitted\":" << (so.placement.admitted ? "true" : "false")
+       << ',';
+    if (!so.placement.admitted) {
+      os << "\"reason\":\"" << so.placement.reason << "\"}";
+      continue;
+    }
+    json_kv(os, "processor", static_cast<long long>(so.placement.processor));
+    json_kv(os, "table_budget",
+            static_cast<long long>(so.placement.table_budget));
+    json_kv(os, "committed_cost",
+            static_cast<long long>(so.placement.committed_cost));
+    os << "\"migrated\":" << (so.placement.migrated ? "true" : "false")
+       << ",\"degraded\":" << (so.placement.degraded ? "true" : "false")
+       << ',';
+    json_kv(os, "initial_quality",
+            static_cast<long long>(so.placement.initial_quality));
+    json_kv(os, "skips", static_cast<long long>(so.result.total_skips));
+    json_kv(os, "display_misses",
+            static_cast<long long>(so.display_misses));
+    json_kv(os, "internal_misses",
+            static_cast<long long>(so.internal_misses));
+    json_kv(os, "max_start_lag", static_cast<long long>(so.max_start_lag));
+    json_kv(os, "mean_start_lag", so.mean_start_lag);
+    json_kv(os, "mean_psnr", so.result.mean_psnr);
+    json_kv(os, "mean_quality", so.result.mean_quality);
+    json_kv(os, "kbps", so.result.achieved_bps / 1e3, false);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_csv(const FarmResult& r) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "id,mode,width,height,buffer_capacity,frame_period,join_time,"
+        "num_frames,admitted,processor,table_budget,committed_cost,"
+        "migrated,degraded,initial_quality,skips,display_misses,"
+        "internal_misses,max_start_lag,mean_start_lag,mean_psnr,"
+        "mean_quality,kbps\n";
+  for (const StreamOutcome& so : r.streams) {
+    os << so.spec.id << ',' << mode_name(so.spec.mode) << ','
+       << so.spec.width << ',' << so.spec.height << ','
+       << so.spec.buffer_capacity << ',' << period_of(so.spec) << ','
+       << so.spec.join_time << ',' << so.spec.num_frames << ','
+       << (so.placement.admitted ? 1 : 0) << ',';
+    if (!so.placement.admitted) {
+      os << "-1,0,0,0,0,0,0,0,0,0,0,0,0,0\n";
+      continue;
+    }
+    os << so.placement.processor << ',' << so.placement.table_budget << ','
+       << so.placement.committed_cost << ','
+       << (so.placement.migrated ? 1 : 0) << ','
+       << (so.placement.degraded ? 1 : 0) << ','
+       << so.placement.initial_quality << ',' << so.result.total_skips
+       << ',' << so.display_misses << ',' << so.internal_misses << ','
+       << so.max_start_lag << ',' << so.mean_start_lag << ','
+       << so.result.mean_psnr << ',' << so.result.mean_quality << ','
+       << so.result.achieved_bps / 1e3 << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qosctrl::farm

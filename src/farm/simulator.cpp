@@ -1,0 +1,320 @@
+#include "farm/simulator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <thread>
+#include <tuple>
+
+#include "platform/virtual_processor.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace qosctrl::farm {
+namespace {
+
+/// The session config a StreamSpec expands to.  Seeds (cost jitter and
+/// video content) are forked from the farm seed by stream id, so the
+/// expansion is a pure function — any worker thread gets the same one.
+/// `nominal_fps` is the camera rate at the default pacing; a stream
+/// whose period is scaled by a factor f runs its camera (and rate
+/// control, and bitrate accounting) at nominal_fps / f, so per-stream
+/// kbps figures are comparable across heterogeneous periods.
+pipe::PipelineConfig stream_pipeline_config(const StreamSpec& spec,
+                                            std::uint64_t farm_seed,
+                                            double nominal_fps) {
+  pipe::PipelineConfig cfg;
+  cfg.video.width = spec.width;
+  cfg.video.height = spec.height;
+  cfg.video.num_frames = spec.num_frames;
+  cfg.video.num_scenes = spec.num_scenes;
+  cfg.frame_period = period_of(spec);
+  cfg.buffer_capacity = spec.buffer_capacity;
+  cfg.mode = spec.mode;
+  cfg.constant_quality = spec.constant_quality;
+  cfg.rate.frame_rate =
+      nominal_fps *
+      static_cast<double>(default_frame_period(macroblocks_of(spec))) /
+      static_cast<double>(period_of(spec));
+  util::Rng derive = util::Rng(farm_seed).fork(
+      static_cast<std::uint64_t>(spec.id));
+  cfg.seed = spec.seed != 0 ? spec.seed : derive.next_u64();
+  cfg.video.seed = derive.next_u64();
+  return cfg;
+}
+
+/// A frame queued on a processor.
+struct FrameJob {
+  rt::Cycles deadline;  ///< display deadline (EDF key)
+  int stream;           ///< index into the processor's stream list
+  int frame;            ///< camera frame index
+  rt::Cycles arrival;
+
+  bool operator<(const FrameJob& o) const {
+    return std::tie(deadline, stream, frame) <
+           std::tie(o.deadline, o.stream, o.frame);
+  }
+};
+
+struct PendingArrival {
+  rt::Cycles time;
+  int stream;
+
+  bool operator>(const PendingArrival& o) const {
+    return std::tie(time, stream) > std::tie(o.time, o.stream);
+  }
+};
+
+/// One admitted stream's simulation state on its processor.
+struct StreamState {
+  const StreamSpec* spec = nullptr;
+  const Placement* placement = nullptr;
+  std::unique_ptr<pipe::StreamSession> session;
+  rt::Cycles period = 0;
+  rt::Cycles latency = 0;
+  int next_arrival = 0;  ///< next camera frame index to arrive
+  int queued = 0;        ///< frames waiting (excluding one in service)
+  std::vector<pipe::FrameRecord> frames;
+  int display_misses = 0;
+  rt::Cycles max_lag = 0;
+  double lag_sum = 0.0;
+};
+
+struct ProcessorPlan {
+  std::vector<const StreamOutcome*> streams;  ///< admitted, join order
+};
+
+/// Simulates one processor's run queue to completion.  Writes the
+/// per-stream frame records back through `outcomes` (each admitted
+/// stream is owned by exactly one processor, so no locking).
+void run_processor(const FarmConfig& config,
+                   std::vector<StreamOutcome*> assigned,
+                   ProcessorOutcome* out) {
+  std::vector<StreamState> streams;
+  streams.reserve(assigned.size());
+  for (StreamOutcome* so : assigned) {
+    StreamState st;
+    st.spec = &so->spec;
+    st.placement = &so->placement;
+    st.period = period_of(so->spec);
+    st.latency = latency_of(so->spec);
+    st.session = std::make_unique<pipe::StreamSession>(
+        stream_pipeline_config(so->spec, config.seed, config.frame_rate),
+        so->placement.table_budget, so->placement.system);
+    st.frames.resize(static_cast<std::size_t>(so->spec.num_frames));
+    streams.push_back(std::move(st));
+  }
+
+  // Arrival events, earliest (then lowest stream) first.
+  std::priority_queue<PendingArrival, std::vector<PendingArrival>,
+                      std::greater<PendingArrival>>
+      arrivals;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    if (streams[s].spec->num_frames > 0) {
+      arrivals.push(PendingArrival{streams[s].spec->join_time,
+                                   static_cast<int>(s)});
+    }
+  }
+
+  std::set<FrameJob> pending;  ///< the run queue, EDF by display deadline
+  platform::CycleClock clock;  ///< processor-local virtual time
+  rt::Cycles free_at = 0;      ///< when the current service completes
+
+  while (!arrivals.empty() || !pending.empty()) {
+    const rt::Cycles next_arrival_time =
+        arrivals.empty() ? std::numeric_limits<rt::Cycles>::max()
+                         : arrivals.top().time;
+    if (!pending.empty() && free_at <= next_arrival_time) {
+      // Serve the earliest-deadline queued frame.
+      const FrameJob job = *pending.begin();
+      pending.erase(pending.begin());
+      StreamState& st = streams[static_cast<std::size_t>(job.stream)];
+      --st.queued;
+
+      const rt::Cycles start = std::max(free_at, job.arrival);
+      clock.advance_to(start);
+      // Elapsed time is measured from service start (t0 = 0): the
+      // session's tables are paced over the reserved budget, and the
+      // queueing delay lives in the latency slack K*P - B instead.
+      pipe::FrameRecord rec = st.session->encode(job.frame, 0);
+      rec.start_lag = start - job.arrival;
+      clock.advance(rec.encode_cycles);
+      free_at = clock.now();
+
+      if (free_at > job.deadline) ++st.display_misses;
+      st.max_lag = std::max(st.max_lag, rec.start_lag);
+      st.lag_sum += static_cast<double>(rec.start_lag);
+      out->busy_cycles += rec.encode_cycles;
+      ++out->frames_encoded;
+      st.frames[static_cast<std::size_t>(job.frame)] = rec;
+      continue;
+    }
+    // Next event is a camera frame arrival (the heap is non-empty
+    // here: with it empty, the serve branch covers every state the
+    // while condition admits).
+    const PendingArrival a = arrivals.top();
+    arrivals.pop();
+    StreamState& st = streams[static_cast<std::size_t>(a.stream)];
+    const int f = st.next_arrival++;
+    if (st.next_arrival < st.spec->num_frames) {
+      arrivals.push(PendingArrival{a.time + st.period, a.stream});
+    }
+    if (st.queued >= st.spec->buffer_capacity) {
+      // Input buffer full: the camera drops the frame.
+      st.frames[static_cast<std::size_t>(f)] = st.session->skip(f);
+    } else {
+      ++st.queued;
+      pending.insert(FrameJob{a.time + st.latency, a.stream, f, a.time});
+    }
+  }
+
+  out->span_cycles = clock.now();
+  out->streams_hosted = static_cast<int>(streams.size());
+  out->utilization =
+      out->span_cycles > 0
+          ? static_cast<double>(out->busy_cycles) /
+                static_cast<double>(out->span_cycles)
+          : 0.0;
+
+  // Publish per-stream results.
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    StreamState& st = streams[s];
+    StreamOutcome* so = assigned[s];
+    int skips = 0;
+    for (const auto& fr : st.frames) skips += fr.skipped ? 1 : 0;
+    const int encoded = st.spec->num_frames - skips;
+    so->result = pipe::aggregate_records(
+        std::move(st.frames), so->placement.table_budget,
+        st.session->config().rate.frame_rate);
+    so->display_misses = st.display_misses;
+    so->internal_misses = so->result.total_deadline_misses;
+    so->max_start_lag = st.max_lag;
+    so->mean_start_lag =
+        encoded > 0 ? st.lag_sum / static_cast<double>(encoded) : 0.0;
+  }
+}
+
+}  // namespace
+
+FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
+  QC_EXPECT(config.num_processors >= 1, "farm needs >= 1 processor");
+
+  FarmResult result;
+  result.streams.reserve(scenario.streams.size());
+  for (const StreamSpec& spec : scenario.streams) {
+    StreamOutcome so;
+    so.spec = spec;
+    result.streams.push_back(std::move(so));
+  }
+  result.processors.resize(static_cast<std::size_t>(config.num_processors));
+
+  // ----- Control plane: global join/leave event queue, in time order.
+  // Joins at equal times are processed in stream-id order; a leave
+  // releases its commitment before any join at or after it.
+  std::vector<StreamOutcome*> join_order;
+  join_order.reserve(result.streams.size());
+  for (StreamOutcome& so : result.streams) join_order.push_back(&so);
+  std::sort(join_order.begin(), join_order.end(),
+            [](const StreamOutcome* a, const StreamOutcome* b) {
+              return std::tie(a->spec.join_time, a->spec.id) <
+                     std::tie(b->spec.join_time, b->spec.id);
+            });
+
+  TableCache tables(platform::figure5_cost_table());
+  AdmissionController admission(config.num_processors, config.admission,
+                                &tables);
+  using Leave = std::pair<rt::Cycles, int>;  // (leave time, stream id)
+  std::priority_queue<Leave, std::vector<Leave>, std::greater<Leave>> leaves;
+
+  for (StreamOutcome* so : join_order) {
+    while (!leaves.empty() && leaves.top().first <= so->spec.join_time) {
+      admission.release(leaves.top().second);
+      leaves.pop();
+    }
+    const int preferred = admission.least_loaded();
+    so->placement = admission.admit(so->spec, preferred);
+    if (so->placement.admitted) {
+      leaves.emplace(leave_time_of(so->spec), so->spec.id);
+      auto& proc = result.processors[static_cast<std::size_t>(
+          so->placement.processor)];
+      proc.peak_committed_utilization =
+          std::max(proc.peak_committed_utilization,
+                   admission.committed_utilization(so->placement.processor));
+    }
+  }
+
+  // ----- Data plane: one run queue per processor, workers in parallel.
+  std::vector<std::vector<StreamOutcome*>> per_processor(
+      static_cast<std::size_t>(config.num_processors));
+  for (StreamOutcome* so : join_order) {
+    if (so->placement.admitted) {
+      per_processor[static_cast<std::size_t>(so->placement.processor)]
+          .push_back(so);
+    }
+  }
+
+  const int workers = std::clamp(config.workers, 1, config.num_processors);
+  std::atomic<int> next_processor{0};
+  auto drain = [&] {
+    for (int p = next_processor.fetch_add(1); p < config.num_processors;
+         p = next_processor.fetch_add(1)) {
+      run_processor(config, per_processor[static_cast<std::size_t>(p)],
+                    &result.processors[static_cast<std::size_t>(p)]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+
+  // ----- Fleet aggregates.
+  result.total_streams = static_cast<int>(result.streams.size());
+  result.quality_histogram.assign(
+      platform::figure5_quality_levels().size(), 0);
+  double psnr_sum = 0.0, quality_sum = 0.0;
+  for (const StreamOutcome& so : result.streams) {
+    if (!so.placement.admitted) {
+      ++result.rejected;
+      continue;
+    }
+    ++result.admitted;
+    result.migrated += so.placement.migrated ? 1 : 0;
+    result.degraded += so.placement.degraded ? 1 : 0;
+    result.total_frames += static_cast<long long>(so.result.frames.size());
+    result.total_skips += so.result.total_skips;
+    result.total_display_misses += so.display_misses;
+    result.total_internal_misses += so.internal_misses;
+    for (const pipe::FrameRecord& fr : so.result.frames) {
+      psnr_sum += fr.psnr;
+      if (!fr.skipped) {
+        ++result.encoded_frames;
+        quality_sum += fr.mean_quality;
+        const auto bucket = static_cast<std::size_t>(std::lround(
+            std::clamp(fr.mean_quality, 0.0,
+                       static_cast<double>(
+                           result.quality_histogram.size() - 1))));
+        ++result.quality_histogram[bucket];
+      }
+    }
+  }
+  result.rejection_rate =
+      result.total_streams > 0
+          ? static_cast<double>(result.rejected) /
+                static_cast<double>(result.total_streams)
+          : 0.0;
+  result.fleet_mean_psnr =
+      result.total_frames > 0
+          ? psnr_sum / static_cast<double>(result.total_frames)
+          : 0.0;
+  result.fleet_mean_quality =
+      result.encoded_frames > 0
+          ? quality_sum / static_cast<double>(result.encoded_frames)
+          : 0.0;
+  return result;
+}
+
+}  // namespace qosctrl::farm

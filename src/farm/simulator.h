@@ -1,0 +1,100 @@
+// The encoder-farm simulator: plays a FarmScenario against an
+// admission controller and M virtual processors.
+//
+// Two planes, mirroring a real ingest tier:
+//
+//  * Control plane (sequential): a global event queue interleaves
+//    stream joins and leaves in virtual-time order.  Each join asks
+//    the AdmissionController for a placement (preferred processor =
+//    least committed load); each leave releases its commitment.  The
+//    outcome is a static assignment of admitted streams to
+//    processors — placement never depends on how encoding happens to
+//    interleave, only on committed worst cases, so it is exactly
+//    reproducible.
+//
+//  * Data plane (parallel): every processor owns a run queue and is
+//    simulated independently — a single-server discrete-event loop
+//    interleaving its streams' frame arrivals (camera-drop skips when
+//    a stream's input buffer is full) with non-preemptive EDF service
+//    by display deadline.  One host worker thread per processor (up
+//    to FarmConfig::workers); since processors share no mutable state
+//    and every stream's RNG is forked from the farm seed by stream
+//    id, results are bit-identical for any worker count.
+#pragma once
+
+#include <vector>
+
+#include "farm/admission.h"
+#include "farm/scenario.h"
+#include "pipeline/simulation.h"
+
+namespace qosctrl::farm {
+
+struct FarmConfig {
+  int num_processors = 2;
+  /// Host threads for the data plane (clamped to [1, processors]).
+  int workers = 1;
+  AdmissionConfig admission{};
+  /// Farm-wide seed; per-stream seeds are forked from it by stream id.
+  std::uint64_t seed = 2026;
+  /// Camera rate at the *default* pacing; a stream whose period is
+  /// scaled by factor f runs (and accounts bitrate) at frame_rate / f.
+  double frame_rate = 25.0;
+};
+
+/// Everything that happened to one offered stream.
+struct StreamOutcome {
+  StreamSpec spec;
+  Placement placement;
+  /// Per-frame records and aggregates (empty when rejected).
+  pipe::PipelineResult result;
+  /// Frames whose encoding finished past arrival + K * P.
+  int display_misses = 0;
+  /// Actions finishing past the controller's paced deadlines
+  /// (== result.total_deadline_misses).
+  int internal_misses = 0;
+  rt::Cycles max_start_lag = 0;   ///< worst queueing delay observed
+  double mean_start_lag = 0.0;    ///< over encoded frames
+};
+
+struct ProcessorOutcome {
+  rt::Cycles busy_cycles = 0;   ///< cycles spent encoding
+  rt::Cycles span_cycles = 0;   ///< last completion time
+  double utilization = 0.0;     ///< busy / span
+  int frames_encoded = 0;
+  int streams_hosted = 0;
+  double peak_committed_utilization = 0.0;
+};
+
+/// Fleet-level result: per-stream outcomes (scenario order),
+/// per-processor outcomes, and aggregates.  Deliberately excludes
+/// wall-clock time so that equal workloads compare bit-identical; the
+/// CLI and benchmarks measure wall time around run_farm.
+struct FarmResult {
+  std::vector<StreamOutcome> streams;
+  std::vector<ProcessorOutcome> processors;
+
+  int total_streams = 0;
+  int admitted = 0;
+  int rejected = 0;
+  int migrated = 0;
+  int degraded = 0;
+  double rejection_rate = 0.0;
+
+  long long total_frames = 0;   ///< camera frames of admitted streams
+  long long encoded_frames = 0;
+  int total_skips = 0;
+  int total_display_misses = 0;
+  int total_internal_misses = 0;
+
+  double fleet_mean_psnr = 0.0;     ///< over all admitted frames
+  double fleet_mean_quality = 0.0;  ///< over encoded frames
+  /// Encoded frames per quality level (frame mean quality, rounded).
+  std::vector<long long> quality_histogram;
+};
+
+/// Plays the scenario.  Deterministic in (scenario, config) — worker
+/// count does not affect any result field.
+FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config);
+
+}  // namespace qosctrl::farm

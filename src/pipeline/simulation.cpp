@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "util/check.h"
 
@@ -45,63 +45,105 @@ std::unique_ptr<qos::Controller> make_controller(
   return ctl;
 }
 
-}  // namespace
+int macroblock_count(const PipelineConfig& config) {
+  return (config.video.width / media::kMacroBlockSize) *
+         (config.video.height / media::kMacroBlockSize);
+}
 
-PipelineResult run_pipeline(const PipelineConfig& config) {
-  QC_EXPECT(config.buffer_capacity >= 1, "buffer capacity K must be >= 1");
-  QC_EXPECT(config.frame_period > 0, "frame period P must be positive");
-  QC_EXPECT(config.decimation >= 1, "decimation must be >= 1");
-
-  const media::SyntheticVideo video(config.video);
-  const int mb_count = (config.video.width / media::kMacroBlockSize) *
-                       (config.video.height / media::kMacroBlockSize);
-  const rt::Cycles budget =
-      config.frame_period * config.buffer_capacity;  // K * P
-
-  const platform::CostTable costs = platform::figure5_cost_table();
-  const enc::EncoderSystem es =
-      enc::build_encoder_system(mb_count, budget, costs);
-
+enc::FrameEncoder make_encoder(const PipelineConfig& config) {
+  // Per-module RNG streams are forked (not split) from the seed so the
+  // jitter stream is a pure function of (seed, stream id) — farm
+  // sessions built on different worker threads stay bit-identical.
   util::Rng rng(config.seed);
-  platform::CostModel cost_model(costs, config.cost, rng.split());
+  platform::CostModel cost_model(platform::figure5_cost_table(), config.cost,
+                                 rng.fork(0));
   enc::EncoderConfig encoder_config = config.encoder;
   encoder_config.width = config.video.width;  // geometry follows the video
   encoder_config.height = config.video.height;
-  enc::FrameEncoder encoder(encoder_config, std::move(cost_model));
-  enc::RateController rate(config.rate);
-  std::unique_ptr<qos::Controller> controller = make_controller(config, es);
+  return enc::FrameEncoder(encoder_config, std::move(cost_model));
+}
 
-  PipelineResult result;
-  result.frames.resize(static_cast<std::size_t>(config.video.num_frames));
+}  // namespace
 
+StreamSession::StreamSession(const PipelineConfig& config, rt::Cycles budget,
+                             std::shared_ptr<const enc::EncoderSystem> system)
+    : config_(config),
+      video_(config.video),
+      system_(std::move(system)),
+      encoder_(make_encoder(config)),
+      rate_(config.rate) {
+  QC_EXPECT(config.buffer_capacity >= 1, "buffer capacity K must be >= 1");
+  QC_EXPECT(config.frame_period > 0, "frame period P must be positive");
+  QC_EXPECT(config.decimation >= 1, "decimation must be >= 1");
+  if (budget == 0) {
+    budget = config.frame_period * config.buffer_capacity;  // K * P
+  }
+  if (system_ == nullptr) {
+    system_ = std::make_shared<const enc::EncoderSystem>(
+        enc::build_encoder_system(macroblock_count(config), budget,
+                                  platform::figure5_cost_table()));
+  }
+  QC_EXPECT(system_->macroblocks == macroblock_count(config),
+            "shared encoder system geometry must match the video");
+  QC_EXPECT(system_->budget == budget,
+            "shared encoder system budget must match the session budget");
+  controller_ = make_controller(config_, *system_);
+}
+
+FrameRecord StreamSession::encode(int index, rt::Cycles t0) {
+  const media::YuvFrame input = video_.frame_yuv(index);
+  const enc::FrameStats stats = encoder_.encode_frame(
+      input, *controller_, *system_->system, rate_.qp(), t0);
+  rate_.frame_encoded(stats.bits);
+
+  FrameRecord rec;
+  rec.index = index;
+  rec.scene_cut = video_.is_scene_cut(index);
+  rec.encode_cycles = stats.encode_cycles;
+  rec.start_lag = t0;
+  rec.psnr = stats.psnr;
+  rec.bits = stats.bits;
+  rec.mean_quality = stats.mean_quality;
+  rec.min_quality = stats.min_quality;
+  rec.max_quality = stats.max_quality;
+  rec.quality_change_sum = stats.quality_change_sum;
+  rec.deadline_misses = stats.deadline_misses;
+  rec.qp = stats.qp;
+  rec.intra_macroblocks = stats.intra_macroblocks;
+  return rec;
+}
+
+FrameRecord StreamSession::skip(int index) {
+  FrameRecord rec;
+  rec.index = index;
+  rec.skipped = true;
+  rec.scene_cut = video_.is_scene_cut(index);
+  rec.qp = rate_.qp();
+  // The decoder re-displays the previous output frame.
+  const media::Frame input = video_.frame(index);
+  rec.psnr = encoder_.has_reference()
+                 ? media::psnr(input, encoder_.reconstructed().y)
+                 : 0.0;
+  rate_.frame_skipped();
+  return rec;
+}
+
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  StreamSession session(config);
   const rt::Cycles period = config.frame_period;
+  const rt::Cycles budget = session.budget();
+
+  std::vector<FrameRecord> frames(
+      static_cast<std::size_t>(config.video.num_frames));
   rt::Cycles free_at = 0;  // when the encoder finishes its current frame
   std::deque<int> buffered;
 
   auto encode_one = [&](int g) {
     const rt::Cycles arrival = static_cast<rt::Cycles>(g) * period;
     const rt::Cycles start = std::max(free_at, arrival);
-    const rt::Cycles t0 = start - arrival;
-    const media::YuvFrame input = video.frame_yuv(g);
-    const enc::FrameStats stats = encoder.encode_frame(
-        input, *controller, *es.system, rate.qp(), t0);
-    rate.frame_encoded(stats.bits);
-    free_at = start + stats.encode_cycles;
-
-    FrameRecord& rec = result.frames[static_cast<std::size_t>(g)];
-    rec.index = g;
-    rec.scene_cut = video.is_scene_cut(g);
-    rec.encode_cycles = stats.encode_cycles;
-    rec.start_lag = t0;
-    rec.psnr = stats.psnr;
-    rec.bits = stats.bits;
-    rec.mean_quality = stats.mean_quality;
-    rec.min_quality = stats.min_quality;
-    rec.max_quality = stats.max_quality;
-    rec.quality_change_sum = stats.quality_change_sum;
-    rec.deadline_misses = stats.deadline_misses;
-    rec.qp = stats.qp;
-    rec.intra_macroblocks = stats.intra_macroblocks;
+    FrameRecord rec = session.encode(g, start - arrival);
+    free_at = start + rec.encode_cycles;
+    frames[static_cast<std::size_t>(g)] = rec;
   };
 
   for (int f = 0; f < config.video.num_frames; ++f) {
@@ -114,17 +156,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     }
     if (static_cast<int>(buffered.size()) >= config.buffer_capacity) {
       // Input buffer full: the camera drops this frame.
-      FrameRecord& rec = result.frames[static_cast<std::size_t>(f)];
-      rec.index = f;
-      rec.skipped = true;
-      rec.scene_cut = video.is_scene_cut(f);
-      rec.qp = rate.qp();
-      // The decoder re-displays the previous output frame.
-      const media::Frame input = video.frame(f);
-      rec.psnr = encoder.has_reference()
-                     ? media::psnr(input, encoder.reconstructed().y)
-                     : 0.0;
-      rate.frame_skipped();
+      frames[static_cast<std::size_t>(f)] = session.skip(f);
       continue;
     }
     buffered.push_back(f);
@@ -135,7 +167,15 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     encode_one(g);
   }
 
-  // Aggregates.
+  return aggregate_records(std::move(frames), budget,
+                           config.rate.frame_rate);
+}
+
+PipelineResult aggregate_records(std::vector<FrameRecord> frames,
+                                 rt::Cycles budget, double frame_rate) {
+  PipelineResult result;
+  result.frames = std::move(frames);
+
   double psnr_all = 0.0, psnr_enc = 0.0, cycles = 0.0, quality = 0.0;
   double util = 0.0;
   int encoded = 0;
@@ -154,7 +194,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     util += static_cast<double>(rec.encode_cycles) /
             static_cast<double>(budget);
   }
-  const int n = config.video.num_frames;
+  const int n = static_cast<int>(result.frames.size());
   result.mean_psnr = n > 0 ? psnr_all / n : 0.0;
   if (encoded > 0) {
     result.mean_psnr_encoded = psnr_enc / encoded;
@@ -162,8 +202,8 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     result.mean_quality = quality / encoded;
     result.mean_budget_utilization = util / encoded;
   }
-  const double seconds =
-      static_cast<double>(n) / config.rate.frame_rate;
+  const double seconds = frame_rate > 0.0 ? static_cast<double>(n) / frame_rate
+                                          : 0.0;
   result.achieved_bps =
       seconds > 0.0 ? static_cast<double>(result.total_bits) / seconds : 0.0;
   return result;

@@ -19,6 +19,7 @@
 // compiled slack tables stay valid.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -97,8 +98,59 @@ struct PipelineResult {
   double mean_budget_utilization = 0.0;
 };
 
+/// One stream's encoding state — video source, encoder, rate control,
+/// and QoS controller — factored out of run_pipeline so that a farm of
+/// concurrent streams can drive many sessions from its own scheduler.
+///
+/// The service `budget` the controller tables are paced over defaults
+/// to the latency window K * P (the single-stream pipeline, elapsed
+/// time measured from frame arrival).  A farm instead reserves a
+/// smaller budget B <= K * P and measures elapsed time from *service
+/// start* (t0 = 0): the controller then guarantees completion within B
+/// of starting, leaving K * P - B of queueing tolerance for the
+/// processor — see farm::AdmissionController.
+class StreamSession {
+ public:
+  /// Builds every component from the config.  `budget` == 0 selects
+  /// the default K * P.  A prebuilt `system` (compiled for the same
+  /// geometry and budget) may be shared across sessions to avoid
+  /// recompiling identical slack tables per stream.
+  explicit StreamSession(
+      const PipelineConfig& config, rt::Cycles budget = 0,
+      std::shared_ptr<const enc::EncoderSystem> system = nullptr);
+
+  /// Encodes camera frame `index`; `t0` is the elapsed time already
+  /// consumed when the encoder starts (the buffer wait in the
+  /// single-stream pipeline; 0 in the farm, whose tables are paced
+  /// from service start).
+  FrameRecord encode(int index, rt::Cycles t0);
+
+  /// Records camera frame `index` as dropped (input buffer full): the
+  /// decoder re-displays the previous output, which scores its PSNR.
+  FrameRecord skip(int index);
+
+  const enc::EncoderSystem& system() const { return *system_; }
+  rt::Cycles budget() const { return system_->budget; }
+  const media::SyntheticVideo& video() const { return video_; }
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  PipelineConfig config_;
+  media::SyntheticVideo video_;
+  std::shared_ptr<const enc::EncoderSystem> system_;
+  enc::FrameEncoder encoder_;
+  enc::RateController rate_;
+  std::unique_ptr<qos::Controller> controller_;
+};
+
 /// Runs the full system simulation.
 PipelineResult run_pipeline(const PipelineConfig& config);
+
+/// Aggregates per-frame records into the summary statistics (the tail
+/// of run_pipeline; reused by the farm for per-stream metrics).
+/// `budget` is the per-frame budget utilization is measured against.
+PipelineResult aggregate_records(std::vector<FrameRecord> frames,
+                                 rt::Cycles budget, double frame_rate);
 
 /// Summary line (skips, misses, PSNR, bitrate) for quick inspection.
 std::string summarize(const PipelineResult& result);

@@ -16,6 +16,12 @@ class CycleClock {
  public:
   rt::Cycles now() const { return now_; }
   void advance(rt::Cycles cycles);
+  /// Jumps forward to absolute time `to`; no-op when `to` is in the
+  /// past (the clock is monotone).  Event-driven simulators use this
+  /// to idle until the next arrival.
+  void advance_to(rt::Cycles to) {
+    if (to > now_) now_ = to;
+  }
   void reset(rt::Cycles to = 0) { now_ = to; }
 
  private:

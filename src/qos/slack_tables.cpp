@@ -49,6 +49,30 @@ SlackTables SlackTables::build(const rt::ParameterizedSystem& sys) {
           sys.cwc(q, a);
     }
   }
+
+  // Predicted quality ceiling: walk the schedule at qmin worst case
+  // until the first action whose cost depends on the quality level,
+  // and ask the tables for the best level grantable there.  Bodies
+  // with no quality-sensitive action can always run at qmax.
+  out.ceiling_hard_ = out.ceiling_soft_ = nq - 1;
+  Cycles elapsed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const rt::ActionId a = out.alpha_[i];
+    bool sensitive = false;
+    for (std::size_t qi = 1; qi < nq; ++qi) {
+      if (sys.cwc(out.qualities_[qi], a) != sys.cwc(qmin, a) ||
+          sys.cav(out.qualities_[qi], a) != sys.cav(qmin, a)) {
+        sensitive = true;
+        break;
+      }
+    }
+    if (sensitive) {
+      out.ceiling_hard_ = out.best_quality(i, nq - 1, elapsed, false);
+      out.ceiling_soft_ = out.best_quality(i, nq - 1, elapsed, true);
+      break;
+    }
+    elapsed += sys.cwc(qmin, a);
+  }
   return out;
 }
 

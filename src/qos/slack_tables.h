@@ -18,6 +18,7 @@
 // O(n * |Q|) time and space.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,31 @@ class SlackTables {
     return lo;
   }
 
+  /// The largest elapsed time t at which a *fresh* cycle is still
+  /// fully safe: running everything at qmin from t meets every
+  /// deadline even under worst-case costs.  This is the slack-table
+  /// query the farm's admission controller makes — a stream whose
+  /// service may start up to L cycles late needs max_initial_delay()
+  /// >= L (with the tables paced from service start, L is the
+  /// latency window minus the compiled budget).  Negative means the
+  /// system is not worst-case schedulable even at qmin.
+  rt::Cycles max_initial_delay(bool soft = false) const {
+    if (num_positions() == 0) return 0;
+    return soft ? av_[0][0] : std::min(av_[0][0], wc_[0][0]);
+  }
+
+  /// The quality index an on-time cycle is granted at its first
+  /// *quality-sensitive* position, assuming every preceding action ran
+  /// at its qmin worst case — the admission controller's prediction of
+  /// the quality a candidate budget buys up front.  Later decisions
+  /// routinely exceed it, because actual costs run below worst case
+  /// and the freed slack accumulates.  (Position 0 itself may be
+  /// quality-independent, e.g. the encoder's Grab action, and would
+  /// answer qmax regardless of budget.)  Precomputed by build().
+  std::size_t initial_quality(bool soft = false) const {
+    return soft ? ceiling_soft_ : ceiling_hard_;
+  }
+
   /// Memory footprint of the tables in bytes (reported by the overhead
   /// benchmark, mirroring the paper's <= 1% memory figure).
   std::size_t table_bytes() const;
@@ -94,6 +120,8 @@ class SlackTables {
   // av_[i][qi], wc_[i][qi]; i in [0, n)
   std::vector<std::vector<rt::Cycles>> av_;
   std::vector<std::vector<rt::Cycles>> wc_;
+  std::size_t ceiling_hard_ = 0;
+  std::size_t ceiling_soft_ = 0;
 };
 
 }  // namespace qosctrl::qos

@@ -1,0 +1,97 @@
+#include "sched/np_edf.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qosctrl::sched {
+namespace {
+
+// Caps on the busy-period fixpoint iteration and on the number of
+// deadline check points.  Exceeding either means the analysis would be
+// disproportionate to an admission decision; the test then fails
+// conservatively (rejects), which is always safe.
+constexpr int kMaxBusyIterations = 256;
+constexpr std::size_t kMaxCheckPoints = 1 << 16;
+
+// Work that can be demanded by jobs of all tasks released in a window
+// of length w starting at a synchronous release (request bound).
+rt::Cycles request_bound(const std::vector<NpTask>& tasks, rt::Cycles w) {
+  rt::Cycles sum = 0;
+  for (const NpTask& t : tasks) {
+    const rt::Cycles jobs = (w + t.period - 1) / t.period;  // ceil
+    sum += jobs * t.cost;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double np_utilization(const std::vector<NpTask>& tasks) {
+  double u = 0.0;
+  for (const NpTask& t : tasks) {
+    QC_EXPECT(t.period > 0, "np task period must be positive");
+    u += static_cast<double>(t.cost) / static_cast<double>(t.period);
+  }
+  return u;
+}
+
+bool np_edf_schedulable(const std::vector<NpTask>& tasks) {
+  if (tasks.empty()) return true;
+  rt::Cycles total_cost = 0;
+  for (const NpTask& t : tasks) {
+    QC_EXPECT(t.cost >= 0, "np task cost must be >= 0");
+    QC_EXPECT(t.period > 0, "np task period must be positive");
+    if (t.cost > t.deadline) return false;
+    total_cost += t.cost;
+  }
+  if (np_utilization(tasks) > 1.0) return false;
+
+  // Length of the synchronous busy period: least fixpoint of
+  // w = request_bound(w), seeded with sum(C).  The demand criterion
+  // only needs check points inside it.
+  rt::Cycles busy = total_cost;
+  bool converged = false;
+  for (int it = 0; it < kMaxBusyIterations; ++it) {
+    const rt::Cycles next = request_bound(tasks, busy);
+    if (next == busy) {
+      converged = true;
+      break;
+    }
+    busy = next;
+  }
+  if (!converged) return false;  // U ~ 1 blow-up: reject conservatively
+
+  rt::Cycles horizon = busy;
+  for (const NpTask& t : tasks) horizon = std::max(horizon, t.deadline);
+
+  // Check points: every absolute deadline D_i + k * T_i within the
+  // horizon.
+  std::vector<rt::Cycles> points;
+  for (const NpTask& t : tasks) {
+    for (rt::Cycles p = t.deadline; p <= horizon; p += t.period) {
+      points.push_back(p);
+      if (points.size() > kMaxCheckPoints) return false;  // conservative
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  for (const rt::Cycles p : points) {
+    rt::Cycles demand = 0;
+    rt::Cycles blocking = 0;
+    for (const NpTask& t : tasks) {
+      if (p >= t.deadline) {
+        demand += ((p - t.deadline) / t.period + 1) * t.cost;
+      } else {
+        // A job with a later deadline may have just started: it blocks
+        // non-preemptively for its full cost.
+        blocking = std::max(blocking, t.cost);
+      }
+    }
+    if (demand + blocking > p) return false;
+  }
+  return true;
+}
+
+}  // namespace qosctrl::sched

@@ -1,0 +1,46 @@
+// Processor-level schedulability for the encoder farm: sporadic,
+// non-preemptive EDF on one processor.
+//
+// The farm's admission controller reserves each stream a per-frame
+// service budget C (the budget its slack tables are paced over), a
+// relative display deadline D = K * P, and a minimum inter-arrival
+// P.  Frames are dispatched non-preemptively in EDF order of their
+// display deadlines, so the committed worst-case load of a processor
+// is exactly a sporadic non-preemptive task set — and admission is a
+// schedulability test over it.
+//
+// The test is the classic processor-demand criterion extended with a
+// non-preemptive blocking term (George, Rivierre & Spuri 1996):
+//
+//   for every check point t in the synchronous busy period:
+//     max{ C_j : D_j > t }  +  sum_i dbf_i(t)  <=  t
+//   dbf_i(t) = (floor((t - D_i) / T_i) + 1) * C_i     for t >= D_i
+//
+// Sufficient (never admits an unschedulable set); exact up to the
+// blocking term.  On pathological inputs (utilization ~ 1 with huge
+// hyperperiods) the scan is capped and the test conservatively fails.
+#pragma once
+
+#include <vector>
+
+#include "rt/types.h"
+
+namespace qosctrl::sched {
+
+/// One sporadic non-preemptive task (a farm stream's committed load).
+struct NpTask {
+  rt::Cycles cost = 0;      ///< worst-case execution per job, C
+  rt::Cycles deadline = 0;  ///< relative deadline, D
+  rt::Cycles period = 0;    ///< minimum inter-arrival, T
+};
+
+/// Total utilization sum(C_i / T_i).
+double np_utilization(const std::vector<NpTask>& tasks);
+
+/// True when the task set is schedulable by non-preemptive EDF on one
+/// processor (sufficient test; see file comment).  The empty set is
+/// schedulable.  Requires cost >= 0, period > 0 for every task; a task
+/// with cost > deadline is trivially unschedulable.
+bool np_edf_schedulable(const std::vector<NpTask>& tasks);
+
+}  // namespace qosctrl::sched

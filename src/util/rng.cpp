@@ -77,4 +77,21 @@ bool Rng::chance(double p) { return uniform_01() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // SplitMix-style finalization of (state, id): fold the four state
+  // words with distinct odd multipliers, then push the id through the
+  // same splitmix64 pipeline the constructor uses.  Deterministic,
+  // const, and well-decorrelated for adjacent ids.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  h ^= state_[0] * 0xbf58476d1ce4e5b9ULL;
+  h = rotl(h, 23);
+  h ^= state_[1] * 0x94d049bb133111ebULL;
+  h = rotl(h, 29);
+  h ^= state_[2] * 0xff51afd7ed558ccdULL;
+  h = rotl(h, 31);
+  h ^= state_[3] * 0xc4ceb9fe1a85ec53ULL;
+  std::uint64_t x = h + stream_id * 0x9e3779b97f4a7c15ULL;
+  return Rng(splitmix64(x));
+}
+
 }  // namespace qosctrl::util

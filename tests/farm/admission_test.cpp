@@ -1,0 +1,205 @@
+#include "farm/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace qosctrl::farm {
+namespace {
+
+// 64x48 luma -> 12 macroblocks; qmin worst case 176000 cycles/MB.
+StreamSpec small_stream(int id, double period_factor = 4.0) {
+  StreamSpec s;
+  s.id = id;
+  s.width = 64;
+  s.height = 48;
+  s.frame_period = static_cast<rt::Cycles>(
+      static_cast<double>(default_frame_period(12)) * period_factor);
+  return s;
+}
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionTest() : tables_(platform::figure5_cost_table()) {}
+  TableCache tables_;
+};
+
+TEST_F(AdmissionTest, MinBudgetMatchesQminWorstCase) {
+  // Figure 5 worst cases at qmin sum to 176000 per macroblock.
+  EXPECT_EQ(tables_.min_budget(12), 12 * 176000);
+  EXPECT_EQ(tables_.worst_case_frame_cost(12, 0), 12 * 176000);
+  // At the top level the motion estimator dominates: 1675000 per MB.
+  EXPECT_EQ(tables_.worst_case_frame_cost(12, 7), 12 * 1675000);
+}
+
+TEST_F(AdmissionTest, EmptyProcessorAdmitsAtRichBudget) {
+  AdmissionController ac(2, {}, &tables_);
+  const StreamSpec s = small_stream(0);
+  const Placement p = ac.admit(s, 0);
+  ASSERT_TRUE(p.admitted) << p.reason;
+  EXPECT_EQ(p.processor, 0);
+  EXPECT_FALSE(p.migrated);
+  EXPECT_FALSE(p.degraded);
+  EXPECT_GE(p.table_budget, tables_.min_budget(12));
+  EXPECT_LE(p.table_budget, latency_of(s));
+  EXPECT_EQ(p.table_budget % 12, 0);
+  EXPECT_NE(p.system, nullptr);
+  // The reserved budget is committed worst-case load.
+  EXPECT_GT(ac.committed_utilization(0), 0.0);
+  EXPECT_EQ(ac.committed_streams(0), 1);
+  EXPECT_EQ(ac.committed_streams(1), 0);
+}
+
+TEST_F(AdmissionTest, RicherBudgetRaisesInitialQuality) {
+  AdmissionController ac(1, {}, &tables_);
+  // Slow camera -> latency window allows a rich budget.
+  const Placement rich = ac.admit(small_stream(0, 8.0), 0);
+  ASSERT_TRUE(rich.admitted);
+  AdmissionController ac2(1, {}, &tables_);
+  const Placement tight = ac2.admit(small_stream(1, 1.05), 0);
+  ASSERT_TRUE(tight.admitted) << tight.reason;
+  EXPECT_GT(rich.table_budget, tight.table_budget);
+  EXPECT_GE(rich.initial_quality, tight.initial_quality);
+  EXPECT_GT(rich.initial_quality, 0u);
+}
+
+TEST_F(AdmissionTest, MigratesWhenPreferredProcessorIsFull) {
+  AdmissionController ac(2, {}, &tables_);
+  // Fill processor 0 (everyone prefers it) until a stream overflows.
+  Placement p;
+  int i = 0;
+  do {
+    p = ac.admit(small_stream(i++), 0);
+    ASSERT_TRUE(p.admitted) << p.reason;
+  } while (p.processor == 0 && i < 32);
+  ASSERT_LT(i, 32) << "processor 0 never filled up";
+  EXPECT_EQ(p.processor, 1);
+  EXPECT_TRUE(p.migrated);
+  // Migration is tried before degradation: the overflow stream keeps
+  // the rich budget on the empty processor.
+  EXPECT_FALSE(p.degraded);
+}
+
+TEST_F(AdmissionTest, DegradesBudgetUnderPressureThenRejects) {
+  // A ladder with a large top: the first stream takes 4x the minimal
+  // budget; once full budgets stop fitting, later streams are admitted
+  // at shrunk budgets before anyone is rejected.
+  AdmissionConfig cfg;
+  cfg.budget_fractions = {};
+  cfg.min_budget_multiples = {4.0, 2.0, 1.3};
+  cfg.max_stream_share = 1.0;  // isolate the ladder from the share cap
+  AdmissionController ac(2, cfg, &tables_);
+  int admitted = 0, rejected = 0, degraded = 0;
+  rt::Cycles first_budget = 0;
+  for (int i = 0; i < 16; ++i) {
+    const Placement p = ac.admit(small_stream(i, 6.0), 0);
+    if (p.admitted) {
+      ++admitted;
+      degraded += p.degraded ? 1 : 0;
+      if (first_budget == 0) first_budget = p.table_budget;
+      EXPECT_LE(p.table_budget, first_budget)
+          << "later admissions must not be richer than the first";
+    } else {
+      ++rejected;
+      EXPECT_FALSE(p.reason.empty());
+    }
+  }
+  EXPECT_GT(admitted, 2);
+  EXPECT_GT(rejected, 0) << "16 streams must oversubscribe 2 processors";
+  EXPECT_GT(degraded, 0) << "pressure must shrink budgets before rejecting";
+  // Utilization stays within the cap on both processors.
+  EXPECT_LE(ac.committed_utilization(0), 1.0 + 1e-12);
+  EXPECT_LE(ac.committed_utilization(1), 1.0 + 1e-12);
+}
+
+TEST_F(AdmissionTest, ShareCapLeavesRoomForLaterArrivals) {
+  // With the default share cap no single stream may commit more than
+  // a quarter of a processor, so at least three streams fit wherever
+  // one does at the rich budget.
+  AdmissionController ac(1, {}, &tables_);
+  int admitted = 0;
+  for (int i = 0; i < 8; ++i) {
+    admitted += ac.admit(small_stream(i, 6.0), 0).admitted ? 1 : 0;
+  }
+  EXPECT_GE(admitted, 3);
+}
+
+TEST_F(AdmissionTest, ReleaseMakesRoomAgain) {
+  AdmissionController ac(1, {}, &tables_);
+  std::vector<int> admitted_ids;
+  for (int i = 0; i < 12; ++i) {
+    if (ac.admit(small_stream(i), 0).admitted) admitted_ids.push_back(i);
+  }
+  const StreamSpec extra = small_stream(100);
+  ASSERT_FALSE(ac.admit(extra, 0).admitted)
+      << "the processor should be saturated";
+  for (const int id : admitted_ids) ac.release(id);
+  EXPECT_EQ(ac.committed_streams(0), 0);
+  const Placement p = ac.admit(extra, 0);
+  EXPECT_TRUE(p.admitted) << p.reason;
+  EXPECT_FALSE(p.degraded) << "an empty processor offers the rich budget";
+}
+
+TEST_F(AdmissionTest, ConstantQualityCommitsItsLevelWorstCase) {
+  AdmissionController ac(1, {}, &tables_);
+  StreamSpec s = small_stream(0, 6.0);
+  s.mode = pipe::ControlMode::kConstantQuality;
+  s.constant_quality = 2;
+  const Placement p = ac.admit(s, 0);
+  ASSERT_TRUE(p.admitted) << p.reason;
+  EXPECT_EQ(p.committed_cost, tables_.worst_case_frame_cost(12, 2));
+  // A high constant level's worst case exceeds the latency window.
+  StreamSpec heavy = small_stream(1, 6.0);
+  heavy.mode = pipe::ControlMode::kConstantQuality;
+  heavy.constant_quality = 7;
+  const Placement hp = ac.admit(heavy, 0);
+  EXPECT_FALSE(hp.admitted);
+}
+
+TEST_F(AdmissionTest, OutOfRangeConstantLevelIsRejectedNotClamped) {
+  // The data plane's ConstantController would refuse the level, so
+  // admission must too — admit-then-crash is not an option.
+  AdmissionController ac(1, {}, &tables_);
+  StreamSpec s = small_stream(0, 6.0);
+  s.mode = pipe::ControlMode::kConstantQuality;
+  s.constant_quality = 9;  // levels are 0..7
+  const Placement p = ac.admit(s, 0);
+  EXPECT_FALSE(p.admitted);
+  EXPECT_NE(p.reason.find("quality level"), std::string::npos);
+  s.constant_quality = -1;
+  EXPECT_FALSE(ac.admit(s, 0).admitted);
+}
+
+TEST_F(AdmissionTest, FeedbackModeAssumesQmaxAndIsRejected) {
+  AdmissionController ac(1, {}, &tables_);
+  StreamSpec s = small_stream(0, 6.0);
+  s.mode = pipe::ControlMode::kFeedback;
+  const Placement p = ac.admit(s, 0);
+  EXPECT_FALSE(p.admitted)
+      << "no compiled occupancy bound -> must assume qmax -> infeasible";
+}
+
+TEST_F(AdmissionTest, TableCacheSharesCompiledSystems) {
+  AdmissionController ac(2, {}, &tables_);
+  ASSERT_TRUE(ac.admit(small_stream(0), 0).admitted);
+  const std::size_t after_first = tables_.compiled_systems();
+  ASSERT_TRUE(ac.admit(small_stream(1), 1).admitted);
+  // Same geometry and budget on the empty second processor: no new
+  // compilation.
+  EXPECT_EQ(tables_.compiled_systems(), after_first);
+}
+
+TEST_F(AdmissionTest, DeterministicVerdicts) {
+  AdmissionController a(2, {}, &tables_);
+  TableCache tables2(platform::figure5_cost_table());
+  AdmissionController b(2, {}, &tables2);
+  for (int i = 0; i < 10; ++i) {
+    const Placement pa = a.admit(small_stream(i), i % 2);
+    const Placement pb = b.admit(small_stream(i), i % 2);
+    EXPECT_EQ(pa.admitted, pb.admitted);
+    EXPECT_EQ(pa.processor, pb.processor);
+    EXPECT_EQ(pa.table_budget, pb.table_budget);
+    EXPECT_EQ(pa.initial_quality, pb.initial_quality);
+  }
+}
+
+}  // namespace
+}  // namespace qosctrl::farm

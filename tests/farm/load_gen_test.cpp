@@ -1,0 +1,139 @@
+#include "farm/load_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qosctrl::farm {
+namespace {
+
+LoadGenConfig small_config(std::uint64_t seed = 5) {
+  LoadGenConfig cfg;
+  cfg.num_streams = 20;
+  cfg.resolutions = {{32, 32}, {64, 48}};
+  cfg.resolution_weights = {0.6, 0.4};
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(LoadGen, DeterministicPerSeed) {
+  const FarmScenario a = generate_scenario(small_config());
+  const FarmScenario b = generate_scenario(small_config());
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (std::size_t i = 0; i < a.streams.size(); ++i) {
+    EXPECT_EQ(a.streams[i].join_time, b.streams[i].join_time);
+    EXPECT_EQ(a.streams[i].width, b.streams[i].width);
+    EXPECT_EQ(a.streams[i].frame_period, b.streams[i].frame_period);
+    EXPECT_EQ(a.streams[i].num_frames, b.streams[i].num_frames);
+    EXPECT_EQ(a.streams[i].mode, b.streams[i].mode);
+  }
+  const FarmScenario c = generate_scenario(small_config(6));
+  bool differs = false;
+  for (std::size_t i = 0; i < a.streams.size(); ++i) {
+    if (a.streams[i].join_time != c.streams[i].join_time ||
+        a.streams[i].num_frames != c.streams[i].num_frames) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LoadGen, ProducesValidSpecs) {
+  const FarmScenario sc = generate_scenario(small_config());
+  ASSERT_EQ(sc.streams.size(), 20u);
+  rt::Cycles prev_join = 0;
+  for (std::size_t i = 0; i < sc.streams.size(); ++i) {
+    const StreamSpec& s = sc.streams[i];
+    EXPECT_EQ(s.id, static_cast<int>(i));
+    EXPECT_GE(s.join_time, prev_join) << "joins must be time-ordered";
+    prev_join = s.join_time;
+    EXPECT_EQ(s.width % 16, 0);
+    EXPECT_EQ(s.height % 16, 0);
+    EXPECT_GE(s.num_frames, 8);
+    EXPECT_LE(s.num_frames, 24);
+    EXPECT_GE(s.num_scenes, 1);
+    EXPECT_GT(s.frame_period, 0);
+    EXPECT_GE(s.buffer_capacity, 1);
+    EXPECT_GT(leave_time_of(s), s.join_time);
+  }
+}
+
+TEST(LoadGen, ChurnAndHeterogeneity) {
+  LoadGenConfig cfg = small_config();
+  cfg.num_streams = 40;
+  cfg.constant_mode_fraction = 0.3;
+  const FarmScenario sc = generate_scenario(cfg);
+  int constant = 0;
+  std::set<rt::Cycles> periods;
+  std::set<int> widths;
+  bool overlap = false;
+  for (std::size_t i = 0; i < sc.streams.size(); ++i) {
+    const StreamSpec& s = sc.streams[i];
+    constant += s.mode == pipe::ControlMode::kConstantQuality ? 1 : 0;
+    periods.insert(s.frame_period);
+    widths.insert(s.width);
+    // Churn: some stream leaves before a later one joins, and some
+    // streams overlap in time.
+    if (i > 0 && sc.streams[i - 1].join_time < s.join_time &&
+        leave_time_of(sc.streams[i - 1]) > s.join_time) {
+      overlap = true;
+    }
+  }
+  EXPECT_GT(constant, 0);
+  EXPECT_LT(constant, 40);
+  EXPECT_GT(periods.size(), 1u) << "heterogeneous periods expected";
+  EXPECT_GT(widths.size(), 1u) << "heterogeneous geometries expected";
+  EXPECT_TRUE(overlap) << "concurrent streams expected";
+  bool someone_left_early = false;
+  for (const StreamSpec& s : sc.streams) {
+    if (leave_time_of(s) < sc.streams.back().join_time) {
+      someone_left_early = true;
+    }
+  }
+  EXPECT_TRUE(someone_left_early) << "stream churn expected";
+}
+
+TEST(LoadGen, SceneCountNeverExceedsLifetime) {
+  // The synthetic source requires num_scenes <= num_frames; very
+  // short-lived streams must clamp the scene draw.
+  LoadGenConfig cfg = small_config();
+  cfg.num_streams = 30;
+  cfg.min_frames = 1;
+  cfg.max_frames = 2;
+  cfg.max_scenes = 3;
+  const FarmScenario sc = generate_scenario(cfg);
+  for (const StreamSpec& s : sc.streams) {
+    EXPECT_LE(s.num_scenes, s.num_frames) << "stream " << s.id;
+    EXPECT_GE(s.num_scenes, 1);
+  }
+}
+
+TEST(LoadGen, MaxBurstOneMeansNoBursts) {
+  LoadGenConfig cfg = small_config();
+  cfg.num_streams = 40;
+  cfg.burst_probability = 1.0;
+  cfg.max_burst = 1;
+  const FarmScenario sc = generate_scenario(cfg);
+  for (std::size_t i = 1; i < sc.streams.size(); ++i) {
+    EXPECT_NE(sc.streams[i].join_time, sc.streams[i - 1].join_time)
+        << "max_burst = 1 must not produce simultaneous joins";
+  }
+}
+
+TEST(LoadGen, BurstsProduceSimultaneousJoins) {
+  LoadGenConfig cfg = small_config();
+  cfg.num_streams = 60;
+  cfg.burst_probability = 0.9;
+  cfg.max_burst = 4;
+  const FarmScenario sc = generate_scenario(cfg);
+  int simultaneous = 0;
+  for (std::size_t i = 1; i < sc.streams.size(); ++i) {
+    if (sc.streams[i].join_time == sc.streams[i - 1].join_time) {
+      ++simultaneous;
+    }
+  }
+  EXPECT_GT(simultaneous, 0);
+}
+
+}  // namespace
+}  // namespace qosctrl::farm

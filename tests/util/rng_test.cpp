@@ -91,6 +91,54 @@ TEST(Rng, ChanceFrequency) {
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
 }
 
+TEST(Rng, ForkIsDeterministicAndPure) {
+  Rng a(21), b(21);
+  Rng fa = a.fork(3), fb = b.fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  // fork() does not advance the parent.
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkOrderIndependent) {
+  // Forks commute: deriving stream 7 before or after stream 2 yields
+  // the same stream 7 — the property the farm's worker threads rely on.
+  Rng a(22), b(22);
+  Rng a7 = a.fork(7);
+  (void)a.fork(2);
+  (void)b.fork(2);
+  Rng b7 = b.fork(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a7.next_u64(), b7.next_u64());
+}
+
+TEST(Rng, ForkStreamsAreMutuallyDecorrelated) {
+  Rng root(23);
+  Rng s0 = root.fork(0), s1 = root.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (s0.next_u64() == s1.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+  // Adjacent ids must not produce shifted copies of one stream either.
+  Rng t0 = root.fork(100), t1 = root.fork(101);
+  (void)t0.next_u64();  // offset by one draw
+  equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (t0.next_u64() == t1.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkDependsOnParentState) {
+  Rng a(24), b(24);
+  (void)b.next_u64();  // different state -> different forks
+  Rng fa = a.fork(5), fb = b.fork(5);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (fa.next_u64() == fb.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
 TEST(Rng, SplitStreamsAreDecorrelated) {
   Rng parent(15);
   Rng child = parent.split();

@@ -92,8 +92,22 @@ void print_report(const toolgen::ParsedSpec& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  // Validate the command shape before touching the spec: an unknown
+  // subcommand or a missing spec argument prints usage and exits
+  // nonzero instead of half-working.
+  if (argc < 2) return usage();
   const char* command = argv[1];
+  const bool known = std::strcmp(command, "check") == 0 ||
+                     std::strcmp(command, "report") == 0 ||
+                     std::strcmp(command, "emit-c") == 0;
+  if (!known) {
+    std::fprintf(stderr, "qosc: unknown command '%s'\n", command);
+    return usage();
+  }
+  if (argc < 3) {
+    std::fprintf(stderr, "qosc: %s requires a spec file\n", command);
+    return usage();
+  }
   const toolgen::ParsedSpec spec = load(argv[2]);
   if (!spec.ok) {
     std::fprintf(stderr, "qosc: %s\n", spec.error.c_str());

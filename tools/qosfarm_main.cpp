@@ -1,0 +1,198 @@
+// qosfarm — encoder-farm simulator driver.
+//
+// Usage:
+//   qosfarm run [options]      generate a load and run it under
+//                              admission control
+//
+// Options (key value pairs):
+//   --procs N         virtual processors (default 2)
+//   --workers N       host worker threads for the data plane
+//                     (default: one per processor)
+//   --streams N       offered streams (default 12)
+//   --frames LO[:HI]  stream lifetime range in frames (default 8:24)
+//   --period-factors A,B,...  camera period scale factors relative to
+//                     the default pacing (default 3,4,6)
+//   --constant-frac F fraction of constant-quality streams (default 0.15)
+//   --seed S          scenario + farm seed (default 7)
+//   --json PATH       write the JSON report
+//   --csv PATH        write the per-stream CSV
+//   --quiet           suppress the human-readable report
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "farm/load_gen.h"
+#include "farm/metrics.h"
+#include "farm/simulator.h"
+
+namespace {
+
+using namespace qosctrl;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: qosfarm run [--procs N] [--workers N] [--streams N]\n"
+      "                   [--frames LO[:HI]] [--period-factors A,B,...]\n"
+      "                   [--constant-frac F] [--seed S]\n"
+      "                   [--json PATH] [--csv PATH] [--quiet]\n");
+  return 2;
+}
+
+bool parse_int(const char* s, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  if (*s == '-') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_fraction(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double_list(const char* s, std::vector<double>* out) {
+  out->clear();
+  std::string str(s);
+  std::size_t pos = 0;
+  while (pos < str.size()) {
+    std::size_t comma = str.find(',', pos);
+    if (comma == std::string::npos) comma = str.size();
+    try {
+      const std::string item = str.substr(pos, comma - pos);
+      std::size_t used = 0;
+      const double v = std::stod(item, &used);
+      if (used != item.size() || v <= 0.0) return false;
+      out->push_back(v);
+    } catch (...) {
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool write_file(const char* path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "qosfarm: cannot write %s\n", path);
+    return false;
+  }
+  f << content << '\n';
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "run") != 0) return usage();
+
+  farm::LoadGenConfig load;
+  farm::FarmConfig cfg;
+  cfg.workers = 0;  // default: one per processor
+  const char* json_path = nullptr;
+  const char* csv_path = nullptr;
+  bool quiet = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--procs") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &cfg.num_processors)) return usage();
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &cfg.workers)) return usage();
+    } else if (std::strcmp(arg, "--streams") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &load.num_streams)) return usage();
+    } else if (std::strcmp(arg, "--frames") == 0) {
+      const char* v = value();
+      if (!v) return usage();
+      int lo = 0, hi = 0;
+      const char* colon = std::strchr(v, ':');
+      if (colon) {
+        const std::string first(v, colon);
+        if (!parse_int(first.c_str(), &lo) || !parse_int(colon + 1, &hi)) {
+          return usage();
+        }
+      } else {
+        if (!parse_int(v, &lo)) return usage();
+        hi = lo;
+      }
+      load.min_frames = lo;
+      load.max_frames = hi;
+    } else if (std::strcmp(arg, "--period-factors") == 0) {
+      const char* v = value();
+      if (!v || !parse_double_list(v, &load.period_factors)) return usage();
+    } else if (std::strcmp(arg, "--constant-frac") == 0) {
+      const char* v = value();
+      if (!v || !parse_fraction(v, &load.constant_mode_fraction)) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = value();
+      std::uint64_t s = 0;
+      if (!v || !parse_u64(v, &s)) return usage();
+      load.seed = s;
+      cfg.seed = s * 0x9e3779b9ULL + 1;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_path = value();
+      if (!json_path) return usage();
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      csv_path = value();
+      if (!csv_path) return usage();
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "qosfarm: unknown option %s\n", arg);
+      return usage();
+    }
+  }
+  if (cfg.num_processors < 1 || load.num_streams < 0 ||
+      load.min_frames < 1 || load.max_frames < load.min_frames) {
+    return usage();
+  }
+  if (cfg.workers <= 0) cfg.workers = cfg.num_processors;
+  // run_farm clamps the same way; clamp here too so the report's
+  // "(N workers)" matches what the measurement actually used.
+  if (cfg.workers > cfg.num_processors) cfg.workers = cfg.num_processors;
+
+  const farm::FarmScenario scenario = farm::generate_scenario(load);
+  const auto t0 = std::chrono::steady_clock::now();
+  const farm::FarmResult result = farm::run_farm(scenario, cfg);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double frames_per_s =
+      wall_s > 0.0 ? static_cast<double>(result.total_frames) / wall_s : 0.0;
+
+  if (!quiet) {
+    std::fputs(farm::summarize(result).c_str(), stdout);
+    std::printf(
+        "wall=%.3fs throughput=%.1f stream-frames/s (%d workers)\n",
+        wall_s, frames_per_s, cfg.workers);
+  }
+  if (json_path && !write_file(json_path, farm::to_json(result))) return 1;
+  if (csv_path && !write_file(csv_path, farm::to_csv(result))) return 1;
+  return 0;
+}
