@@ -16,6 +16,7 @@
 #include "media/entropy.h"
 #include "media/motion.h"
 #include "media/padded_frame.h"
+#include "media/simd/kernels.h"
 #include "media/synthetic_video.h"
 #include "qos/controller.h"
 #include "sched/edf.h"
@@ -105,6 +106,19 @@ void BM_ForwardDct8(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardDct8);
 
+void BM_ForwardDct8ScalarKernel(benchmark::State& state) {
+  // The scalar fixed-point butterflies the AVX2 kernel is pinned
+  // against — the dispatch-level speedup is this vs BM_ForwardDct8.
+  const auto& t = media::simd::kernels_for(media::simd::Backend::kScalar);
+  const media::Block8 block = dct_input_block();
+  media::Coeffs8 out;
+  for (auto _ : state) {
+    t.fdct8(block.data(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ForwardDct8ScalarKernel);
+
 void BM_ForwardDct8Ref(benchmark::State& state) {
   // The double-precision triple-loop the fixed-point kernel replaced.
   const media::Block8 block = dct_input_block();
@@ -183,6 +197,54 @@ void BM_SadMacroblock(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SadMacroblock);
+
+void BM_SadMacroblockScalarKernel(benchmark::State& state) {
+  // The dispatched kernel's scalar counterpart, for the speedup ratio.
+  const auto& t = media::simd::kernels_for(media::simd::Backend::kScalar);
+  const auto& f = sad_fixture();
+  int dx = -8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        t.sad_16x16(f.block.data(), f.padded.row(64 + 3) + 80 + dx,
+                    f.padded.stride(), INT64_C(1) << 60));
+    dx = (dx < 8) ? dx + 1 : -8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SadMacroblockScalarKernel);
+
+void BM_SadMacroblockX4(benchmark::State& state) {
+  // The batched spiral-search kernel: 4 candidates per call;
+  // items_per_second counts candidate SADs.
+  const auto& f = sad_fixture();
+  const media::Sample* refs[4];
+  std::int64_t sads[4];
+  int dx = -8;
+  for (auto _ : state) {
+    for (int k = 0; k < 4; ++k) {
+      refs[k] = f.padded.row(64 + 3) + 80 + dx;
+      dx = (dx < 8) ? dx + 1 : -8;
+    }
+    media::simd::active_kernels().sad_16x16_x4(
+        f.block.data(), refs, f.padded.stride(), INT64_C(1) << 60, sads);
+    benchmark::DoNotOptimize(sads);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_SadMacroblockX4);
+
+void BM_HalfpelInterp(benchmark::State& state) {
+  // Diagonal bilinear interpolation — the most expensive half-pel case.
+  const auto& f = sad_fixture();
+  std::array<media::Sample, 256> out;
+  for (auto _ : state) {
+    media::simd::active_kernels().halfpel_16x16(
+        f.padded.row(64) + 80, f.padded.stride(), 1, 1, out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HalfpelInterp);
 
 void BM_SadMacroblockRef(benchmark::State& state) {
   const auto& f = sad_fixture();

@@ -2,163 +2,12 @@
 
 #include <cmath>
 
+#include "media/simd/kernels.h"
+
 namespace qosctrl::media {
 namespace {
 
 constexpr int kN = kTransformSize;
-
-// ---------------------------------------------------------------------------
-// Fixed-point integer kernel (LLM butterflies, libjpeg "islow" network).
-//
-// Each 1-D pass computes the sqrt(8)-scaled 8-point DCT (or its
-// inverse) with constants in kConstBits fixed point; the final descale
-// folds both passes' scale factors plus the 2^3 = (sqrt 8)^2 down to
-// the orthonormal range in a single rounded shift.  All intermediates
-// are int64, so there is no overflow for any int32 coefficient input,
-// and kPass1Bits = 9 keeps the inter-pass rounding error far below one
-// output unit.
-
-constexpr int kConstBits = 15;
-constexpr int kPass1Bits = 9;
-
-constexpr std::int64_t fix(double x) {
-  return static_cast<std::int64_t>(x * (INT64_C(1) << kConstBits) + 0.5);
-}
-
-constexpr std::int64_t kFix_0_298631336 = fix(0.298631336);
-constexpr std::int64_t kFix_0_390180644 = fix(0.390180644);
-constexpr std::int64_t kFix_0_541196100 = fix(0.541196100);
-constexpr std::int64_t kFix_0_765366865 = fix(0.765366865);
-constexpr std::int64_t kFix_0_899976223 = fix(0.899976223);
-constexpr std::int64_t kFix_1_175875602 = fix(1.175875602);
-constexpr std::int64_t kFix_1_501321110 = fix(1.501321110);
-constexpr std::int64_t kFix_1_847759065 = fix(1.847759065);
-constexpr std::int64_t kFix_1_961570560 = fix(1.961570560);
-constexpr std::int64_t kFix_2_053119869 = fix(2.053119869);
-constexpr std::int64_t kFix_2_562915447 = fix(2.562915447);
-constexpr std::int64_t kFix_3_072711026 = fix(3.072711026);
-
-inline std::int64_t descale(std::int64_t x, int n) {
-  return (x + (INT64_C(1) << (n - 1))) >> n;
-}
-
-/// One forward 8-point pass over `in` (stride 1) writing to `out`
-/// (stride 1).  `shift_simple` / `shift_const` are the descale amounts
-/// for the add-only (0, 4) and constant-multiplied outputs; pass 1
-/// *up*-scales the add-only outputs by kPass1Bits instead (negative
-/// shift), matching the libjpeg bookkeeping.
-template <bool kFirstPass>
-inline void fdct_pass(const std::int64_t* in, std::int64_t* out) {
-  const std::int64_t tmp0 = in[0] + in[7];
-  const std::int64_t tmp7 = in[0] - in[7];
-  const std::int64_t tmp1 = in[1] + in[6];
-  const std::int64_t tmp6 = in[1] - in[6];
-  const std::int64_t tmp2 = in[2] + in[5];
-  const std::int64_t tmp5 = in[2] - in[5];
-  const std::int64_t tmp3 = in[3] + in[4];
-  const std::int64_t tmp4 = in[3] - in[4];
-
-  // Even part.
-  const std::int64_t tmp10 = tmp0 + tmp3;
-  const std::int64_t tmp13 = tmp0 - tmp3;
-  const std::int64_t tmp11 = tmp1 + tmp2;
-  const std::int64_t tmp12 = tmp1 - tmp2;
-
-  const int simple_down = kFirstPass ? 0 : kPass1Bits + 3;
-  const int const_down =
-      kFirstPass ? kConstBits - kPass1Bits : kConstBits + kPass1Bits + 3;
-
-  if (kFirstPass) {
-    out[0] = (tmp10 + tmp11) << kPass1Bits;
-    out[4] = (tmp10 - tmp11) << kPass1Bits;
-  } else {
-    out[0] = descale(tmp10 + tmp11, simple_down);
-    out[4] = descale(tmp10 - tmp11, simple_down);
-  }
-
-  const std::int64_t z1 = (tmp12 + tmp13) * kFix_0_541196100;
-  out[2] = descale(z1 + tmp13 * kFix_0_765366865, const_down);
-  out[6] = descale(z1 - tmp12 * kFix_1_847759065, const_down);
-
-  // Odd part.
-  std::int64_t z1o = tmp4 + tmp7;
-  std::int64_t z2 = tmp5 + tmp6;
-  std::int64_t z3 = tmp4 + tmp6;
-  std::int64_t z4 = tmp5 + tmp7;
-  const std::int64_t z5 = (z3 + z4) * kFix_1_175875602;
-
-  const std::int64_t t4 = tmp4 * kFix_0_298631336;
-  const std::int64_t t5 = tmp5 * kFix_2_053119869;
-  const std::int64_t t6 = tmp6 * kFix_3_072711026;
-  const std::int64_t t7 = tmp7 * kFix_1_501321110;
-  z1o = -z1o * kFix_0_899976223;
-  z2 = -z2 * kFix_2_562915447;
-  z3 = -z3 * kFix_1_961570560 + z5;
-  z4 = -z4 * kFix_0_390180644 + z5;
-
-  out[7] = descale(t4 + z1o + z3, const_down);
-  out[5] = descale(t5 + z2 + z4, const_down);
-  out[3] = descale(t6 + z2 + z3, const_down);
-  out[1] = descale(t7 + z1o + z4, const_down);
-}
-
-/// One inverse 8-point pass; pass 1 descales by kConstBits - kPass1Bits,
-/// pass 2 by kConstBits + kPass1Bits + 3.
-template <bool kFirstPass>
-inline void idct_pass(const std::int64_t* in, std::int64_t* out) {
-  // Even part.
-  std::int64_t z2 = in[2];
-  std::int64_t z3 = in[6];
-  const std::int64_t z1 = (z2 + z3) * kFix_0_541196100;
-  const std::int64_t tmp2 = z1 - z3 * kFix_1_847759065;
-  const std::int64_t tmp3 = z1 + z2 * kFix_0_765366865;
-
-  z2 = in[0];
-  z3 = in[4];
-  const std::int64_t tmp0 = (z2 + z3) << kConstBits;
-  const std::int64_t tmp1 = (z2 - z3) << kConstBits;
-
-  const std::int64_t tmp10 = tmp0 + tmp3;
-  const std::int64_t tmp13 = tmp0 - tmp3;
-  const std::int64_t tmp11 = tmp1 + tmp2;
-  const std::int64_t tmp12 = tmp1 - tmp2;
-
-  // Odd part.
-  std::int64_t t0 = in[7];
-  std::int64_t t1 = in[5];
-  std::int64_t t2 = in[3];
-  std::int64_t t3 = in[1];
-  std::int64_t z1o = t0 + t3;
-  std::int64_t z2o = t1 + t2;
-  std::int64_t z3o = t0 + t2;
-  std::int64_t z4o = t1 + t3;
-  const std::int64_t z5 = (z3o + z4o) * kFix_1_175875602;
-
-  t0 *= kFix_0_298631336;
-  t1 *= kFix_2_053119869;
-  t2 *= kFix_3_072711026;
-  t3 *= kFix_1_501321110;
-  z1o = -z1o * kFix_0_899976223;
-  z2o = -z2o * kFix_2_562915447;
-  z3o = -z3o * kFix_1_961570560 + z5;
-  z4o = -z4o * kFix_0_390180644 + z5;
-
-  t0 += z1o + z3o;
-  t1 += z2o + z4o;
-  t2 += z2o + z3o;
-  t3 += z1o + z4o;
-
-  const int down =
-      kFirstPass ? kConstBits - kPass1Bits : kConstBits + kPass1Bits + 3;
-  out[0] = descale(tmp10 + t3, down);
-  out[7] = descale(tmp10 - t3, down);
-  out[1] = descale(tmp11 + t2, down);
-  out[6] = descale(tmp11 - t2, down);
-  out[2] = descale(tmp12 + t1, down);
-  out[5] = descale(tmp12 - t1, down);
-  out[3] = descale(tmp13 + t0, down);
-  out[4] = descale(tmp13 - t0, down);
-}
 
 // ---------------------------------------------------------------------------
 // Double-precision reference basis.
@@ -185,53 +34,14 @@ const Basis& basis() {
 }  // namespace
 
 Coeffs8 forward_dct8(const Block8& block) {
-  std::int64_t row_in[kN];
-  std::int64_t ws[kN * kN];
-  // Rows.
-  for (int y = 0; y < kN; ++y) {
-    for (int x = 0; x < kN; ++x) {
-      row_in[x] = block[static_cast<std::size_t>(y * kN + x)];
-    }
-    fdct_pass<true>(row_in, ws + y * kN);
-  }
-  // Columns.
-  std::int64_t col_in[kN];
-  std::int64_t col_out[kN];
   Coeffs8 out;
-  for (int u = 0; u < kN; ++u) {
-    for (int y = 0; y < kN; ++y) col_in[y] = ws[y * kN + u];
-    fdct_pass<false>(col_in, col_out);
-    for (int v = 0; v < kN; ++v) {
-      out[static_cast<std::size_t>(v * kN + u)] =
-          static_cast<std::int32_t>(col_out[v]);
-    }
-  }
+  simd::active_kernels().fdct8(block.data(), out.data());
   return out;
 }
 
 Block8 inverse_dct8(const Coeffs8& coeffs) {
-  std::int64_t col_in[kN];
-  std::int64_t col_out[kN];
-  std::int64_t ws[kN * kN];
-  // Columns (inverse).
-  for (int u = 0; u < kN; ++u) {
-    for (int v = 0; v < kN; ++v) {
-      col_in[v] = coeffs[static_cast<std::size_t>(v * kN + u)];
-    }
-    idct_pass<true>(col_in, col_out);
-    for (int y = 0; y < kN; ++y) ws[y * kN + u] = col_out[y];
-  }
-  // Rows (inverse).
-  std::int64_t row_out[kN];
   Block8 out;
-  for (int y = 0; y < kN; ++y) {
-    idct_pass<false>(ws + y * kN, row_out);
-    for (int x = 0; x < kN; ++x) {
-      out[static_cast<std::size_t>(y * kN + x)] = static_cast<Residual>(
-          std::max<std::int64_t>(-32768,
-                                 std::min<std::int64_t>(32767, row_out[x])));
-    }
-  }
+  simd::active_kernels().idct8(coeffs.data(), out.data());
   return out;
 }
 

@@ -11,6 +11,12 @@
 // floor.  Unlike the reference — a triple-loop double matrix product —
 // the butterflies run in a handful of integer multiplies per row, which
 // matters now that benchmarks drive millions of blocks through it.
+//
+// Both directions dispatch through media::simd::active_kernels(): the
+// scalar butterflies live in media/simd/kernels_scalar.cpp and the
+// AVX2 backend vectorizes the same network 8 lanes wide, bit-exact
+// over the encoder's input domain (|residual| <= 1023 forward,
+// |coefficient| <= 65536 inverse — see media/simd/kernels.h).
 #pragma once
 
 #include "media/frame.h"

@@ -4,24 +4,14 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "media/simd/kernels.h"
 #include "util/check.h"
 
 namespace qosctrl::media {
 
 std::int64_t sad_16x16(const Sample* cur, const Sample* ref,
                        std::ptrdiff_t ref_stride, std::int64_t best) {
-  std::int64_t acc = 0;
-  for (int y = 0; y < kMacroBlockSize; ++y) {
-    const Sample* c = cur + y * kMacroBlockSize;
-    const Sample* r = ref + y * ref_stride;
-    int row = 0;
-    for (int x = 0; x < kMacroBlockSize; ++x) {
-      row += std::abs(static_cast<int>(c[x]) - static_cast<int>(r[x]));
-    }
-    acc += row;
-    if (acc >= best) return acc;  // cannot improve; partial sum suffices
-  }
-  return acc;
+  return simd::active_kernels().sad_16x16(cur, ref, ref_stride, best);
 }
 
 namespace {
@@ -59,27 +49,7 @@ void copy_block16(const Sample* src, std::ptrdiff_t stride,
 /// (fx, fy) in {0, 1}^2 \ {(0, 0)}.  Reads one extra column/row.
 void halfpel_block16(const Sample* src, std::ptrdiff_t stride, int fx,
                      int fy, std::array<Sample, 256>& out) {
-  Sample* dst = out.data();
-  for (int y = 0; y < kMacroBlockSize; ++y) {
-    const Sample* p = src;
-    const Sample* q = src + stride;
-    if (fx == 1 && fy == 0) {
-      for (int x = 0; x < kMacroBlockSize; ++x) {
-        dst[x] = static_cast<Sample>((p[x] + p[x + 1] + 1) / 2);
-      }
-    } else if (fx == 0) {  // fy == 1
-      for (int x = 0; x < kMacroBlockSize; ++x) {
-        dst[x] = static_cast<Sample>((p[x] + q[x] + 1) / 2);
-      }
-    } else {
-      for (int x = 0; x < kMacroBlockSize; ++x) {
-        dst[x] = static_cast<Sample>(
-            (p[x] + p[x + 1] + q[x] + q[x + 1] + 2) / 4);
-      }
-    }
-    src += stride;
-    dst += kMacroBlockSize;
-  }
+  simd::active_kernels().halfpel_16x16(src, stride, fx, fy, out.data());
 }
 
 /// True when the 16x16 block at (bx, by) lies fully inside `frame`.
@@ -93,6 +63,10 @@ bool block16_interior(const Frame& frame, int bx, int by) {
 /// original clamped scalar code.
 
 struct PaddedRefView {
+  /// Padded references read any in-window candidate with the span
+  /// kernel, so ring candidates can be batched 4 per kernel call.
+  static constexpr bool kBatch = true;
+
   const PaddedFrame* ref;
 
   std::int64_t sad(const Sample* cur, int bx, int by,
@@ -101,6 +75,16 @@ struct PaddedRefView {
               "search displacement exceeds reference padding");
     return sad_16x16(cur, ref->row(by) + bx, ref->stride(), best);
   }
+  void sad4(const Sample* cur, int x0, int y0, const int* dx, const int* dy,
+            std::int64_t best, std::int64_t out[4]) const {
+    const Sample* refs[4];
+    for (int k = 0; k < 4; ++k) {
+      QC_DCHECK(ref->covers_block16(0, 0, x0 + dx[k], y0 + dy[k]),
+                "search displacement exceeds reference padding");
+      refs[k] = ref->row(y0 + dy[k]) + x0 + dx[k];
+    }
+    simd::active_kernels().sad_16x16_x4(cur, refs, ref->stride(), best, out);
+  }
   std::array<Sample, 256> compensate_halfpel(int x0, int y0, int dx2,
                                              int dy2) const {
     return motion_compensate_halfpel(*ref, x0, y0, dx2, dy2);
@@ -108,6 +92,8 @@ struct PaddedRefView {
 };
 
 struct ClampedRefView {
+  static constexpr bool kBatch = false;
+
   const Frame* ref;
 
   std::int64_t sad(const Sample* cur, int bx, int by,
@@ -176,23 +162,70 @@ MotionResult estimate_motion_impl(const Frame& current, const RefView& view,
   if (config.early_exit_sad > 0 && best <= config.early_exit_sad) {
     return finish();  // the zero vector is already good enough
   }
-  // Spiral: rings of increasing Chebyshev radius.
-  for (int ring = 1; ring <= r; ++ring) {
-    for (int dy = -ring; dy <= ring; ++dy) {
-      const bool edge_row = std::abs(dy) == ring;
-      const int step = edge_row ? 1 : 2 * ring;  // skip the ring interior
-      for (int dx = -ring; dx <= ring; dx += step) {
-        const std::int64_t s =
-            view.sad(cur.data(), x0 + dx, y0 + dy, best);
+  // Spiral: rings of increasing Chebyshev radius.  The padded view
+  // batches ring candidates 4 per sad_16x16_x4 call (a ring has
+  // 8 * ring candidates, always a multiple of 4).  Batching is
+  // observationally identical to the sequential loop: the batched
+  // kernel returns exact SADs, the scan below updates `best` and
+  // checks the early-exit threshold in candidate order, and a
+  // threshold hit discards the batch remainder exactly where the
+  // sequential loop would have stopped.  The batch kernel prunes only
+  // when all four candidates are already beaten (values >= best are
+  // partial either way), which affects work done, never values
+  // returned.
+  if constexpr (RefView::kBatch) {
+    int cdx[4];
+    int cdy[4];
+    std::int64_t sads[4];
+    int n = 0;
+    // Returns true when the early-exit threshold ends the search.
+    const auto flush = [&]() -> bool {
+      view.sad4(cur.data(), x0, y0, cdx, cdy, best, sads);
+      for (int k = 0; k < n; ++k) {
         ++result.points_examined;
-        if (s < best) {
-          best = s;
-          result.dx = dx;
-          result.dy = dy;
-          result.sad = s;
+        if (sads[k] < best) {
+          best = sads[k];
+          result.dx = cdx[k];
+          result.dy = cdy[k];
+          result.sad = sads[k];
         }
         if (config.early_exit_sad > 0 && best <= config.early_exit_sad) {
-          return finish();
+          return true;
+        }
+      }
+      n = 0;
+      return false;
+    };
+    for (int ring = 1; ring <= r; ++ring) {
+      for (int dy = -ring; dy <= ring; ++dy) {
+        const bool edge_row = std::abs(dy) == ring;
+        const int step = edge_row ? 1 : 2 * ring;  // skip the ring interior
+        for (int dx = -ring; dx <= ring; dx += step) {
+          cdx[n] = dx;
+          cdy[n] = dy;
+          if (++n == 4 && flush()) return finish();
+        }
+      }
+    }
+    QC_DCHECK(n == 0, "ring candidate count must be a multiple of 4");
+  } else {
+    for (int ring = 1; ring <= r; ++ring) {
+      for (int dy = -ring; dy <= ring; ++dy) {
+        const bool edge_row = std::abs(dy) == ring;
+        const int step = edge_row ? 1 : 2 * ring;  // skip the ring interior
+        for (int dx = -ring; dx <= ring; dx += step) {
+          const std::int64_t s =
+              view.sad(cur.data(), x0 + dx, y0 + dy, best);
+          ++result.points_examined;
+          if (s < best) {
+            best = s;
+            result.dx = dx;
+            result.dy = dy;
+            result.sad = s;
+          }
+          if (config.early_exit_sad > 0 && best <= config.early_exit_sad) {
+            return finish();
+          }
         }
       }
     }

@@ -50,7 +50,9 @@ int search_radius_for_level(std::size_t qi);
 /// Fused early-exit SAD between a cached 16x16 block `cur` (contiguous,
 /// stride 16) and the 16x16 block at `ref` with row stride
 /// `ref_stride`.  Returns the exact SAD when it is < `best`; aborts
-/// with a partial sum >= `best` as soon as the block cannot win.
+/// with a partial sum >= `best` (checked every 4 rows) as soon as the
+/// block cannot win.  Dispatches to the active SIMD backend
+/// (media/simd/kernels.h); all backends return identical values.
 std::int64_t sad_16x16(const Sample* cur, const Sample* ref,
                        std::ptrdiff_t ref_stride, std::int64_t best);
 
@@ -65,9 +67,10 @@ MotionResult estimate_motion(const Frame& current, const Frame& reference,
 
 /// Fast variant against a pre-padded reference: every candidate —
 /// border macroblocks included — runs the span kernel with no clamping
-/// branches.  Bit-exact with the Frame overload as long as the search
-/// window (radius + 1 for half-pel) fits in reference.pad().  This is
-/// the path the encoder uses, amortizing the pad over a whole frame.
+/// branches, and ring candidates are batched 4 per SIMD kernel call.
+/// Bit-exact with the Frame overload as long as the search window
+/// (radius + 1 for half-pel) fits in reference.pad().  This is the
+/// path the encoder uses, amortizing the pad over a whole frame.
 MotionResult estimate_motion(const Frame& current,
                              const PaddedFrame& reference, int x0, int y0,
                              const MotionConfig& config);

@@ -88,12 +88,85 @@ StreamSession::StreamSession(const PipelineConfig& config, rt::Cycles budget,
   QC_EXPECT(system_->budget == budget,
             "shared encoder system budget must match the session budget");
   controller_ = make_controller(config_, *system_);
+
+  // Smallest re-pace window that is still worst-case schedulable at
+  // qmin: with evenly paced deadlines D(j) = B * (j+1) / m and a
+  // uniform per-iteration qmin worst case W, every prefix constraint
+  // W * (j+1) <= floor(B * (j+1) / m) reduces to B >= W * m — the
+  // total qmin worst case of the unrolled system.  A frame whose
+  // backlog leaves less than this keeps arrival pacing (only possible
+  // for uncontrolled encoders, which overrun arbitrarily).
+  min_repace_budget_ = 0;
+  const rt::TimeFunction qmin_wc =
+      system_->system->cwc_of(system_->system->qmin());
+  for (const rt::Cycles c : qmin_wc.values()) {
+    min_repace_budget_ += c;
+  }
+}
+
+bool StreamSession::repace_eligible() const {
+  if (!config_.repace_on_backlog) return false;
+  switch (config_.mode) {
+    case ControlMode::kControlled:
+      // Table and online controllers hold no cross-frame state, so a
+      // fresh instance over the re-paced system decides exactly as a
+      // long-lived one would.  The adaptive controller learns average
+      // times across frames (and needs the periodic geometry), so it
+      // keeps arrival pacing.
+      return !config_.use_adaptive_controller;
+    case ControlMode::kConstantQuality:
+      return true;  // stateless; only the miss accounting is affected
+    case ControlMode::kFeedback:
+      return false;  // the PID carries state across frames
+  }
+  return false;
+}
+
+const enc::EncoderSystem& StreamSession::repaced_system(rt::Cycles remaining) {
+  // Cost-model jitter makes every backlog lag unique, so caching by
+  // the exact remaining window would never hit.  Quantize the window
+  // *down* to one of 64 buckets of the session budget instead:
+  // pacing over a slightly smaller window is strictly conservative
+  // (deadlines only move earlier, the display deadline still holds),
+  // and the cache is bounded by the bucket count.
+  const rt::Cycles quantum = std::max<rt::Cycles>(1, budget() / 64);
+  remaining = std::max(min_repace_budget_, remaining / quantum * quantum);
+  auto it = repaced_.find(remaining);
+  if (it == repaced_.end()) {
+    it = repaced_
+             .emplace(remaining,
+                      std::make_shared<const enc::EncoderSystem>(
+                          enc::build_encoder_system(
+                              macroblock_count(config_), remaining,
+                              platform::figure5_cost_table())))
+             .first;
+  }
+  return *it->second;
 }
 
 FrameRecord StreamSession::encode(int index, rt::Cycles t0) {
   const media::YuvFrame input = video_.frame_yuv(index);
+
+  // Late start under backlog: re-pace this frame's deadlines over the
+  // remaining window instead of entering arrival-paced tables with
+  // already-expired early deadlines.  When the backlog has consumed
+  // the whole window (possible only for uncontrolled encoders) there
+  // is nothing left to pace over and the arrival-paced path keeps the
+  // miss accounting honest.
+  const enc::EncoderSystem* sys = system_.get();
+  qos::Controller* controller = controller_.get();
+  rt::Cycles elapsed = t0;
+  std::unique_ptr<qos::Controller> repaced_controller;
+  if (t0 > 0 && budget() > t0 &&
+      budget() - t0 >= min_repace_budget_ && repace_eligible()) {
+    sys = &repaced_system(budget() - t0);
+    repaced_controller = make_controller(config_, *sys);
+    controller = repaced_controller.get();
+    elapsed = 0;
+  }
+
   const enc::FrameStats stats = encoder_.encode_frame(
-      input, *controller_, *system_->system, rate_.qp(), t0);
+      input, *controller, *sys->system, rate_.qp(), elapsed);
   rate_.frame_encoded(stats.bits);
 
   FrameRecord rec;

@@ -14,11 +14,19 @@
 //    safe controller is always free again by the next arrival.
 //
 // The controlled encoder measures elapsed time from the frame's
-// *arrival*, so a late start (buffer occupancy) automatically shrinks
-// the usable budget — no per-frame table rebuild is needed and the
-// compiled slack tables stay valid.
+// *arrival* when it starts on time.  A frame that starts late (buffer
+// occupancy, K > 1) is *re-paced*: its per-action deadlines are spread
+// over the remaining window max(arrival, start) .. arrival + K * P and
+// elapsed time is measured from the actual start, so backlog shrinks
+// the budget without leaving already-expired early deadlines behind —
+// the paced-from-arrival artifact that used to log spurious
+// intermediate misses while the display deadline a_f + K * P still
+// held.  Re-paced systems are compiled on demand and cached per
+// remaining budget; set PipelineConfig::repace_on_backlog = false to
+// reproduce the old behavior.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -59,6 +67,11 @@ struct PipelineConfig {
   bool use_adaptive_controller = false;
   qos::AdaptiveConfig adaptive{};
   qos::FeedbackConfig feedback{};  ///< for ControlMode::kFeedback
+  /// Re-pace a late-starting frame's deadlines over the remaining
+  /// window (see the header comment).  Applies to the table-driven,
+  /// online, and constant controllers; the adaptive and feedback
+  /// controllers carry state across frames and keep arrival pacing.
+  bool repace_on_backlog = true;
   std::uint64_t seed = 42;     ///< cost-model jitter stream
   enc::EncoderConfig encoder{};
   enc::RateControlConfig rate{};
@@ -122,7 +135,9 @@ class StreamSession {
   /// Encodes camera frame `index`; `t0` is the elapsed time already
   /// consumed when the encoder starts (the buffer wait in the
   /// single-stream pipeline; 0 in the farm, whose tables are paced
-  /// from service start).
+  /// from service start).  With repace_on_backlog (the default) a
+  /// positive `t0` re-paces this frame's deadlines over the remaining
+  /// budget() - t0 and measures elapsed time from the actual start.
   FrameRecord encode(int index, rt::Cycles t0);
 
   /// Records camera frame `index` as dropped (input buffer full): the
@@ -135,12 +150,27 @@ class StreamSession {
   const PipelineConfig& config() const { return config_; }
 
  private:
+  /// True when the configured controller can be rebuilt per frame
+  /// without losing cross-frame state (table / online / constant).
+  bool repace_eligible() const;
+  /// The encoder system re-paced over `remaining` cycles from service
+  /// start (compiled on demand, cached by remaining budget).
+  const enc::EncoderSystem& repaced_system(rt::Cycles remaining);
+
   PipelineConfig config_;
   media::SyntheticVideo video_;
   std::shared_ptr<const enc::EncoderSystem> system_;
   enc::FrameEncoder encoder_;
   enc::RateController rate_;
   std::unique_ptr<qos::Controller> controller_;
+  /// Re-paced systems keyed by the remaining budget rounded down to a
+  /// 64-bucket grid of the session budget (cost-model jitter makes
+  /// exact lags unique, so the grid is what makes the cache hit; see
+  /// repaced_system).
+  std::map<rt::Cycles, std::shared_ptr<const enc::EncoderSystem>> repaced_;
+  /// Smallest remaining window that is qmin-WC schedulable; shorter
+  /// backlogged frames keep arrival pacing (see the constructor).
+  rt::Cycles min_repace_budget_ = 0;
 };
 
 /// Runs the full system simulation.

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_micro run against the committed baseline.
+
+Reads two google-benchmark JSON files (the format tools/run_bench.sh
+writes: aggregates only, 3 repetitions) and fails when a tracked
+benchmark's mean cpu_time regressed by more than the allowed factor.
+
+CI runners and developer machines differ in absolute speed, so by
+default every per-benchmark ratio is normalized by the *median* ratio
+across all benchmarks shared by the two files: a uniformly slower
+machine cancels out, while a single kernel that regressed relative to
+its peers stands out.  Pass --absolute to compare raw cpu_time instead
+(meaningful only against a baseline recorded on the same machine).
+
+Usage:
+  tools/check_bench_regression.py BASELINE.json CURRENT.json \
+      [--benchmarks REGEX] [--max-slowdown 1.25] [--absolute]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Anchored: must not also catch the deliberately-slow reference /
+# scalar-kernel variants (BM_SadMacroblockRef, BM_ForwardDct8Ref, ...).
+DEFAULT_BENCHMARKS = r"^BM_(SadMacroblock|ForwardDct8|FarmThroughput/\d+)$"
+
+
+def load_means(path):
+    """run_name -> mean cpu_time (ns) from an aggregates-only JSON."""
+    with open(path) as f:
+        doc = json.load(f)
+    means = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("aggregate_name") != "mean":
+            continue
+        means[b["run_name"]] = float(b["cpu_time"])
+    return means
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--benchmarks", default=DEFAULT_BENCHMARKS,
+                    help="regex of run_names that must not regress "
+                         f"(default: {DEFAULT_BENCHMARKS})")
+    ap.add_argument("--max-slowdown", type=float, default=1.25,
+                    help="failure threshold on the (normalized) "
+                         "cpu_time ratio (default: 1.25 = 25%% slower)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="skip machine-speed normalization")
+    args = ap.parse_args()
+
+    base = load_means(args.baseline)
+    cur = load_means(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("error: no shared benchmark aggregates between the files")
+        return 2
+
+    ratios = {name: cur[name] / base[name] for name in shared
+              if base[name] > 0}
+    if args.absolute:
+        scale = 1.0
+    else:
+        ordered = sorted(ratios.values())
+        mid = len(ordered) // 2
+        scale = (ordered[mid] if len(ordered) % 2
+                 else 0.5 * (ordered[mid - 1] + ordered[mid]))
+        print(f"machine-speed normalization: median ratio {scale:.3f} "
+              f"over {len(ordered)} shared benchmarks")
+
+    pattern = re.compile(args.benchmarks)
+    tracked = [n for n in shared if pattern.search(n)]
+    if not tracked:
+        print(f"error: no shared benchmarks match /{args.benchmarks}/")
+        return 2
+
+    failures = []
+    for name in tracked:
+        norm = ratios[name] / scale
+        verdict = "FAIL" if norm > args.max_slowdown else "ok"
+        print(f"{verdict:>4}  {name}: {base[name]:.1f} -> {cur[name]:.1f} ns "
+              f"(x{ratios[name]:.3f}, normalized x{norm:.3f})")
+        if norm > args.max_slowdown:
+            failures.append(name)
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"x{args.max_slowdown}: {', '.join(failures)}")
+        return 1
+    print(f"\nall {len(tracked)} tracked benchmarks within "
+          f"x{args.max_slowdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
