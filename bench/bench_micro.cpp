@@ -311,7 +311,8 @@ BENCHMARK(BM_SyntheticFrame);
 // queues, real pixel encoding).  items_per_second reports simulated
 // stream-frames per wall-second — the farm metric tracked in
 // BENCH_micro.json; Arg is the worker-thread count.
-void BM_FarmThroughput(benchmark::State& state) {
+void run_farm_throughput(benchmark::State& state,
+                         sched::PolicyKind policy) {
   farm::LoadGenConfig load;
   load.num_streams = 6;
   load.resolutions = {{32, 32}};
@@ -319,7 +320,11 @@ void BM_FarmThroughput(benchmark::State& state) {
   load.min_frames = 4;
   load.max_frames = 6;
   load.seed = 13;
-  const farm::FarmScenario scenario = farm::generate_scenario(load);
+  farm::FarmScenario scenario = farm::generate_scenario(load);
+  scenario.sched.policy.kind = policy;
+  scenario.sched.policy.context_switch_cost =
+      platform::kContextSwitchCycles;
+  scenario.sched.policy.quantum = 1000000;
   farm::FarmConfig cfg;
   cfg.num_processors = 2;
   cfg.workers = static_cast<int>(state.range(0));
@@ -331,7 +336,30 @@ void BM_FarmThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(frames);
 }
+
+void BM_FarmThroughput(benchmark::State& state) {
+  run_farm_throughput(state, sched::PolicyKind::kNonPreemptiveEdf);
+}
 BENCHMARK(BM_FarmThroughput)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// The preemptive scheduling classes pay per-switch accounting in the
+// data plane; these variants keep that overhead pinned alongside the
+// np baseline (tools/check_bench_regression.py tracks all three).
+void BM_FarmThroughputPreemptive(benchmark::State& state) {
+  run_farm_throughput(state, sched::PolicyKind::kPreemptiveEdf);
+}
+BENCHMARK(BM_FarmThroughputPreemptive)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FarmThroughputQuantum(benchmark::State& state) {
+  run_farm_throughput(state, sched::PolicyKind::kQuantumEdf);
+}
+BENCHMARK(BM_FarmThroughputQuantum)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

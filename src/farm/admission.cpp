@@ -42,8 +42,12 @@ rt::Cycles TableCache::worst_case_frame_cost(int macroblocks,
 
 AdmissionController::AdmissionController(int num_processors,
                                          AdmissionConfig config,
-                                         TableCache* tables)
-    : config_(std::move(config)), tables_(tables) {
+                                         TableCache* tables,
+                                         SchedulingSpec sched)
+    : config_(std::move(config)),
+      sched_(sched),
+      policy_(sched::make_policy(sched.policy)),
+      tables_(tables) {
   QC_EXPECT(num_processors >= 1, "farm needs at least one processor");
   QC_EXPECT(tables_ != nullptr, "admission needs a table cache");
   QC_EXPECT(config_.utilization_cap > 0.0 && config_.utilization_cap <= 1.0,
@@ -88,7 +92,59 @@ bool AdmissionController::fits(int p, const sched::NpTask& candidate) const {
   for (const Commitment& c : cs) tasks.push_back(c.task);
   tasks.push_back(candidate);
   if (sched::np_utilization(tasks) > config_.utilization_cap) return false;
-  return sched::np_edf_schedulable(tasks);
+  return policy_->schedulable(tasks);
+}
+
+std::vector<rt::Cycles> AdmissionController::controlled_candidates(
+    int macroblocks, rt::Cycles latency, rt::Cycles period) const {
+  // Candidate service budgets, richest first; rounded down to a
+  // multiple of the macroblock count so the evenly paced deadlines
+  // divide exactly, with the qmin-minimal budget as last resort.
+  const rt::Cycles min_budget = tables_->min_budget(macroblocks);
+  std::vector<rt::Cycles> candidates;
+  const double share_cap =
+      config_.max_stream_share * static_cast<double>(period);
+  auto add_candidate = [&](double cycles) {
+    const rt::Cycles b =
+        (static_cast<rt::Cycles>(cycles) / macroblocks) * macroblocks;
+    if (b >= min_budget && b <= latency &&
+        static_cast<double>(b) <= share_cap) {
+      candidates.push_back(b);
+    }
+  };
+  for (const double f : config_.budget_fractions) {
+    add_candidate(static_cast<double>(latency) * f);
+  }
+  for (const double m : config_.min_budget_multiples) {
+    add_candidate(static_cast<double>(min_budget) * m);
+  }
+  if (min_budget <= latency) candidates.push_back(min_budget);
+  std::sort(candidates.begin(), candidates.end(),
+            std::greater<rt::Cycles>());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+void AdmissionController::commit_and_fill(
+    const StreamSpec& spec, const sched::NpTask& task,
+    rt::Cycles table_budget, int p, int preferred,
+    std::shared_ptr<const enc::EncoderSystem> system, Placement* out) {
+  Commitment c;
+  c.stream_id = spec.id;
+  c.task = task;
+  c.controlled = spec.mode == pipe::ControlMode::kControlled;
+  c.macroblocks = macroblocks_of(spec);
+  c.table_budget = table_budget;
+  c.min_budget = tables_->min_budget(c.macroblocks);
+  committed_[static_cast<std::size_t>(p)].push_back(std::move(c));
+  out->admitted = true;
+  out->processor = p;
+  out->committed_cost = task.cost;
+  out->table_budget = table_budget;
+  out->migrated = p != preferred;
+  out->initial_quality = system->tables->initial_quality();
+  out->system = std::move(system);
 }
 
 bool AdmissionController::try_place(const StreamSpec& spec,
@@ -107,16 +163,85 @@ bool AdmissionController::try_place(const StreamSpec& spec,
     const int p = k == 0 ? preferred
                          : (k - 1 < preferred ? k - 1 : k);
     if (!fits(p, task)) continue;
+    commit_and_fill(spec, task, table_budget, p, preferred,
+                    std::move(system), out);
+    return true;
+  }
+  return false;
+}
 
-    committed_[static_cast<std::size_t>(p)].push_back(
-        Commitment{spec.id, task});
-    out->admitted = true;
-    out->processor = p;
-    out->committed_cost = cost;
-    out->table_budget = table_budget;
-    out->migrated = p != preferred;
-    out->initial_quality = system->tables->initial_quality();
-    out->system = std::move(system);
+bool AdmissionController::try_place_renegotiating(const StreamSpec& spec,
+                                                  rt::Cycles table_budget,
+                                                  rt::Cycles cost,
+                                                  int preferred,
+                                                  Placement* out) {
+  auto system = tables_->get(macroblocks_of(spec), table_budget);
+  if (system->tables->max_initial_delay() < 0) return false;
+
+  const sched::NpTask task{cost, latency_of(spec), period_of(spec)};
+  for (int k = 0; k < num_processors(); ++k) {
+    const int p = k == 0 ? preferred
+                         : (k - 1 < preferred ? k - 1 : k);
+    auto& cs = committed_[static_cast<std::size_t>(p)];
+    const std::vector<Commitment> saved = cs;
+
+    // Shrink incumbents until the newcomer fits: pick the controlled
+    // commitment with the largest budget headroom (ties to the lowest
+    // stream id) and move it one certified ladder step down.  Every
+    // step strictly lowers a budget, so the loop terminates; shrinking
+    // only removes demand, so the surviving set stays schedulable.
+    bool ok = fits(p, task);
+    while (!ok) {
+      Commitment* victim = nullptr;
+      for (Commitment& c : cs) {
+        if (!c.controlled || c.table_budget <= c.min_budget) continue;
+        if (victim == nullptr ||
+            c.table_budget - c.min_budget >
+                victim->table_budget - victim->min_budget ||
+            (c.table_budget - c.min_budget ==
+                 victim->table_budget - victim->min_budget &&
+             c.stream_id < victim->stream_id)) {
+          victim = &c;
+        }
+      }
+      if (victim == nullptr) break;  // all headroom exhausted
+
+      rt::Cycles next = victim->min_budget;
+      for (const rt::Cycles b : controlled_candidates(
+               victim->macroblocks, victim->task.deadline,
+               victim->task.period)) {
+        if (b >= victim->table_budget) continue;
+        if (tables_->get(victim->macroblocks, b)
+                ->tables->max_initial_delay() < 0) {
+          continue;  // uncertifiable rung: keep descending
+        }
+        next = b;
+        break;
+      }
+      victim->table_budget = next;
+      victim->task.cost = next;
+      ok = fits(p, task);
+    }
+    if (!ok) {
+      cs = saved;  // roll back this processor's shrinks
+      continue;
+    }
+
+    // Record one shrink per incumbent whose budget actually moved.
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (cs[i].table_budget == saved[i].table_budget) continue;
+      BudgetRenegotiation r;
+      r.stream_id = cs[i].stream_id;
+      r.effective_time = spec.join_time;
+      r.table_budget = cs[i].table_budget;
+      r.committed_cost = cs[i].task.cost;
+      r.system = tables_->get(cs[i].macroblocks, cs[i].table_budget);
+      pending_renegotiations_.push_back(std::move(r));
+    }
+
+    commit_and_fill(spec, task, table_budget, p, preferred,
+                    std::move(system), out);
+    out->via_renegotiation = true;
     return true;
   }
   return false;
@@ -136,37 +261,25 @@ Placement AdmissionController::admit(const StreamSpec& spec,
   const rt::Cycles min_budget = tables_->min_budget(mb);
 
   if (spec.mode == pipe::ControlMode::kControlled) {
-    // Candidate service budgets, richest first; rounded down to a
-    // multiple of the macroblock count so the evenly paced deadlines
-    // divide exactly, with the qmin-minimal budget as last resort.
-    std::vector<rt::Cycles> candidates;
-    const double share_cap =
-        config_.max_stream_share * static_cast<double>(period_of(spec));
-    auto add_candidate = [&](double cycles) {
-      const rt::Cycles b =
-          (static_cast<rt::Cycles>(cycles) / mb) * mb;
-      if (b >= min_budget && b <= latency &&
-          static_cast<double>(b) <= share_cap) {
-        candidates.push_back(b);
-      }
-    };
-    for (const double f : config_.budget_fractions) {
-      add_candidate(static_cast<double>(latency) * f);
-    }
-    for (const double m : config_.min_budget_multiples) {
-      add_candidate(static_cast<double>(min_budget) * m);
-    }
-    if (min_budget <= latency) candidates.push_back(min_budget);
-    std::sort(candidates.begin(), candidates.end(),
-              std::greater<rt::Cycles>());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
+    const std::vector<rt::Cycles> candidates =
+        controlled_candidates(mb, latency, period_of(spec));
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (try_place(spec, candidates[i], candidates[i], preferred_processor,
                     &out)) {
         out.degraded = i > 0;
         return out;
       }
+    }
+    // Renegotiation is a last resort: the newcomer enters at its
+    // cheapest budget — the qmin minimum, always last in the ladder
+    // and always certifiable — which minimizes the shrink imposed on
+    // incumbents.  Schedulability is monotone in the newcomer's cost,
+    // so if that fails, every richer candidate fails too.
+    if (sched_.renegotiate && !candidates.empty() &&
+        try_place_renegotiating(spec, candidates.back(), candidates.back(),
+                                preferred_processor, &out)) {
+      out.degraded = candidates.size() > 1;
+      return out;
     }
     out.reason = candidates.empty()
                      ? "latency window below the qmin worst case"
@@ -196,7 +309,10 @@ Placement AdmissionController::admit(const StreamSpec& spec,
     out.reason = "worst-case frame cost exceeds the latency window";
     return out;
   }
-  if (try_place(spec, table_budget, cost, preferred_processor, &out)) {
+  if (try_place(spec, table_budget, cost, preferred_processor, &out) ||
+      (sched_.renegotiate &&
+       try_place_renegotiating(spec, table_budget, cost,
+                               preferred_processor, &out))) {
     // The slack-table prediction does not apply: an uncontrolled
     // stream encodes at its fixed level (resp. wherever feedback
     // drives it), not at what the tables would grant.
@@ -205,6 +321,10 @@ Placement AdmissionController::admit(const StreamSpec& spec,
   }
   out.reason = "no processor can host the worst-case frame cost";
   return out;
+}
+
+std::vector<BudgetRenegotiation> AdmissionController::take_renegotiations() {
+  return std::exchange(pending_renegotiations_, {});
 }
 
 void AdmissionController::release(int stream_id) {

@@ -12,19 +12,27 @@
 // guarantees (paper Prop. 2.1) that an admitted frame occupies the
 // processor for at most B cycles and finishes within B of starting —
 // making the stream, from the processor's point of view, a sporadic
-// non-preemptive task (C = B, D = K * P, T = P).  The compiled slack
-// table is queried to certify the candidate budget (qmin worst case
-// schedulable within B: SlackTables::max_initial_delay >= 0) and to
-// predict the quality the stream's first quality-sensitive decision
-// will be granted at that budget.
+// task (C = B, D = K * P, T = P).  The compiled slack table is queried
+// to certify the candidate budget (qmin worst case schedulable within
+// B: SlackTables::max_initial_delay >= 0) and to predict the quality
+// the stream's first quality-sensitive decision will be granted at
+// that budget.
 //
 // A processor's committed worst-case load is the task set of its
-// admitted streams; the admission test is sched::np_edf_schedulable
+// admitted streams; the admission test is the scenario's scheduling
+// policy (sched::SchedPolicy — non-preemptive EDF by default,
+// preemptive or quantum-sliced EDF when the scenario selects them)
 // plus a utilization cap.  An arriving stream is tried at its richest
 // budget on its preferred processor first, then *migrated* (other
 // processors, same budget), then *degraded* (smaller budgets, all
-// processors) — quality before locality.  If nothing fits the stream
-// is rejected: the farm turns overload into rejections, never into
+// processors) — quality before locality.  When even that fails and
+// the scenario enables *renegotiation*, admission shrinks running
+// controlled streams' reserved budgets toward their qmin worst case
+// (recompiling slack tables from the per-budget cache) to make room:
+// the newcomer enters at its cheapest certifiable budget and
+// incumbents give up no more headroom than needed, largest headroom
+// first.  Only if nothing fits is the stream rejected: the farm turns
+// overload into rejections (or shared degradation), never into
 // deadline misses on admitted streams.
 //
 // Streams without a compiled occupancy bound pay for it here:
@@ -42,7 +50,7 @@
 
 #include "encoder/system_builder.h"
 #include "farm/scenario.h"
-#include "sched/np_edf.h"
+#include "sched/policy.h"
 
 namespace qosctrl::farm {
 
@@ -104,12 +112,14 @@ class TableCache {
 struct Placement {
   bool admitted = false;
   int processor = -1;
-  /// Committed worst-case occupancy per frame (the np-task cost).
+  /// Committed worst-case occupancy per frame (the sporadic-task cost).
   rt::Cycles committed_cost = 0;
   /// Budget the session's controller tables are paced over.
   rt::Cycles table_budget = 0;
   bool migrated = false;  ///< placed off the preferred processor
   bool degraded = false;  ///< below the richest candidate budget
+  /// Admitted only because running streams' budgets were shrunk.
+  bool via_renegotiation = false;
   /// Quality index the slack tables grant an on-time frame at its
   /// first quality-sensitive decision (later decisions may exceed it).
   std::size_t initial_quality = 0;
@@ -118,16 +128,43 @@ struct Placement {
   std::shared_ptr<const enc::EncoderSystem> system;
 };
 
+/// One reserved-budget interval of an admitted stream's life.  The
+/// initial placement opens the first epoch; every renegotiation that
+/// shrinks the stream opens another.  Frames *arriving* at or after
+/// `from_time` are paced over this epoch's tables.
+struct BudgetEpoch {
+  rt::Cycles from_time = 0;
+  rt::Cycles table_budget = 0;
+  rt::Cycles committed_cost = 0;
+  std::shared_ptr<const enc::EncoderSystem> system;
+};
+
+/// A budget shrink imposed on a running stream to admit a newcomer.
+struct BudgetRenegotiation {
+  int stream_id = 0;
+  rt::Cycles effective_time = 0;  ///< the newcomer's join time
+  rt::Cycles table_budget = 0;    ///< the shrunk budget
+  rt::Cycles committed_cost = 0;
+  std::shared_ptr<const enc::EncoderSystem> system;
+};
+
 /// Tracks per-processor committed worst-case load and decides
-/// admission.  Deterministic: same call sequence, same verdicts.
+/// admission under the scenario's scheduling policy.  Deterministic:
+/// same call sequence, same verdicts.
 class AdmissionController {
  public:
   AdmissionController(int num_processors, AdmissionConfig config,
-                      TableCache* tables);
+                      TableCache* tables, SchedulingSpec sched = {});
 
   /// Admission decision for `spec`, preferring `preferred_processor`.
-  /// On success the stream's load is committed until release().
+  /// On success the stream's load is committed until release().  May
+  /// shrink running streams when the scenario enables renegotiation;
+  /// collect the shrinks with take_renegotiations().
   Placement admit(const StreamSpec& spec, int preferred_processor);
+
+  /// Budget shrinks imposed since the last call (admit() appends in
+  /// decision order; each carries the newcomer's join time).
+  std::vector<BudgetRenegotiation> take_renegotiations();
 
   /// Releases the commitment of a departed stream (no-op if unknown).
   void release(int stream_id);
@@ -137,6 +174,7 @@ class AdmissionController {
   }
   double committed_utilization(int processor) const;
   int committed_streams(int processor) const;
+  const sched::SchedPolicy& policy() const { return *policy_; }
 
   /// The processor a newcomer should prefer: least committed
   /// utilization, ties to the lowest index.
@@ -144,22 +182,54 @@ class AdmissionController {
 
  private:
   struct Commitment {
-    int stream_id;
+    int stream_id = 0;
     sched::NpTask task;
+    /// Renegotiation state: only controlled streams can shrink, and
+    /// only down to min_budget.
+    bool controlled = false;
+    int macroblocks = 0;
+    rt::Cycles table_budget = 0;
+    rt::Cycles min_budget = 0;
   };
 
   /// True when `candidate` fits processor `p` on top of its current
-  /// commitments (demand test + utilization cap).
+  /// commitments (policy demand test + utilization cap).
   bool fits(int p, const sched::NpTask& candidate) const;
+
+  /// Candidate service budgets for a controlled stream, richest first
+  /// (fractions of the latency window and multiples of the qmin
+  /// minimum, share-capped; the qmin minimum always last).
+  std::vector<rt::Cycles> controlled_candidates(int macroblocks,
+                                                rt::Cycles latency,
+                                                rt::Cycles period) const;
+
+  /// Records the commitment of an accepted (budget, cost) candidate
+  /// on processor `p` and fills `out` (shared tail of the placement
+  /// paths).
+  void commit_and_fill(const StreamSpec& spec, const sched::NpTask& task,
+                       rt::Cycles table_budget, int p, int preferred,
+                       std::shared_ptr<const enc::EncoderSystem> system,
+                       Placement* out);
 
   /// Tries one (budget, cost) candidate on the preferred processor
   /// first, then the others; commits and fills `out` on success.
   bool try_place(const StreamSpec& spec, rt::Cycles table_budget,
                  rt::Cycles cost, int preferred, Placement* out);
 
+  /// Like try_place, but allowed to shrink running controlled
+  /// commitments (largest budget headroom first, one ladder step at a
+  /// time) until the candidate fits; rolls back on failure.  Appends
+  /// the imposed shrinks to pending_renegotiations_ on success.
+  bool try_place_renegotiating(const StreamSpec& spec,
+                               rt::Cycles table_budget, rt::Cycles cost,
+                               int preferred, Placement* out);
+
   AdmissionConfig config_;
+  SchedulingSpec sched_;
+  std::unique_ptr<sched::SchedPolicy> policy_;
   TableCache* tables_;
   std::vector<std::vector<Commitment>> committed_;  ///< per processor
+  std::vector<BudgetRenegotiation> pending_renegotiations_;
 };
 
 }  // namespace qosctrl::farm

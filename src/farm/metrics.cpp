@@ -34,10 +34,21 @@ void json_kv(std::ostringstream& os, const char* key, long long v,
 
 std::string summarize(const FarmResult& r) {
   std::ostringstream os;
-  os << "streams=" << r.total_streams << " admitted=" << r.admitted
+  os << "policy=" << sched::policy_name(r.sched.policy.kind);
+  if (r.sched.policy.kind == sched::PolicyKind::kQuantumEdf) {
+    os << " quantum=" << r.sched.policy.quantum;
+  }
+  os << " ctx_switch=" << r.sched.policy.context_switch_cost
+     << " renegotiation=" << (r.sched.renegotiate ? "on" : "off")
+     << " preemptions=" << r.total_preemptions
+     << " overhead_Mcycles="
+     << static_cast<double>(r.total_overhead_cycles) / 1e6 << "\n"
+     << "streams=" << r.total_streams << " admitted=" << r.admitted
      << " rejected=" << r.rejected << " (rate=" << std::fixed
      << std::setprecision(2) << r.rejection_rate << ")"
-     << " migrated=" << r.migrated << " degraded=" << r.degraded << "\n"
+     << " migrated=" << r.migrated << " degraded=" << r.degraded
+     << " via_renegotiation=" << r.admitted_via_renegotiation
+     << " renegotiated=" << r.renegotiated_streams << "\n"
      << "frames=" << r.total_frames << " encoded=" << r.encoded_frames
      << " skips=" << r.total_skips
      << " display_misses=" << r.total_display_misses
@@ -55,7 +66,8 @@ std::string summarize(const FarmResult& r) {
        << " frames=" << po.frames_encoded << " busy_Mcycles="
        << static_cast<double>(po.busy_cycles) / 1e6
        << " util=" << po.utilization
-       << " peak_committed=" << po.peak_committed_utilization << "\n";
+       << " peak_committed=" << po.peak_committed_utilization
+       << " preemptions=" << po.preemptions << "\n";
   }
   for (const StreamOutcome& so : r.streams) {
     os << "stream " << so.spec.id << " [" << mode_name(so.spec.mode) << " "
@@ -70,7 +82,12 @@ std::string summarize(const FarmResult& r) {
        << static_cast<double>(so.placement.table_budget) / 1e6
        << (so.placement.migrated ? " migrated" : "")
        << (so.placement.degraded ? " degraded" : "")
-       << " q_initial=" << so.placement.initial_quality
+       << (so.placement.via_renegotiation ? " via_renegotiation" : "");
+    if (so.renegotiated) {
+      os << " renegotiated->Mcycles="
+         << static_cast<double>(so.epochs.back().table_budget) / 1e6;
+    }
+    os << " q_initial=" << so.placement.initial_quality
        << " frames=" << so.result.frames.size()
        << " skips=" << so.result.total_skips
        << " display_misses=" << so.display_misses
@@ -85,11 +102,24 @@ std::string to_json(const FarmResult& r) {
   std::ostringstream os;
   os << std::setprecision(17);
   os << "{\"fleet\":{";
+  os << "\"policy\":\"" << sched::policy_name(r.sched.policy.kind) << "\",";
+  json_kv(os, "quantum", static_cast<long long>(r.sched.policy.quantum));
+  json_kv(os, "context_switch_cost",
+          static_cast<long long>(r.sched.policy.context_switch_cost));
+  os << "\"renegotiate\":" << (r.sched.renegotiate ? "true" : "false")
+     << ',';
+  json_kv(os, "preemptions", r.total_preemptions);
+  json_kv(os, "overhead_cycles",
+          static_cast<long long>(r.total_overhead_cycles));
   json_kv(os, "total_streams", static_cast<long long>(r.total_streams));
   json_kv(os, "admitted", static_cast<long long>(r.admitted));
   json_kv(os, "rejected", static_cast<long long>(r.rejected));
   json_kv(os, "migrated", static_cast<long long>(r.migrated));
   json_kv(os, "degraded", static_cast<long long>(r.degraded));
+  json_kv(os, "admitted_via_renegotiation",
+          static_cast<long long>(r.admitted_via_renegotiation));
+  json_kv(os, "renegotiated_streams",
+          static_cast<long long>(r.renegotiated_streams));
   json_kv(os, "rejection_rate", r.rejection_rate);
   json_kv(os, "total_frames", r.total_frames);
   json_kv(os, "encoded_frames", r.encoded_frames);
@@ -114,6 +144,9 @@ std::string to_json(const FarmResult& r) {
     json_kv(os, "busy_cycles", static_cast<long long>(po.busy_cycles));
     json_kv(os, "span_cycles", static_cast<long long>(po.span_cycles));
     json_kv(os, "utilization", po.utilization);
+    json_kv(os, "preemptions", static_cast<long long>(po.preemptions));
+    json_kv(os, "overhead_cycles",
+            static_cast<long long>(po.overhead_cycles));
     json_kv(os, "peak_committed_utilization",
             po.peak_committed_utilization, false);
     os << "}";
@@ -144,7 +177,14 @@ std::string to_json(const FarmResult& r) {
             static_cast<long long>(so.placement.committed_cost));
     os << "\"migrated\":" << (so.placement.migrated ? "true" : "false")
        << ",\"degraded\":" << (so.placement.degraded ? "true" : "false")
+       << ",\"via_renegotiation\":"
+       << (so.placement.via_renegotiation ? "true" : "false")
+       << ",\"renegotiated\":" << (so.renegotiated ? "true" : "false")
        << ',';
+    json_kv(os, "final_budget",
+            static_cast<long long>(so.epochs.empty()
+                                       ? so.placement.table_budget
+                                       : so.epochs.back().table_budget));
     json_kv(os, "initial_quality",
             static_cast<long long>(so.placement.initial_quality));
     json_kv(os, "skips", static_cast<long long>(so.result.total_skips));
@@ -168,7 +208,8 @@ std::string to_csv(const FarmResult& r) {
   os << std::setprecision(17);
   os << "id,mode,width,height,buffer_capacity,frame_period,join_time,"
         "num_frames,admitted,processor,table_budget,committed_cost,"
-        "migrated,degraded,initial_quality,skips,display_misses,"
+        "migrated,degraded,via_renegotiation,renegotiated,final_budget,"
+        "initial_quality,skips,display_misses,"
         "internal_misses,max_start_lag,mean_start_lag,mean_psnr,"
         "mean_quality,kbps\n";
   for (const StreamOutcome& so : r.streams) {
@@ -178,13 +219,18 @@ std::string to_csv(const FarmResult& r) {
        << so.spec.join_time << ',' << so.spec.num_frames << ','
        << (so.placement.admitted ? 1 : 0) << ',';
     if (!so.placement.admitted) {
-      os << "-1,0,0,0,0,0,0,0,0,0,0,0,0,0\n";
+      os << "-1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n";
       continue;
     }
     os << so.placement.processor << ',' << so.placement.table_budget << ','
        << so.placement.committed_cost << ','
        << (so.placement.migrated ? 1 : 0) << ','
        << (so.placement.degraded ? 1 : 0) << ','
+       << (so.placement.via_renegotiation ? 1 : 0) << ','
+       << (so.renegotiated ? 1 : 0) << ','
+       << (so.epochs.empty() ? so.placement.table_budget
+                             : so.epochs.back().table_budget)
+       << ','
        << so.placement.initial_quality << ',' << so.result.total_skips
        << ',' << so.display_misses << ',' << so.internal_misses << ','
        << so.max_start_lag << ',' << so.mean_start_lag << ','

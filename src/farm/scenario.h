@@ -11,6 +11,7 @@
 
 #include "pipeline/simulation.h"
 #include "rt/types.h"
+#include "sched/policy.h"
 
 namespace qosctrl::farm {
 
@@ -61,9 +62,25 @@ inline rt::Cycles leave_time_of(const StreamSpec& s) {
          latency_of(s);
 }
 
+/// The farm-wide scheduling contract the scenario is played under:
+/// which per-processor scheduling class serves frames (and backs the
+/// admission demand test), what a context switch costs, and whether
+/// admission may renegotiate running streams' budgets.  Part of the
+/// scenario — the same offered streams under a different contract is
+/// a different experiment.
+struct SchedulingSpec {
+  sched::PolicyParams policy{};  ///< np (default), preemptive, quantum
+  /// When a newcomer would be rejected, shrink running controlled
+  /// streams' reserved budgets toward their qmin worst case
+  /// (recompiling slack tables from the per-budget cache) to make
+  /// room, instead of only degrading the newcomer.
+  bool renegotiate = false;
+};
+
 /// A full offered load: streams sorted by (join_time, id) when played.
 struct FarmScenario {
   std::vector<StreamSpec> streams;
+  SchedulingSpec sched{};
 };
 
 }  // namespace qosctrl::farm

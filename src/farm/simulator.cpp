@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <optional>
 #include <queue>
 #include <set>
 #include <thread>
 #include <tuple>
 
-#include "platform/virtual_processor.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -71,39 +72,54 @@ struct PendingArrival {
 /// One admitted stream's simulation state on its processor.
 struct StreamState {
   const StreamSpec* spec = nullptr;
-  const Placement* placement = nullptr;
+  const StreamOutcome* outcome = nullptr;
   std::unique_ptr<pipe::StreamSession> session;
   rt::Cycles period = 0;
   rt::Cycles latency = 0;
   int next_arrival = 0;  ///< next camera frame index to arrive
-  int queued = 0;        ///< frames waiting (excluding one in service)
+  int queued = 0;        ///< frames waiting (excluding dispatched ones)
+  std::size_t next_epoch = 1;  ///< next budget epoch to switch into
   std::vector<pipe::FrameRecord> frames;
   int display_misses = 0;
   rt::Cycles max_lag = 0;
   double lag_sum = 0.0;
 };
 
-struct ProcessorPlan {
-  std::vector<const StreamOutcome*> streams;  ///< admitted, join order
+/// A frame in service (or suspended mid-service by a preemption).
+/// The frame's content, bits, and total service demand are fixed at
+/// first dispatch (the encode is a pure function of the stream's own
+/// state); the scheduler then accounts the demand cycle-accurately
+/// across service segments.
+struct ActiveJob {
+  FrameJob job{};
+  pipe::FrameRecord rec{};
+  rt::Cycles remaining = 0;      ///< service cycles still owed
+  rt::Cycles dispatched_at = 0;  ///< start of the current segment
 };
 
-/// Simulates one processor's run queue to completion.  Writes the
-/// per-stream frame records back through `outcomes` (each admitted
-/// stream is owned by exactly one processor, so no locking).
-void run_processor(const FarmConfig& config,
+/// Simulates one processor's run queue to completion under the
+/// scenario's scheduling policy.  Writes the per-stream frame records
+/// back through `assigned` (each admitted stream is owned by exactly
+/// one processor, so no locking).
+void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
                    std::vector<StreamOutcome*> assigned,
                    ProcessorOutcome* out) {
+  const std::unique_ptr<sched::SchedPolicy> policy =
+      sched::make_policy(sched.policy);
+  const rt::Cycles ctx = policy->context_switch_cost();
+
   std::vector<StreamState> streams;
   streams.reserve(assigned.size());
   for (StreamOutcome* so : assigned) {
     StreamState st;
     st.spec = &so->spec;
-    st.placement = &so->placement;
+    st.outcome = so;
     st.period = period_of(so->spec);
     st.latency = latency_of(so->spec);
+    const BudgetEpoch& initial = so->epochs.front();
     st.session = std::make_unique<pipe::StreamSession>(
         stream_pipeline_config(so->spec, config.seed, config.frame_rate),
-        so->placement.table_budget, so->placement.system);
+        initial.table_budget, initial.system);
     st.frames.resize(static_cast<std::size_t>(so->spec.num_frames));
     streams.push_back(std::move(st));
   }
@@ -119,59 +135,127 @@ void run_processor(const FarmConfig& config,
     }
   }
 
-  std::set<FrameJob> pending;  ///< the run queue, EDF by display deadline
-  platform::CycleClock clock;  ///< processor-local virtual time
-  rt::Cycles free_at = 0;      ///< when the current service completes
+  constexpr rt::Cycles kNever = std::numeric_limits<rt::Cycles>::max();
+  std::set<FrameJob> ready;  ///< the run queue, EDF by display deadline
+  /// Jobs suspended mid-service, keyed by (stream, frame).
+  std::map<std::pair<int, int>, ActiveJob> suspended;
+  std::optional<ActiveJob> running;
+  rt::Cycles now = 0;
+  rt::Cycles span = 0;  ///< last completion time
 
-  while (!arrivals.empty() || !pending.empty()) {
-    const rt::Cycles next_arrival_time =
-        arrivals.empty() ? std::numeric_limits<rt::Cycles>::max()
-                         : arrivals.top().time;
-    if (!pending.empty() && free_at <= next_arrival_time) {
-      // Serve the earliest-deadline queued frame.
-      const FrameJob job = *pending.begin();
-      pending.erase(pending.begin());
+  auto dispatch = [&] {
+    const FrameJob job = *ready.begin();
+    ready.erase(ready.begin());
+    ActiveJob a;
+    const auto key = std::make_pair(job.stream, job.frame);
+    auto it = suspended.find(key);
+    if (it != suspended.end()) {
+      // Resuming a preempted frame: the switch-in half of its
+      // preemption charge.
+      a = it->second;
+      suspended.erase(it);
+      out->overhead_cycles += ctx;
+      now += ctx;
+    } else {
       StreamState& st = streams[static_cast<std::size_t>(job.stream)];
       --st.queued;
-
-      const rt::Cycles start = std::max(free_at, job.arrival);
-      clock.advance_to(start);
+      // Budget renegotiation: frames arriving at or after an epoch
+      // boundary are paced over that epoch's tables.
+      while (st.next_epoch < st.outcome->epochs.size() &&
+             st.outcome->epochs[st.next_epoch].from_time <= job.arrival) {
+        st.session->switch_system(st.outcome->epochs[st.next_epoch].system);
+        ++st.next_epoch;
+      }
       // Elapsed time is measured from service start (t0 = 0): the
       // session's tables are paced over the reserved budget, and the
       // queueing delay lives in the latency slack K*P - B instead.
-      pipe::FrameRecord rec = st.session->encode(job.frame, 0);
-      rec.start_lag = start - job.arrival;
-      clock.advance(rec.encode_cycles);
-      free_at = clock.now();
+      a.job = job;
+      a.rec = st.session->encode(job.frame, 0);
+      a.rec.start_lag = now - job.arrival;
+      a.remaining = a.rec.encode_cycles;
+      st.max_lag = std::max(st.max_lag, a.rec.start_lag);
+      st.lag_sum += static_cast<double>(a.rec.start_lag);
+    }
+    a.dispatched_at = now;
+    running = a;
+  };
 
-      if (free_at > job.deadline) ++st.display_misses;
-      st.max_lag = std::max(st.max_lag, rec.start_lag);
-      st.lag_sum += static_cast<double>(rec.start_lag);
-      out->busy_cycles += rec.encode_cycles;
-      ++out->frames_encoded;
-      st.frames[static_cast<std::size_t>(job.frame)] = rec;
+  auto complete = [&] {
+    StreamState& st =
+        streams[static_cast<std::size_t>(running->job.stream)];
+    if (now > running->job.deadline) ++st.display_misses;
+    out->busy_cycles += running->rec.encode_cycles;
+    ++out->frames_encoded;
+    st.frames[static_cast<std::size_t>(running->job.frame)] = running->rec;
+    span = now;
+    running.reset();
+  };
+
+  // The earliest instant the policy lets the top ready job displace
+  // the runner; kNever when it would not preempt at all.  Only a
+  // strictly earlier display deadline preempts — EDF gains nothing
+  // from switching between equal-deadline jobs, so the run queue's
+  // (stream, frame) tie-break must not trigger paid context switches.
+  auto preemption_at = [&]() -> rt::Cycles {
+    if (!running || ready.empty() ||
+        ready.begin()->deadline >= running->job.deadline) {
+      return kNever;
+    }
+    const rt::Cycles pp =
+        policy->preemption_point(running->dispatched_at, now);
+    return pp >= sched::kNeverPreempts ? kNever : std::max(now, pp);
+  };
+
+  while (running || !ready.empty() || !arrivals.empty()) {
+    // Camera frames due by now enter the input buffers (or are
+    // dropped when full).
+    while (!arrivals.empty() && arrivals.top().time <= now) {
+      const PendingArrival a = arrivals.top();
+      arrivals.pop();
+      StreamState& st = streams[static_cast<std::size_t>(a.stream)];
+      const int f = st.next_arrival++;
+      if (st.next_arrival < st.spec->num_frames) {
+        arrivals.push(PendingArrival{a.time + st.period, a.stream});
+      }
+      if (st.queued >= st.spec->buffer_capacity) {
+        // Input buffer full: the camera drops the frame.
+        st.frames[static_cast<std::size_t>(f)] = st.session->skip(f);
+      } else {
+        ++st.queued;
+        ready.insert(FrameJob{a.time + st.latency, a.stream, f, a.time});
+      }
+    }
+
+    // Preemption due now: suspend the runner (switch-out charge); the
+    // displacing job is dispatched on the next pass.
+    if (preemption_at() <= now) {
+      ActiveJob a = *running;
+      running.reset();
+      suspended.emplace(std::make_pair(a.job.stream, a.job.frame), a);
+      ready.insert(a.job);
+      ++out->preemptions;
+      out->overhead_cycles += ctx;
+      now += ctx;
       continue;
     }
-    // Next event is a camera frame arrival (the heap is non-empty
-    // here: with it empty, the serve branch covers every state the
-    // while condition admits).
-    const PendingArrival a = arrivals.top();
-    arrivals.pop();
-    StreamState& st = streams[static_cast<std::size_t>(a.stream)];
-    const int f = st.next_arrival++;
-    if (st.next_arrival < st.spec->num_frames) {
-      arrivals.push(PendingArrival{a.time + st.period, a.stream});
+
+    if (!running && !ready.empty()) {
+      dispatch();
+      continue;
     }
-    if (st.queued >= st.spec->buffer_capacity) {
-      // Input buffer full: the camera drops the frame.
-      st.frames[static_cast<std::size_t>(f)] = st.session->skip(f);
-    } else {
-      ++st.queued;
-      pending.insert(FrameJob{a.time + st.latency, a.stream, f, a.time});
-    }
+
+    // Advance to the next event: completion, arrival, or an armed
+    // quantum-boundary preemption.
+    const rt::Cycles t_fin = running ? now + running->remaining : kNever;
+    const rt::Cycles t_arr = arrivals.empty() ? kNever : arrivals.top().time;
+    const rt::Cycles t = std::min({t_fin, t_arr, preemption_at()});
+    if (t == kNever) break;  // unreachable: some event is always due
+    if (running) running->remaining -= t - now;
+    now = t;
+    if (running && running->remaining == 0) complete();
   }
 
-  out->span_cycles = clock.now();
+  out->span_cycles = span;
   out->streams_hosted = static_cast<int>(streams.size());
   out->utilization =
       out->span_cycles > 0
@@ -203,6 +287,7 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   QC_EXPECT(config.num_processors >= 1, "farm needs >= 1 processor");
 
   FarmResult result;
+  result.sched = scenario.sched;
   result.streams.reserve(scenario.streams.size());
   for (const StreamSpec& spec : scenario.streams) {
     StreamOutcome so;
@@ -222,10 +307,12 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
               return std::tie(a->spec.join_time, a->spec.id) <
                      std::tie(b->spec.join_time, b->spec.id);
             });
+  std::map<int, StreamOutcome*> by_id;
+  for (StreamOutcome& so : result.streams) by_id[so.spec.id] = &so;
 
   TableCache tables(platform::figure5_cost_table());
   AdmissionController admission(config.num_processors, config.admission,
-                                &tables);
+                                &tables, scenario.sched);
   using Leave = std::pair<rt::Cycles, int>;  // (leave time, stream id)
   std::priority_queue<Leave, std::vector<Leave>, std::greater<Leave>> leaves;
 
@@ -236,7 +323,23 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
     }
     const int preferred = admission.least_loaded();
     so->placement = admission.admit(so->spec, preferred);
+    // Budget shrinks imposed on incumbents to make room: each opens a
+    // new budget epoch on its stream at the newcomer's join time.
+    for (BudgetRenegotiation& r : admission.take_renegotiations()) {
+      StreamOutcome* victim = by_id.at(r.stream_id);
+      if (!victim->renegotiated) {
+        victim->renegotiated = true;
+        ++result.renegotiated_streams;
+      }
+      victim->epochs.push_back(BudgetEpoch{r.effective_time, r.table_budget,
+                                           r.committed_cost,
+                                           std::move(r.system)});
+    }
     if (so->placement.admitted) {
+      so->epochs.insert(
+          so->epochs.begin(),
+          BudgetEpoch{so->spec.join_time, so->placement.table_budget,
+                      so->placement.committed_cost, so->placement.system});
       leaves.emplace(leave_time_of(so->spec), so->spec.id);
       auto& proc = result.processors[static_cast<std::size_t>(
           so->placement.processor)];
@@ -261,7 +364,8 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   auto drain = [&] {
     for (int p = next_processor.fetch_add(1); p < config.num_processors;
          p = next_processor.fetch_add(1)) {
-      run_processor(config, per_processor[static_cast<std::size_t>(p)],
+      run_processor(config, scenario.sched,
+                    per_processor[static_cast<std::size_t>(p)],
                     &result.processors[static_cast<std::size_t>(p)]);
     }
   };
@@ -275,6 +379,10 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   result.total_streams = static_cast<int>(result.streams.size());
   result.quality_histogram.assign(
       platform::figure5_quality_levels().size(), 0);
+  for (const ProcessorOutcome& po : result.processors) {
+    result.total_preemptions += po.preemptions;
+    result.total_overhead_cycles += po.overhead_cycles;
+  }
   double psnr_sum = 0.0, quality_sum = 0.0;
   for (const StreamOutcome& so : result.streams) {
     if (!so.placement.admitted) {
@@ -284,6 +392,8 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
     ++result.admitted;
     result.migrated += so.placement.migrated ? 1 : 0;
     result.degraded += so.placement.degraded ? 1 : 0;
+    result.admitted_via_renegotiation +=
+        so.placement.via_renegotiation ? 1 : 0;
     result.total_frames += static_cast<long long>(so.result.frames.size());
     result.total_skips += so.result.total_skips;
     result.total_display_misses += so.display_misses;

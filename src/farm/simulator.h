@@ -15,11 +15,20 @@
 //  * Data plane (parallel): every processor owns a run queue and is
 //    simulated independently — a single-server discrete-event loop
 //    interleaving its streams' frame arrivals (camera-drop skips when
-//    a stream's input buffer is full) with non-preemptive EDF service
-//    by display deadline.  One host worker thread per processor (up
-//    to FarmConfig::workers); since processors share no mutable state
-//    and every stream's RNG is forked from the farm seed by stream
-//    id, results are bit-identical for any worker count.
+//    a stream's input buffer is full) with EDF service by display
+//    deadline under the scenario's scheduling policy: non-preemptive
+//    (run to completion), fully preemptive (suspend/resume of the
+//    in-flight frame with cycle-accurate remaining-work accounting
+//    and a context-switch charge per switch), or quantum-sliced
+//    (preemption only at quantum boundaries).  One host worker thread
+//    per processor (up to FarmConfig::workers); since processors
+//    share no mutable state and every stream's RNG is forked from the
+//    farm seed by stream id, results are bit-identical for any worker
+//    count and any policy.
+//
+//    Event ordering at equal instants is fixed (completions, then
+//    arrivals, then preemption/dispatch decisions), so a run is a
+//    pure function of (scenario, config).
 #pragma once
 
 #include <vector>
@@ -46,6 +55,12 @@ struct FarmConfig {
 struct StreamOutcome {
   StreamSpec spec;
   Placement placement;
+  /// Reserved-budget history: the initial placement opens the first
+  /// epoch; every renegotiation that shrank this stream appends one.
+  /// Empty when rejected.
+  std::vector<BudgetEpoch> epochs;
+  /// True when a later newcomer shrank this stream's budget.
+  bool renegotiated = false;
   /// Per-frame records and aggregates (empty when rejected).
   pipe::PipelineResult result;
   /// Frames whose encoding finished past arrival + K * P.
@@ -60,10 +75,14 @@ struct StreamOutcome {
 struct ProcessorOutcome {
   rt::Cycles busy_cycles = 0;   ///< cycles spent encoding
   rt::Cycles span_cycles = 0;   ///< last completion time
-  double utilization = 0.0;     ///< busy / span
+  double utilization = 0.0;     ///< busy (service only) / span
   int frames_encoded = 0;
   int streams_hosted = 0;
   double peak_committed_utilization = 0.0;
+  int preemptions = 0;          ///< in-flight frames suspended
+  /// Context-switch cycles charged (2x context_switch_cost per
+  /// preemption: switch-out plus the later switch-in).
+  rt::Cycles overhead_cycles = 0;
 };
 
 /// Fleet-level result: per-stream outcomes (scenario order),
@@ -73,12 +92,20 @@ struct ProcessorOutcome {
 struct FarmResult {
   std::vector<StreamOutcome> streams;
   std::vector<ProcessorOutcome> processors;
+  /// The scheduling contract the run was played under.
+  SchedulingSpec sched;
 
   int total_streams = 0;
   int admitted = 0;
   int rejected = 0;
   int migrated = 0;
   int degraded = 0;
+  /// Streams admitted only by shrinking incumbents' budgets.
+  int admitted_via_renegotiation = 0;
+  /// Running streams whose budget a later newcomer shrank.
+  int renegotiated_streams = 0;
+  long long total_preemptions = 0;
+  rt::Cycles total_overhead_cycles = 0;
   double rejection_rate = 0.0;
 
   long long total_frames = 0;   ///< camera frames of admitted streams

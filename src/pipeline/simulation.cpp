@@ -88,7 +88,10 @@ StreamSession::StreamSession(const PipelineConfig& config, rt::Cycles budget,
   QC_EXPECT(system_->budget == budget,
             "shared encoder system budget must match the session budget");
   controller_ = make_controller(config_, *system_);
+  recompute_min_repace_budget();
+}
 
+void StreamSession::recompute_min_repace_budget() {
   // Smallest re-pace window that is still worst-case schedulable at
   // qmin: with evenly paced deadlines D(j) = B * (j+1) / m and a
   // uniform per-iteration qmin worst case W, every prefix constraint
@@ -104,8 +107,21 @@ StreamSession::StreamSession(const PipelineConfig& config, rt::Cycles budget,
   }
 }
 
-bool StreamSession::repace_eligible() const {
-  if (!config_.repace_on_backlog) return false;
+void StreamSession::switch_system(
+    std::shared_ptr<const enc::EncoderSystem> system) {
+  QC_EXPECT(system != nullptr, "cannot switch to a null encoder system");
+  QC_EXPECT(system->macroblocks == macroblock_count(config_),
+            "switched encoder system geometry must match the video");
+  QC_EXPECT(stateless_controller(),
+            "budget switching requires a controller without "
+            "cross-frame state (table, online, or constant)");
+  system_ = std::move(system);
+  controller_ = make_controller(config_, *system_);
+  repaced_.clear();  // keyed by the old budget's bucket grid
+  recompute_min_repace_budget();
+}
+
+bool StreamSession::stateless_controller() const {
   switch (config_.mode) {
     case ControlMode::kControlled:
       // Table and online controllers hold no cross-frame state, so a
@@ -120,6 +136,10 @@ bool StreamSession::repace_eligible() const {
       return false;  // the PID carries state across frames
   }
   return false;
+}
+
+bool StreamSession::repace_eligible() const {
+  return config_.repace_on_backlog && stateless_controller();
 }
 
 const enc::EncoderSystem& StreamSession::repaced_system(rt::Cycles remaining) {

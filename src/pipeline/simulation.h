@@ -144,15 +144,28 @@ class StreamSession {
   /// decoder re-displays the previous output, which scores its PSNR.
   FrameRecord skip(int index);
 
+  /// Replaces the compiled system (same geometry, different budget)
+  /// and rebuilds the controller over it — the farm's online budget
+  /// renegotiation path: subsequent frames are paced over the new
+  /// budget.  Requires a controller that carries no state across
+  /// frames (table, online, or constant — the same set that may
+  /// re-pace); the encoder, rate control, and video state persist.
+  void switch_system(std::shared_ptr<const enc::EncoderSystem> system);
+
   const enc::EncoderSystem& system() const { return *system_; }
   rt::Cycles budget() const { return system_->budget; }
   const media::SyntheticVideo& video() const { return video_; }
   const PipelineConfig& config() const { return config_; }
 
  private:
-  /// True when the configured controller can be rebuilt per frame
-  /// without losing cross-frame state (table / online / constant).
+  /// True when the configured controller holds no cross-frame state
+  /// and may be rebuilt at will (table / online / constant).
+  bool stateless_controller() const;
+  /// stateless_controller() gated by the repace_on_backlog knob.
   bool repace_eligible() const;
+  /// Recomputes min_repace_budget_ from the current system (see the
+  /// constructor comment).
+  void recompute_min_repace_budget();
   /// The encoder system re-paced over `remaining` cycles from service
   /// start (compiled on demand, cached by remaining budget).
   const enc::EncoderSystem& repaced_system(rt::Cycles remaining);

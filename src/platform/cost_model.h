@@ -77,6 +77,15 @@ class CostModel {
   util::Rng rng_;
 };
 
+/// Cycles one context switch costs on the virtual processor: saving
+/// and restoring the encoder's working set, ~2.5 us at the paper's
+/// 8 GHz.  Small next to the 176000-cycle qmin frame worst case, but
+/// a preemption bills it twice (switch-out + switch-in), so the
+/// preemptive scheduling classes inflate committed costs by it
+/// (sched/preemptive_edf.h) and the farm's data plane charges it on
+/// every switch.
+inline constexpr rt::Cycles kContextSwitchCycles = 20000;
+
 /// The paper's Figure 5 tables for the MPEG-4 encoder benchmark:
 /// 9 actions (ids follow qosctrl::enc::BodyAction order), 8 quality
 /// levels; only Motion_Estimate varies with quality.

@@ -7,13 +7,6 @@
 namespace qosctrl::sched {
 namespace {
 
-// Caps on the busy-period fixpoint iteration and on the number of
-// deadline check points.  Exceeding either means the analysis would be
-// disproportionate to an admission decision; the test then fails
-// conservatively (rejects), which is always safe.
-constexpr int kMaxBusyIterations = 256;
-constexpr std::size_t kMaxCheckPoints = 1 << 16;
-
 // Work that can be demanded by jobs of all tasks released in a window
 // of length w starting at a synchronous release (request bound).
 rt::Cycles request_bound(const std::vector<NpTask>& tasks, rt::Cycles w) {
@@ -36,7 +29,8 @@ double np_utilization(const std::vector<NpTask>& tasks) {
   return u;
 }
 
-bool np_edf_schedulable(const std::vector<NpTask>& tasks) {
+bool edf_demand_schedulable(const std::vector<NpTask>& tasks,
+                            rt::Cycles max_blocking) {
   if (tasks.empty()) return true;
   rt::Cycles total_cost = 0;
   for (const NpTask& t : tasks) {
@@ -52,7 +46,7 @@ bool np_edf_schedulable(const std::vector<NpTask>& tasks) {
   // only needs check points inside it.
   rt::Cycles busy = total_cost;
   bool converged = false;
-  for (int it = 0; it < kMaxBusyIterations; ++it) {
+  for (int it = 0; it < kEdfMaxBusyIterations; ++it) {
     const rt::Cycles next = request_bound(tasks, busy);
     if (next == busy) {
       converged = true;
@@ -71,7 +65,7 @@ bool np_edf_schedulable(const std::vector<NpTask>& tasks) {
   for (const NpTask& t : tasks) {
     for (rt::Cycles p = t.deadline; p <= horizon; p += t.period) {
       points.push_back(p);
-      if (points.size() > kMaxCheckPoints) return false;  // conservative
+      if (points.size() > kEdfMaxCheckPoints) return false;  // conservative
     }
   }
   std::sort(points.begin(), points.end());
@@ -85,13 +79,19 @@ bool np_edf_schedulable(const std::vector<NpTask>& tasks) {
         demand += ((p - t.deadline) / t.period + 1) * t.cost;
       } else {
         // A job with a later deadline may have just started: it blocks
-        // non-preemptively for its full cost.
-        blocking = std::max(blocking, t.cost);
+        // until the run queue's next preemption opportunity — its full
+        // cost run-to-completion, at most one quantum when sliced,
+        // nothing when fully preemptive.
+        blocking = std::max(blocking, std::min(t.cost, max_blocking));
       }
     }
     if (demand + blocking > p) return false;
   }
   return true;
+}
+
+bool np_edf_schedulable(const std::vector<NpTask>& tasks) {
+  return edf_demand_schedulable(tasks, kUncappedBlocking);
 }
 
 }  // namespace qosctrl::sched

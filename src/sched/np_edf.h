@@ -1,24 +1,36 @@
-// Processor-level schedulability for the encoder farm: sporadic,
-// non-preemptive EDF on one processor.
+// Processor-level schedulability for the encoder farm: sporadic EDF
+// task sets on one processor, with the run-to-completion (blocking)
+// term as a parameter.
 //
 // The farm's admission controller reserves each stream a per-frame
 // service budget C (the budget its slack tables are paced over), a
 // relative display deadline D = K * P, and a minimum inter-arrival
-// P.  Frames are dispatched non-preemptively in EDF order of their
-// display deadlines, so the committed worst-case load of a processor
-// is exactly a sporadic non-preemptive task set — and admission is a
-// schedulability test over it.
+// P.  Frames are dispatched in EDF order of their display deadlines,
+// so the committed worst-case load of a processor is exactly a
+// sporadic task set — and admission is a schedulability test over it.
 //
 // The test is the classic processor-demand criterion extended with a
-// non-preemptive blocking term (George, Rivierre & Spuri 1996):
+// blocking term for limited-preemption dispatching (George, Rivierre
+// & Spuri 1996):
 //
 //   for every check point t in the synchronous busy period:
-//     max{ C_j : D_j > t }  +  sum_i dbf_i(t)  <=  t
+//     B(t)  +  sum_i dbf_i(t)  <=  t
 //   dbf_i(t) = (floor((t - D_i) / T_i) + 1) * C_i     for t >= D_i
 //
+// where the blocking term B(t) depends on how the run queue may defer
+// a higher-priority arrival:
+//   * non-preemptive EDF:  B(t) = max{ C_j : D_j > t }  (a just-
+//     started later-deadline job runs to completion);
+//   * quantum-sliced EDF:  B(t) = min(max{ C_j : D_j > t }, quantum)
+//     (preemption waits at most one quantum boundary);
+//   * fully preemptive EDF: B(t) = 0 (the exact demand test).
+// edf_demand_schedulable exposes the blocking cap directly;
+// np_edf_schedulable is the uncapped non-preemptive instance the
+// farm has always used.  sched/preemptive_edf.h wraps the other two
+// and adds context-switch overhead inflation.
+//
 // Sufficient (never admits an unschedulable set); exact up to the
-// blocking term.  On pathological inputs (utilization ~ 1 with huge
-// hyperperiods) the scan is capped and the test conservatively fails.
+// blocking term.
 #pragma once
 
 #include <vector>
@@ -27,20 +39,55 @@
 
 namespace qosctrl::sched {
 
-/// One sporadic non-preemptive task (a farm stream's committed load).
+/// One sporadic task (a farm stream's committed load).
 struct NpTask {
   rt::Cycles cost = 0;      ///< worst-case execution per job, C
   rt::Cycles deadline = 0;  ///< relative deadline, D
   rt::Cycles period = 0;    ///< minimum inter-arrival, T
 };
 
+// ---------------------------------------------------------------------------
+// Scan caps — the explicit conservatism contract.
+//
+// On pathological inputs (utilization ~ 1 with huge hyperperiods) the
+// demand scan would be disproportionate to an admission decision, so
+// it is capped and the test FAILS CONSERVATIVELY (rejects a possibly
+// schedulable set — always safe, never the other way around):
+//  * the synchronous busy-period fixpoint iteration gives up after
+//    kEdfMaxBusyIterations steps without converging;
+//  * the deadline check-point enumeration gives up once more than
+//    kEdfMaxCheckPoints points fall inside the scan horizon.
+// Both caps apply identically to every test in this family (np,
+// quantum, preemptive), so the admissibility orderings between the
+// policies hold even on capped inputs.  Tests pin the conservative-
+// fail behavior; loosening either cap is an API change.
+
+/// Busy-period fixpoint iteration cap (see above).
+inline constexpr int kEdfMaxBusyIterations = 256;
+
+/// Deadline check-point count cap (see above).
+inline constexpr std::size_t kEdfMaxCheckPoints = std::size_t{1} << 16;
+
+/// Blocking cap meaning "uncapped" (run to completion): any value at
+/// least as large as every task cost behaves identically; the
+/// +inf-deadline sentinel is conveniently that.
+inline constexpr rt::Cycles kUncappedBlocking = rt::kNoDeadline;
+
 /// Total utilization sum(C_i / T_i).
 double np_utilization(const std::vector<NpTask>& tasks);
 
+/// Processor-demand criterion with the blocking term capped at
+/// `max_blocking` (see the file comment): 0 = fully preemptive EDF,
+/// kUncappedBlocking = non-preemptive EDF, a quantum length between.
+/// The empty set is schedulable.  Requires cost >= 0, period > 0 for
+/// every task; a task with cost > deadline is trivially
+/// unschedulable.  Subject to the scan caps above.
+bool edf_demand_schedulable(const std::vector<NpTask>& tasks,
+                            rt::Cycles max_blocking);
+
 /// True when the task set is schedulable by non-preemptive EDF on one
-/// processor (sufficient test; see file comment).  The empty set is
-/// schedulable.  Requires cost >= 0, period > 0 for every task; a task
-/// with cost > deadline is trivially unschedulable.
+/// processor — edf_demand_schedulable with the uncapped blocking
+/// term.  Sufficient; subject to the scan caps above.
 bool np_edf_schedulable(const std::vector<NpTask>& tasks);
 
 }  // namespace qosctrl::sched

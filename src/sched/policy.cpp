@@ -1,0 +1,97 @@
+#include "sched/policy.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace qosctrl::sched {
+namespace {
+
+class NonPreemptiveEdfPolicy final : public SchedPolicy {
+ public:
+  explicit NonPreemptiveEdfPolicy(const PolicyParams& params)
+      : SchedPolicy(params) {}
+  PolicyKind kind() const override { return PolicyKind::kNonPreemptiveEdf; }
+  bool schedulable(const std::vector<NpTask>& tasks) const override {
+    return np_edf_schedulable(tasks);
+  }
+  rt::Cycles preemption_point(rt::Cycles, rt::Cycles) const override {
+    return kNeverPreempts;
+  }
+};
+
+class PreemptiveEdfPolicy final : public SchedPolicy {
+ public:
+  explicit PreemptiveEdfPolicy(const PolicyParams& params)
+      : SchedPolicy(params) {}
+  PolicyKind kind() const override { return PolicyKind::kPreemptiveEdf; }
+  bool schedulable(const std::vector<NpTask>& tasks) const override {
+    return preemptive_edf_schedulable(tasks, params_.context_switch_cost);
+  }
+  rt::Cycles preemption_point(rt::Cycles, rt::Cycles now) const override {
+    return now;
+  }
+};
+
+class QuantumEdfPolicy final : public SchedPolicy {
+ public:
+  explicit QuantumEdfPolicy(const PolicyParams& params)
+      : SchedPolicy(params) {}
+  PolicyKind kind() const override { return PolicyKind::kQuantumEdf; }
+  bool schedulable(const std::vector<NpTask>& tasks) const override {
+    return quantum_edf_schedulable(tasks, params_.quantum,
+                                   params_.context_switch_cost);
+  }
+  rt::Cycles preemption_point(rt::Cycles dispatched_at,
+                              rt::Cycles now) const override {
+    // Next multiple of the quantum from dispatch, at or after now.
+    const rt::Cycles served = now - dispatched_at;
+    const rt::Cycles q = params_.quantum;
+    return dispatched_at + (served + q - 1) / q * q;
+  }
+};
+
+}  // namespace
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNonPreemptiveEdf:
+      return "np";
+    case PolicyKind::kPreemptiveEdf:
+      return "preemptive";
+    case PolicyKind::kQuantumEdf:
+      return "quantum";
+  }
+  return "?";
+}
+
+bool parse_policy_name(const char* name, PolicyKind* out) {
+  for (const PolicyKind kind :
+       {PolicyKind::kNonPreemptiveEdf, PolicyKind::kPreemptiveEdf,
+        PolicyKind::kQuantumEdf}) {
+    if (std::strcmp(name, policy_name(kind)) == 0) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<SchedPolicy> make_policy(const PolicyParams& params) {
+  QC_EXPECT(params.context_switch_cost >= 0,
+            "context switch cost must be >= 0");
+  switch (params.kind) {
+    case PolicyKind::kNonPreemptiveEdf:
+      return std::make_unique<NonPreemptiveEdfPolicy>(params);
+    case PolicyKind::kPreemptiveEdf:
+      return std::make_unique<PreemptiveEdfPolicy>(params);
+    case PolicyKind::kQuantumEdf:
+      QC_EXPECT(params.quantum > 0,
+                "quantum-sliced EDF needs a positive quantum");
+      return std::make_unique<QuantumEdfPolicy>(params);
+  }
+  QC_EXPECT(false, "unknown scheduling policy kind");
+  return nullptr;
+}
+
+}  // namespace qosctrl::sched

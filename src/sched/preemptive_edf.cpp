@@ -1,0 +1,33 @@
+#include "sched/preemptive_edf.h"
+
+#include "util/check.h"
+
+namespace qosctrl::sched {
+namespace {
+
+// Charge every job the worst-case scheduling overhead it can inflict:
+// one preemption = switch-out + switch-in of the job it displaces.
+std::vector<NpTask> inflate(const std::vector<NpTask>& tasks,
+                            rt::Cycles context_switch) {
+  QC_EXPECT(context_switch >= 0, "context switch cost must be >= 0");
+  if (context_switch == 0) return tasks;
+  std::vector<NpTask> inflated = tasks;
+  for (NpTask& t : inflated) t.cost += 2 * context_switch;
+  return inflated;
+}
+
+}  // namespace
+
+bool preemptive_edf_schedulable(const std::vector<NpTask>& tasks,
+                                rt::Cycles context_switch) {
+  return edf_demand_schedulable(inflate(tasks, context_switch), 0);
+}
+
+bool quantum_edf_schedulable(const std::vector<NpTask>& tasks,
+                             rt::Cycles quantum,
+                             rt::Cycles context_switch) {
+  QC_EXPECT(quantum > 0, "quantum must be positive");
+  return edf_demand_schedulable(inflate(tasks, context_switch), quantum);
+}
+
+}  // namespace qosctrl::sched

@@ -1,0 +1,59 @@
+// Preemptive and quantum-sliced EDF schedulability on one processor.
+//
+// Both are instances of the processor-demand criterion in
+// sched/np_edf.h with a smaller blocking term than non-preemptive
+// EDF — which is exactly why they admit mixes np-EDF rejects: a long
+// later-deadline job no longer stalls a tight-deadline arrival for
+// its whole cost.
+//
+//  * Fully preemptive EDF drops the blocking term entirely; the
+//    remaining test (sum_i dbf_i(t) <= t at every deadline point) is
+//    exact for sporadic task sets (Baruah, Rosier & Howell 1990).
+//  * Quantum-sliced EDF preempts only at multiples of a quantum from
+//    the running job's dispatch, capping preemption frequency; the
+//    blocking term shrinks to min(C_j, quantum).
+//
+// Preemption is not free.  Each preemption costs two context
+// switches — switching the preempted job out and, later, back in —
+// and every preemption is caused by exactly one arriving
+// higher-priority job, so charging every task 2 * context_switch
+// extra cycles per job upper-bounds the overhead any job inflicts.
+// The admission tests below inflate costs that way; the farm's data
+// plane charges the same per-switch cost on its virtual processors
+// (platform/cost_model.h calibrates the default).
+//
+// Both tests inherit the scan caps (kEdfMaxBusyIterations,
+// kEdfMaxCheckPoints) and their conservative-fail contract from
+// sched/np_edf.h.  With equal context-switch cost the admissible
+// sets are nested:
+//
+//   np-EDF admissible  ⊆  quantum-EDF admissible  ⊆  preemptive-EDF
+//   admissible
+//
+// because the blocking term only shrinks left to right while demand
+// and caps stay identical.
+#pragma once
+
+#include <vector>
+
+#include "sched/np_edf.h"
+
+namespace qosctrl::sched {
+
+/// Fully preemptive EDF: processor-demand test without a blocking
+/// term.  `context_switch` > 0 inflates every task's cost by
+/// 2 * context_switch (see the file comment).  Sufficient (exact when
+/// context_switch == 0); subject to the np_edf scan caps.
+bool preemptive_edf_schedulable(const std::vector<NpTask>& tasks,
+                                rt::Cycles context_switch = 0);
+
+/// Quantum-sliced EDF: preemption only at quantum boundaries, so the
+/// blocking term is capped at `quantum` (> 0 required).  Converges to
+/// preemptive_edf_schedulable as quantum -> 0 and to
+/// np_edf_schedulable as quantum -> max cost.  Sufficient; subject to
+/// the np_edf scan caps.
+bool quantum_edf_schedulable(const std::vector<NpTask>& tasks,
+                             rt::Cycles quantum,
+                             rt::Cycles context_switch = 0);
+
+}  // namespace qosctrl::sched

@@ -187,6 +187,128 @@ TEST_F(AdmissionTest, TableCacheSharesCompiledSystems) {
   EXPECT_EQ(tables_.compiled_systems(), after_first);
 }
 
+// 16x16 (1 MB) with a fast camera: commits exactly the qmin worst
+// case m = 176000 with D = T = 2m.
+StreamSpec tight_stream(int id) {
+  StreamSpec s;
+  s.id = id;
+  s.width = 16;
+  s.height = 16;
+  s.frame_period = 2 * 176000;
+  return s;
+}
+
+// 32x32 (4 MB), D = 2T = 16m: its committed qmin worst case 4m is
+// pure blocking for the tight stream under non-preemptive EDF.
+StreamSpec long_stream(int id) {
+  StreamSpec s;
+  s.id = id;
+  s.width = 32;
+  s.height = 32;
+  s.frame_period = 8 * 176000;
+  s.buffer_capacity = 2;
+  return s;
+}
+
+TEST_F(AdmissionTest, PreemptivePolicyAdmitsWhatNpRejects) {
+  AdmissionController np(1, {}, &tables_);
+  ASSERT_TRUE(np.admit(tight_stream(0), 0).admitted);
+  const Placement rejected = np.admit(long_stream(1), 0);
+  EXPECT_FALSE(rejected.admitted)
+      << "np-EDF must reject: blocking 4m + demand m > D = 2m";
+
+  SchedulingSpec sched;
+  sched.policy.kind = sched::PolicyKind::kPreemptiveEdf;
+  AdmissionController pre(1, {}, &tables_, sched);
+  ASSERT_TRUE(pre.admit(tight_stream(0), 0).admitted);
+  const Placement admitted = pre.admit(long_stream(1), 0);
+  EXPECT_TRUE(admitted.admitted) << admitted.reason;
+  EXPECT_FALSE(admitted.via_renegotiation);
+  // The pair packs the processor exactly: U = 0.5 + 0.5.
+  EXPECT_NEAR(pre.committed_utilization(0), 1.0, 1e-12);
+}
+
+TEST_F(AdmissionTest, QuantumPolicySitsBetweenNpAndPreemptive) {
+  SchedulingSpec tight_quantum;
+  tight_quantum.policy.kind = sched::PolicyKind::kQuantumEdf;
+  tight_quantum.policy.quantum = 100000;  // < the tight stream's slack
+  AdmissionController a(1, {}, &tables_, tight_quantum);
+  ASSERT_TRUE(a.admit(tight_stream(0), 0).admitted);
+  EXPECT_TRUE(a.admit(long_stream(1), 0).admitted);
+
+  SchedulingSpec coarse_quantum;
+  coarse_quantum.policy.kind = sched::PolicyKind::kQuantumEdf;
+  coarse_quantum.policy.quantum = 704000;  // one full long frame
+  AdmissionController b(1, {}, &tables_, coarse_quantum);
+  ASSERT_TRUE(b.admit(tight_stream(0), 0).admitted);
+  EXPECT_FALSE(b.admit(long_stream(1), 0).admitted)
+      << "a quantum as long as the blocking job restores the np verdict";
+}
+
+TEST_F(AdmissionTest, RenegotiationShrinksIncumbentsToAdmitNewcomer) {
+  // Three incumbents at the rich 12m budget (T = D = 48m, share 0.25
+  // each), then a newcomer needing share 0.5: over the utilization
+  // cap, so only shrinking the incumbents can admit it.
+  SchedulingSpec sched;
+  sched.renegotiate = true;
+  AdmissionController ac(1, {}, &tables_, sched);
+  StreamSpec incumbent;
+  incumbent.width = 32;
+  incumbent.height = 32;
+  incumbent.frame_period = 48 * 176000;
+  for (int i = 0; i < 3; ++i) {
+    incumbent.id = i;
+    const Placement p = ac.admit(incumbent, 0);
+    ASSERT_TRUE(p.admitted) << p.reason;
+    EXPECT_EQ(p.table_budget, 12 * 176000);
+    EXPECT_FALSE(p.via_renegotiation);
+  }
+  EXPECT_TRUE(ac.take_renegotiations().empty());
+
+  StreamSpec newcomer;
+  newcomer.id = 3;
+  newcomer.width = 32;
+  newcomer.height = 32;
+  newcomer.frame_period = 8 * 176000;
+  newcomer.join_time = 123456;
+  const Placement p = ac.admit(newcomer, 0);
+  ASSERT_TRUE(p.admitted) << p.reason;
+  EXPECT_TRUE(p.via_renegotiation);
+  EXPECT_EQ(p.table_budget, 4 * 176000);
+
+  const std::vector<BudgetRenegotiation> shrinks =
+      ac.take_renegotiations();
+  ASSERT_EQ(shrinks.size(), 3u) << "every incumbent had to give";
+  for (const BudgetRenegotiation& r : shrinks) {
+    EXPECT_EQ(r.effective_time, newcomer.join_time);
+    EXPECT_EQ(r.table_budget, 4 * 176000)
+        << "shrunk to the qmin worst case";
+    EXPECT_EQ(r.committed_cost, r.table_budget);
+    ASSERT_NE(r.system, nullptr);
+    EXPECT_EQ(r.system->budget, r.table_budget);
+  }
+  // A second drain is empty, and the shrunk load is what is committed.
+  EXPECT_TRUE(ac.take_renegotiations().empty());
+  EXPECT_NEAR(ac.committed_utilization(0), 3.0 / 48.0 * 4.0 + 0.5, 1e-12);
+}
+
+TEST_F(AdmissionTest, RenegotiationRollsBackWhenEvenQminCannotFit) {
+  SchedulingSpec sched;
+  sched.renegotiate = true;
+  AdmissionController ac(1, {}, &tables_, sched);
+  // Two incumbents with no headroom: fast cameras commit exactly qmin.
+  for (int i = 0; i < 2; ++i) {
+    StreamSpec s = tight_stream(i);
+    ASSERT_TRUE(ac.admit(s, 0).admitted);
+  }
+  const double before = ac.committed_utilization(0);
+  const Placement p = ac.admit(tight_stream(2), 0);
+  EXPECT_FALSE(p.admitted);
+  EXPECT_TRUE(ac.take_renegotiations().empty());
+  EXPECT_DOUBLE_EQ(ac.committed_utilization(0), before)
+      << "a failed renegotiation must leave commitments untouched";
+}
+
 TEST_F(AdmissionTest, DeterministicVerdicts) {
   AdmissionController a(2, {}, &tables_);
   TableCache tables2(platform::figure5_cost_table());

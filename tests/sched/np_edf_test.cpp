@@ -70,5 +70,40 @@ TEST(NpEdf, UtilizationAccessor) {
   EXPECT_NEAR(np_utilization({{25, 100, 100}, {50, 400, 200}}), 0.5, 1e-12);
 }
 
+// The scan caps are API (sched/np_edf.h): pathological inputs make the
+// test FAIL CONSERVATIVELY rather than scan forever.  These pins keep
+// a future refactor from silently loosening that contract — if either
+// cap moves, the inputs below must be revisited along with the header
+// doc.
+TEST(NpEdf, CheckPointCapFailsConservatively) {
+  // Trivially schedulable (U ~ 0.5), but a short-period task under a
+  // huge-deadline task scatters ~5e8 deadline points across the
+  // horizon — far beyond kEdfMaxCheckPoints, so the scan gives up and
+  // rejects.  Sanity: shrinking the huge deadline back into a small
+  // horizon restores acceptance.
+  const rt::Cycles huge = 1'000'000'000;
+  EXPECT_FALSE(np_edf_schedulable({{1, 2, 2}, {1, huge, huge}}));
+  EXPECT_FALSE(edf_demand_schedulable({{1, 2, 2}, {1, huge, huge}}, 0));
+  EXPECT_TRUE(np_edf_schedulable({{1, 2, 2}, {1, 100, 100}}));
+  // The cap itself is part of the contract.
+  EXPECT_EQ(kEdfMaxCheckPoints, std::size_t{1} << 16);
+  EXPECT_EQ(kEdfMaxBusyIterations, 256);
+}
+
+TEST(NpEdf, BusyPeriodCapFailsConservatively) {
+  // Utilization just under 1: the dense task leaves one idle cycle
+  // per 10000-cycle period, so the 300-cycle job's backlog drains one
+  // cycle per fixpoint step — ~299 iterations to converge, beyond
+  // kEdfMaxBusyIterations -> conservative reject, even though the
+  // demand criterion (given unlimited analysis time) would accept.
+  const std::vector<NpTask> pathological = {
+      {9'999, 10'000, 10'000},
+      {300, 3'100'000, 3'100'000},
+  };
+  EXPECT_LT(np_utilization(pathological), 1.0);
+  EXPECT_FALSE(np_edf_schedulable(pathological));
+  EXPECT_FALSE(edf_demand_schedulable(pathological, 0));
+}
+
 }  // namespace
 }  // namespace qosctrl::sched

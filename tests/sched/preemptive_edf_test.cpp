@@ -1,0 +1,110 @@
+#include "sched/preemptive_edf.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/policy.h"
+
+namespace qosctrl::sched {
+namespace {
+
+TEST(PreemptiveEdf, EmptySetIsSchedulable) {
+  EXPECT_TRUE(preemptive_edf_schedulable({}));
+  EXPECT_TRUE(quantum_edf_schedulable({}, 10));
+}
+
+TEST(PreemptiveEdf, AdmitsTheClassicBlockingRejection) {
+  // The np_edf_test pinned case: a long later-deadline job blocks a
+  // tight task under non-preemptive EDF (90 + 20 > 100), but the mix
+  // is only U = 0.29 — preemptive EDF admits it.
+  const std::vector<NpTask> mix = {{20, 100, 100}, {90, 1000, 1000}};
+  EXPECT_FALSE(np_edf_schedulable(mix));
+  EXPECT_TRUE(preemptive_edf_schedulable(mix));
+  // A quantum no larger than the tight task's slack also admits it
+  // (blocking capped at 80 = 100 - 20), while a quantum as long as the
+  // blocking job restores the np rejection.
+  EXPECT_TRUE(quantum_edf_schedulable(mix, 80));
+  EXPECT_FALSE(quantum_edf_schedulable(mix, 90));
+}
+
+TEST(PreemptiveEdf, ExactAtFullUtilization) {
+  // U = 1 implicit-deadline sets are exactly schedulable preemptively.
+  EXPECT_TRUE(preemptive_edf_schedulable({{1, 2, 2}, {4, 8, 8}}));
+  EXPECT_FALSE(np_edf_schedulable({{1, 2, 2}, {4, 8, 8}}));
+}
+
+TEST(PreemptiveEdf, OverUtilizationFails) {
+  EXPECT_FALSE(preemptive_edf_schedulable({{60, 100, 100}, {60, 100, 100}}));
+  EXPECT_FALSE(quantum_edf_schedulable({{60, 100, 100}, {60, 100, 100}}, 5));
+}
+
+TEST(PreemptiveEdf, ConstrainedDeadlineDemand) {
+  // D < T: dbf at t = 5 is 3 + 3 > 5 -> reject even though U = 0.6.
+  EXPECT_FALSE(preemptive_edf_schedulable({{3, 5, 10}, {3, 5, 10}}));
+  EXPECT_TRUE(preemptive_edf_schedulable({{3, 6, 10}, {3, 10, 10}}));
+}
+
+TEST(PreemptiveEdf, ContextSwitchOverheadInflatesCosts) {
+  // 10 tasks of C = 9, T = D = 100: U = 0.9 fits exactly; charging
+  // 2 * 1 cycles per job pushes demand at t = 100 to 110 -> reject.
+  const std::vector<NpTask> tight(10, NpTask{9, 100, 100});
+  EXPECT_TRUE(preemptive_edf_schedulable(tight, 0));
+  EXPECT_FALSE(preemptive_edf_schedulable(tight, 1));
+  EXPECT_FALSE(quantum_edf_schedulable(tight, 50, 1));
+}
+
+TEST(PreemptiveEdf, QuantumInterpolatesBetweenNpAndPreemptive) {
+  // Blocking-limited mix: np rejects, preemptive accepts; the quantum
+  // variant flips between them as the quantum crosses the slack.
+  const std::vector<NpTask> mix = {{20, 100, 100}, {90, 1000, 1000}};
+  EXPECT_EQ(quantum_edf_schedulable(mix, 1),
+            preemptive_edf_schedulable(mix));
+  EXPECT_EQ(quantum_edf_schedulable(mix, 90), np_edf_schedulable(mix));
+}
+
+TEST(SchedPolicy, NamesRoundTrip) {
+  for (const PolicyKind kind :
+       {PolicyKind::kNonPreemptiveEdf, PolicyKind::kPreemptiveEdf,
+        PolicyKind::kQuantumEdf}) {
+    PolicyKind parsed{};
+    ASSERT_TRUE(parse_policy_name(policy_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  PolicyKind parsed{};
+  EXPECT_FALSE(parse_policy_name("fifo", &parsed));
+}
+
+TEST(SchedPolicy, AdmissionTestsMatchTheFreeFunctions) {
+  const std::vector<NpTask> mix = {{20, 100, 100}, {90, 1000, 1000}};
+  PolicyParams np;
+  EXPECT_FALSE(make_policy(np)->schedulable(mix));
+  PolicyParams pre;
+  pre.kind = PolicyKind::kPreemptiveEdf;
+  EXPECT_TRUE(make_policy(pre)->schedulable(mix));
+  PolicyParams q;
+  q.kind = PolicyKind::kQuantumEdf;
+  q.quantum = 80;
+  EXPECT_TRUE(make_policy(q)->schedulable(mix));
+}
+
+TEST(SchedPolicy, PreemptionPoints) {
+  PolicyParams np;
+  EXPECT_EQ(make_policy(np)->preemption_point(0, 50), kNeverPreempts);
+
+  PolicyParams pre;
+  pre.kind = PolicyKind::kPreemptiveEdf;
+  EXPECT_EQ(make_policy(pre)->preemption_point(0, 50), 50);
+
+  PolicyParams q;
+  q.kind = PolicyKind::kQuantumEdf;
+  q.quantum = 40;
+  const auto policy = make_policy(q);
+  // Mid-quantum arrivals wait for the next boundary from dispatch.
+  EXPECT_EQ(policy->preemption_point(100, 101), 140);
+  EXPECT_EQ(policy->preemption_point(100, 139), 140);
+  // Exactly on a boundary: preempt now.
+  EXPECT_EQ(policy->preemption_point(100, 140), 140);
+  EXPECT_EQ(policy->preemption_point(100, 180), 180);
+}
+
+}  // namespace
+}  // namespace qosctrl::sched

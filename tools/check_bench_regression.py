@@ -12,6 +12,10 @@ machine cancels out, while a single kernel that regressed relative to
 its peers stands out.  Pass --absolute to compare raw cpu_time instead
 (meaningful only against a baseline recorded on the same machine).
 
+When $GITHUB_STEP_SUMMARY is set (i.e. under GitHub Actions), a
+markdown per-kernel delta table of every shared benchmark is appended
+to the job summary, tracked rows bolded with their verdicts.
+
 Usage:
   tools/check_bench_regression.py BASELINE.json CURRENT.json \
       [--benchmarks REGEX] [--max-slowdown 1.25] [--absolute]
@@ -19,12 +23,18 @@ Usage:
 
 import argparse
 import json
+import os
 import re
 import sys
 
 # Anchored: must not also catch the deliberately-slow reference /
 # scalar-kernel variants (BM_SadMacroblockRef, BM_ForwardDct8Ref, ...).
-DEFAULT_BENCHMARKS = r"^BM_(SadMacroblock|ForwardDct8|FarmThroughput/\d+)$"
+# The farm throughput is tracked per scheduling policy: np (bare),
+# preemptive, and quantum-sliced run queues.
+DEFAULT_BENCHMARKS = (
+    r"^BM_(SadMacroblock|ForwardDct8"
+    r"|FarmThroughput(Preemptive|Quantum)?/\d+)$"
+)
 
 
 def load_means(path):
@@ -37,6 +47,53 @@ def load_means(path):
             continue
         means[b["run_name"]] = float(b["cpu_time"])
     return means
+
+
+def write_step_summary(rows, scale, max_slowdown, failures):
+    """Append the per-kernel delta table to $GITHUB_STEP_SUMMARY."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Bench regression check", ""]
+    if scale != 1.0:
+        lines.append(
+            f"Machine-speed normalization: median ratio **{scale:.3f}** "
+            f"over {len(rows)} shared benchmarks."
+        )
+        lines.append("")
+    lines.append(
+        "| benchmark | baseline (ns) | current (ns) | ratio "
+        "| normalized | delta | verdict |"
+    )
+    lines.append("|---|---:|---:|---:|---:|---:|---|")
+    for name, base_ns, cur_ns, ratio, norm, tracked in rows:
+        delta = (norm - 1.0) * 100.0
+        if not tracked:
+            verdict = "untracked"
+        elif norm > max_slowdown:
+            verdict = ":x: FAIL"
+        else:
+            verdict = ":white_check_mark: ok"
+        label = f"**{name}**" if tracked else name
+        lines.append(
+            f"| {label} | {base_ns:.1f} | {cur_ns:.1f} | x{ratio:.3f} "
+            f"| x{norm:.3f} | {delta:+.1f}% | {verdict} |"
+        )
+    lines.append("")
+    if failures:
+        lines.append(
+            f"**{len(failures)} benchmark(s) regressed beyond "
+            f"x{max_slowdown}:** {', '.join(failures)}"
+        )
+    else:
+        tracked_count = sum(1 for r in rows if r[5])
+        lines.append(
+            f"All {tracked_count} tracked benchmarks within "
+            f"x{max_slowdown}."
+        )
+    lines.append("")
+    with open(path, "a") as f:
+        f.write("\n".join(lines))
 
 
 def main():
@@ -73,19 +130,29 @@ def main():
               f"over {len(ordered)} shared benchmarks")
 
     pattern = re.compile(args.benchmarks)
-    tracked = [n for n in shared if pattern.search(n)]
+    tracked = [n for n in shared if n in ratios and pattern.search(n)]
     if not tracked:
         print(f"error: no shared benchmarks match /{args.benchmarks}/")
         return 2
 
     failures = []
-    for name in tracked:
+    rows = []
+    for name in shared:
+        if name not in ratios:
+            continue
         norm = ratios[name] / scale
+        is_tracked = name in tracked
+        rows.append((name, base[name], cur[name], ratios[name], norm,
+                     is_tracked))
+        if not is_tracked:
+            continue
         verdict = "FAIL" if norm > args.max_slowdown else "ok"
         print(f"{verdict:>4}  {name}: {base[name]:.1f} -> {cur[name]:.1f} ns "
               f"(x{ratios[name]:.3f}, normalized x{norm:.3f})")
         if norm > args.max_slowdown:
             failures.append(name)
+
+    write_step_summary(rows, scale, args.max_slowdown, failures)
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed beyond "

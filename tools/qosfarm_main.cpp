@@ -14,6 +14,14 @@
 //                     the default pacing (default 3,4,6)
 //   --constant-frac F fraction of constant-quality streams (default 0.15)
 //   --seed S          scenario + farm seed (default 7)
+//   --policy P        per-processor scheduling class: np (default),
+//                     preemptive, or quantum
+//   --quantum C       preemption boundary spacing in cycles for
+//                     --policy quantum (default 1000000)
+//   --ctx-switch C    context-switch cost in cycles charged per switch
+//                     (default: platform::kContextSwitchCycles)
+//   --renegotiate     shrink running streams' budgets toward qmin to
+//                     admit newcomers that would otherwise be rejected
 //   --json PATH       write the JSON report
 //   --csv PATH        write the per-stream CSV
 //   --quiet           suppress the human-readable report
@@ -39,6 +47,8 @@ int usage() {
       "usage: qosfarm run [--procs N] [--workers N] [--streams N]\n"
       "                   [--frames LO[:HI]] [--period-factors A,B,...]\n"
       "                   [--constant-frac F] [--seed S]\n"
+      "                   [--policy np|preemptive|quantum] [--quantum C]\n"
+      "                   [--ctx-switch C] [--renegotiate]\n"
       "                   [--json PATH] [--csv PATH] [--quiet]\n");
   return 2;
 }
@@ -107,6 +117,9 @@ int main(int argc, char** argv) {
   farm::LoadGenConfig load;
   farm::FarmConfig cfg;
   cfg.workers = 0;  // default: one per processor
+  farm::SchedulingSpec sched;
+  sched.policy.context_switch_cost = platform::kContextSwitchCycles;
+  sched.policy.quantum = 1000000;  // 125 us at the paper's 8 GHz
   const char* json_path = nullptr;
   const char* csv_path = nullptr;
   bool quiet = false;
@@ -155,6 +168,23 @@ int main(int argc, char** argv) {
       if (!v || !parse_u64(v, &s)) return usage();
       load.seed = s;
       cfg.seed = s * 0x9e3779b9ULL + 1;
+    } else if (std::strcmp(arg, "--policy") == 0) {
+      const char* v = value();
+      if (!v || !sched::parse_policy_name(v, &sched.policy.kind)) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--quantum") == 0) {
+      const char* v = value();
+      std::uint64_t q = 0;
+      if (!v || !parse_u64(v, &q) || q == 0) return usage();
+      sched.policy.quantum = static_cast<rt::Cycles>(q);
+    } else if (std::strcmp(arg, "--ctx-switch") == 0) {
+      const char* v = value();
+      std::uint64_t c = 0;
+      if (!v || !parse_u64(v, &c)) return usage();
+      sched.policy.context_switch_cost = static_cast<rt::Cycles>(c);
+    } else if (std::strcmp(arg, "--renegotiate") == 0) {
+      sched.renegotiate = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       json_path = value();
       if (!json_path) return usage();
@@ -177,7 +207,8 @@ int main(int argc, char** argv) {
   // "(N workers)" matches what the measurement actually used.
   if (cfg.workers > cfg.num_processors) cfg.workers = cfg.num_processors;
 
-  const farm::FarmScenario scenario = farm::generate_scenario(load);
+  farm::FarmScenario scenario = farm::generate_scenario(load);
+  scenario.sched = sched;
   const auto t0 = std::chrono::steady_clock::now();
   const farm::FarmResult result = farm::run_farm(scenario, cfg);
   const double wall_s =

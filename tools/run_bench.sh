@@ -3,8 +3,10 @@
 # BENCH_micro.json (google-benchmark JSON: ns/op per benchmark) so the
 # perf trajectory of the hot kernels — SAD per macroblock, forward /
 # inverse DCT, motion search, the table-driven controller decision,
-# and the encoder-farm throughput (BM_FarmThroughput items_per_second
-# = simulated stream-frames per wall-second) — is tracked across PRs.
+# and the encoder-farm throughput (BM_FarmThroughput* items_per_second
+# = simulated stream-frames per wall-second; the Preemptive / Quantum
+# suffixes run the same load under those scheduling policies) — is
+# tracked across PRs.
 #
 # Usage: tools/run_bench.sh [build-dir] [output.json]
 set -e
@@ -18,7 +20,7 @@ cmake -B "$BUILD_DIR" -S "$ROOT" -DQOSCTRL_BUILD_BENCHES=ON \
 cmake --build "$BUILD_DIR" --target bench_micro -j "$(nproc)" >/dev/null
 
 "$BUILD_DIR/bench_micro" \
-    --benchmark_filter='BM_(SadMacroblock|HalfpelInterp|ForwardDct8|InverseDct8|MotionSearch|TableControllerDecision|FarmThroughput)' \
+    --benchmark_filter='BM_(SadMacroblock|HalfpelInterp|ForwardDct8|InverseDct8|MotionSearch|TableControllerDecision|FarmThroughput(Preemptive|Quantum)?)' \
     --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=true \
     --benchmark_out_format=json \
