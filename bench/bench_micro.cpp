@@ -19,6 +19,7 @@
 #include "media/simd/kernels.h"
 #include "media/synthetic_video.h"
 #include "qos/controller.h"
+#include "quality/distortion.h"
 #include "sched/edf.h"
 #include "toolgen/codegen.h"
 #include "util/rng.h"
@@ -281,6 +282,54 @@ void BM_MotionSearchPadded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MotionSearchPadded)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// Distortion kernels (src/quality/): whole-frame PSNR accumulation and
+// blockwise fixed-point SSIM through the dispatched table, with the
+// scalar-kernel counterparts for the speedup ratio.
+
+void BM_PsnrFrame(benchmark::State& state) {
+  const auto& f = sad_fixture();  // two full QCIF luma frames
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quality::psnr(f.cur, f.ref));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PsnrFrame);
+
+void BM_PsnrFrameScalarKernel(benchmark::State& state) {
+  const auto& t = media::simd::kernels_for(media::simd::Backend::kScalar);
+  const auto& f = sad_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(media::psnr_from_sse(
+        t.sum_sq_diff(f.cur.data().data(), f.ref.data().data(),
+                      f.cur.data().size()),
+        static_cast<std::int64_t>(f.cur.data().size())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PsnrFrameScalarKernel);
+
+void BM_SsimFrame(benchmark::State& state) {
+  const auto& f = sad_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quality::ssim(f.cur, f.ref));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsimFrame);
+
+void BM_SsimFrameScalarKernel(benchmark::State& state) {
+  const auto& f = sad_fixture();
+  const auto original = media::simd::set_backend_for_testing(
+      media::simd::Backend::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quality::ssim(f.cur, f.ref));
+  }
+  media::simd::set_backend_for_testing(original);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsimFrameScalarKernel);
 
 void BM_EntropyEncodeBlock(benchmark::State& state) {
   util::Rng rng(5);

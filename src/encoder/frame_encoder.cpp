@@ -8,6 +8,7 @@
 #include "media/motion.h"
 #include "media/plane.h"
 #include "media/quant.h"
+#include "quality/distortion.h"
 #include "util/bitio.h"
 #include "util/check.h"
 
@@ -107,7 +108,12 @@ FrameStats FrameEncoder::encode_frame(const media::YuvFrame& input,
   has_reference_ = true;
   stats.mean_quality =
       quality_count > 0 ? quality_sum / quality_count : 0.0;
-  stats.psnr = media::psnr(input.y, recon_.y);
+  // One block-moment pass yields both metrics (the PSNR route is
+  // pinned bit-identical to media::psnr in tests/quality/).
+  const quality::FrameDistortion distortion =
+      quality::measure(input.y, recon_.y);
+  stats.psnr = distortion.psnr;
+  stats.ssim = distortion.ssim;
   return stats;
 }
 

@@ -59,6 +59,7 @@ struct FrameStats {
   rt::Cycles encode_cycles = 0;  ///< virtual cycles spent on actions
   std::int64_t bits = 0;         ///< compressed size of the frame
   double psnr = 0.0;             ///< PSNR(input, reconstruction), dB
+  double ssim = 0.0;             ///< SSIM(input, reconstruction)
   int deadline_misses = 0;       ///< actions finishing past D_theta
   double mean_quality = 0.0;     ///< mean ME quality level over MBs
   rt::QualityLevel min_quality = 0;

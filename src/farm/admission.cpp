@@ -137,6 +137,8 @@ void AdmissionController::commit_and_fill(
   c.macroblocks = macroblocks_of(spec);
   c.table_budget = table_budget;
   c.min_budget = tables_->min_budget(c.macroblocks);
+  c.desired_budget = table_budget;
+  c.migration_surcharge = p != preferred ? config_.migration_cost : 0;
   committed_[static_cast<std::size_t>(p)].push_back(std::move(c));
   out->admitted = true;
   out->processor = p;
@@ -157,11 +159,15 @@ bool AdmissionController::try_place(const StreamSpec& spec,
   auto system = tables_->get(macroblocks_of(spec), table_budget);
   if (system->tables->max_initial_delay() < 0) return false;
 
-  const sched::NpTask task{cost, latency_of(spec), period_of(spec)};
   for (int k = 0; k < num_processors(); ++k) {
-    // Preferred processor first, then the rest in index order.
+    // Preferred processor first, then the rest in index order; an
+    // off-preferred host charges the migration surcharge on top of
+    // the stream's own worst case.
     const int p = k == 0 ? preferred
                          : (k - 1 < preferred ? k - 1 : k);
+    const sched::NpTask task{
+        cost + (p != preferred ? config_.migration_cost : 0),
+        latency_of(spec), period_of(spec)};
     if (!fits(p, task)) continue;
     commit_and_fill(spec, task, table_budget, p, preferred,
                     std::move(system), out);
@@ -178,10 +184,12 @@ bool AdmissionController::try_place_renegotiating(const StreamSpec& spec,
   auto system = tables_->get(macroblocks_of(spec), table_budget);
   if (system->tables->max_initial_delay() < 0) return false;
 
-  const sched::NpTask task{cost, latency_of(spec), period_of(spec)};
   for (int k = 0; k < num_processors(); ++k) {
     const int p = k == 0 ? preferred
                          : (k - 1 < preferred ? k - 1 : k);
+    const sched::NpTask task{
+        cost + (p != preferred ? config_.migration_cost : 0),
+        latency_of(spec), period_of(spec)};
     auto& cs = committed_[static_cast<std::size_t>(p)];
     const std::vector<Commitment> saved = cs;
 
@@ -219,7 +227,7 @@ bool AdmissionController::try_place_renegotiating(const StreamSpec& spec,
         break;
       }
       victim->table_budget = next;
-      victim->task.cost = next;
+      victim->task.cost = next + victim->migration_surcharge;
       ok = fits(p, task);
     }
     if (!ok) {
@@ -327,13 +335,101 @@ std::vector<BudgetRenegotiation> AdmissionController::take_renegotiations() {
   return std::exchange(pending_renegotiations_, {});
 }
 
-void AdmissionController::release(int stream_id) {
-  for (auto& cs : committed_) {
-    cs.erase(std::remove_if(cs.begin(), cs.end(),
-                            [stream_id](const Commitment& c) {
-                              return c.stream_id == stream_id;
-                            }),
-             cs.end());
+void AdmissionController::release(int stream_id, rt::Cycles now) {
+  for (std::size_t p = 0; p < committed_.size(); ++p) {
+    auto& cs = committed_[p];
+    const auto it = std::remove_if(cs.begin(), cs.end(),
+                                   [stream_id](const Commitment& c) {
+                                     return c.stream_id == stream_id;
+                                   });
+    if (it == cs.end()) continue;
+    cs.erase(it, cs.end());
+    if (sched_.restore) restore_pass(static_cast<int>(p), now);
+  }
+}
+
+bool AdmissionController::set_schedulable(int p) const {
+  std::vector<sched::NpTask> tasks;
+  const auto& cs = committed_.at(static_cast<std::size_t>(p));
+  tasks.reserve(cs.size());
+  for (const Commitment& c : cs) tasks.push_back(c.task);
+  if (sched::np_utilization(tasks) > config_.utilization_cap) return false;
+  return policy_->schedulable(tasks);
+}
+
+void AdmissionController::restore_pass(int p, rt::Cycles now) {
+  // Inverse of the shrink loop in try_place_renegotiating: grow the
+  // incumbent with the largest deficit below the budget it was
+  // admitted at (ties to the lowest stream id) one certified ladder
+  // rung, keep it if the processor stays schedulable, and stop
+  // considering a stream whose next rung does not fit (larger rungs
+  // only demand more).  Each iteration either raises a budget or
+  // retires a stream, so the loop terminates.
+  auto& cs = committed_[static_cast<std::size_t>(p)];
+  std::vector<bool> retired(cs.size(), false);
+  std::vector<rt::Cycles> grown_from(cs.size(), 0);
+  std::vector<bool> grown(cs.size(), false);
+  for (;;) {
+    std::size_t victim = cs.size();
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const Commitment& c = cs[i];
+      if (retired[i] || !c.controlled ||
+          c.table_budget >= c.desired_budget) {
+        continue;
+      }
+      if (victim == cs.size() ||
+          c.desired_budget - c.table_budget >
+              cs[victim].desired_budget - cs[victim].table_budget ||
+          (c.desired_budget - c.table_budget ==
+               cs[victim].desired_budget - cs[victim].table_budget &&
+           c.stream_id < cs[victim].stream_id)) {
+        victim = i;
+      }
+    }
+    if (victim == cs.size()) break;  // nothing left below its target
+
+    Commitment& c = cs[victim];
+    // Smallest certified rung strictly above the current budget (the
+    // candidate ladder is sorted richest first), capped at the budget
+    // the stream was admitted with.
+    rt::Cycles next = c.desired_budget;
+    for (const rt::Cycles b :
+         controlled_candidates(c.macroblocks, c.task.deadline,
+                               c.task.period)) {
+      if (b <= c.table_budget || b > c.desired_budget) continue;
+      if (tables_->get(c.macroblocks, b)->tables->max_initial_delay() <
+          0) {
+        continue;  // uncertifiable rung
+      }
+      next = b;
+    }
+    const rt::Cycles saved_budget = c.table_budget;
+    const rt::Cycles saved_cost = c.task.cost;
+    c.table_budget = next;
+    c.task.cost = next + c.migration_surcharge;
+    if (!set_schedulable(p)) {
+      c.table_budget = saved_budget;
+      c.task.cost = saved_cost;
+      retired[victim] = true;
+      continue;
+    }
+    if (!grown[victim]) {
+      grown[victim] = true;
+      grown_from[victim] = saved_budget;
+    }
+  }
+
+  // One grow record per stream whose budget actually moved.
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (!grown[i] || cs[i].table_budget == grown_from[i]) continue;
+    BudgetRenegotiation r;
+    r.stream_id = cs[i].stream_id;
+    r.effective_time = now;
+    r.table_budget = cs[i].table_budget;
+    r.committed_cost = cs[i].task.cost;
+    r.grow = true;
+    r.system = tables_->get(cs[i].macroblocks, cs[i].table_budget);
+    pending_renegotiations_.push_back(std::move(r));
   }
 }
 

@@ -74,6 +74,12 @@ struct AdmissionConfig {
   /// minimum exceeds the share cap is still offered qmin service.
   /// Uncontrolled streams are exempt too (their cost is not a choice).
   double max_stream_share = 0.25;
+  /// Per-frame worst-case surcharge committed for a stream hosted off
+  /// its preferred processor (cache-affinity loss; see
+  /// platform::kMigrationCycles).  Makes migration compete against
+  /// local degradation on real cost instead of always being tried
+  /// first at zero price.
+  rt::Cycles migration_cost = platform::kMigrationCycles;
 };
 
 /// Shares compiled encoder systems (schedule + slack tables) across
@@ -139,12 +145,16 @@ struct BudgetEpoch {
   std::shared_ptr<const enc::EncoderSystem> system;
 };
 
-/// A budget shrink imposed on a running stream to admit a newcomer.
+/// A budget change imposed on a running stream: a shrink (to admit a
+/// newcomer) or, with SchedulingSpec::restore, a grow (after a
+/// departure freed capacity).
 struct BudgetRenegotiation {
   int stream_id = 0;
-  rt::Cycles effective_time = 0;  ///< the newcomer's join time
-  rt::Cycles table_budget = 0;    ///< the shrunk budget
+  /// The newcomer's join time (shrink) or the departure time (grow).
+  rt::Cycles effective_time = 0;
+  rt::Cycles table_budget = 0;    ///< the new budget
   rt::Cycles committed_cost = 0;
+  bool grow = false;              ///< restore pass, not a shrink
   std::shared_ptr<const enc::EncoderSystem> system;
 };
 
@@ -162,12 +172,18 @@ class AdmissionController {
   /// collect the shrinks with take_renegotiations().
   Placement admit(const StreamSpec& spec, int preferred_processor);
 
-  /// Budget shrinks imposed since the last call (admit() appends in
-  /// decision order; each carries the newcomer's join time).
+  /// Budget changes imposed since the last call (admit() appends
+  /// shrinks, release() appends restore grows, both in decision
+  /// order; each carries its effective time).
   std::vector<BudgetRenegotiation> take_renegotiations();
 
   /// Releases the commitment of a departed stream (no-op if unknown).
-  void release(int stream_id);
+  /// With SchedulingSpec::restore, then grows previously-shrunk
+  /// incumbents on the freed processor back up the certified ladder;
+  /// `now` stamps the resulting grow epochs (deliberately not
+  /// defaulted — a zero timestamp would order grow epochs before the
+  /// victims' own admissions).
+  void release(int stream_id, rt::Cycles now);
 
   int num_processors() const {
     return static_cast<int>(committed_.size());
@@ -184,12 +200,18 @@ class AdmissionController {
   struct Commitment {
     int stream_id = 0;
     sched::NpTask task;
-    /// Renegotiation state: only controlled streams can shrink, and
-    /// only down to min_budget.
+    /// Renegotiation state: only controlled streams can shrink (down
+    /// to min_budget) or be restored (up to desired_budget, the budget
+    /// they were originally admitted at).
     bool controlled = false;
     int macroblocks = 0;
     rt::Cycles table_budget = 0;
     rt::Cycles min_budget = 0;
+    rt::Cycles desired_budget = 0;
+    /// Migration surcharge folded into task.cost while the stream is
+    /// hosted off its preferred processor; budget changes must
+    /// preserve it (task.cost = table_budget + surcharge).
+    rt::Cycles migration_surcharge = 0;
   };
 
   /// True when `candidate` fits processor `p` on top of its current
@@ -223,6 +245,17 @@ class AdmissionController {
   bool try_place_renegotiating(const StreamSpec& spec,
                                rt::Cycles table_budget, rt::Cycles cost,
                                int preferred, Placement* out);
+
+  /// The committed set of processor `p` is schedulable as-is (policy
+  /// demand test + utilization cap, no candidate).
+  bool set_schedulable(int p) const;
+
+  /// Restore pass after a departure freed capacity on `p`: grow
+  /// previously-shrunk controlled commitments back toward the budget
+  /// they were admitted at, largest deficit first, one certified
+  /// ladder rung at a time, while the set stays schedulable.  Appends
+  /// grow records (effective at `now`) to pending_renegotiations_.
+  void restore_pass(int p, rt::Cycles now);
 
   AdmissionConfig config_;
   SchedulingSpec sched_;

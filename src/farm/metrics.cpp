@@ -40,6 +40,7 @@ std::string summarize(const FarmResult& r) {
   }
   os << " ctx_switch=" << r.sched.policy.context_switch_cost
      << " renegotiation=" << (r.sched.renegotiate ? "on" : "off")
+     << " restore=" << (r.sched.restore ? "on" : "off")
      << " preemptions=" << r.total_preemptions
      << " overhead_Mcycles="
      << static_cast<double>(r.total_overhead_cycles) / 1e6 << "\n"
@@ -48,12 +49,14 @@ std::string summarize(const FarmResult& r) {
      << std::setprecision(2) << r.rejection_rate << ")"
      << " migrated=" << r.migrated << " degraded=" << r.degraded
      << " via_renegotiation=" << r.admitted_via_renegotiation
-     << " renegotiated=" << r.renegotiated_streams << "\n"
+     << " renegotiated=" << r.renegotiated_streams
+     << " restored=" << r.restored_streams << "\n"
      << "frames=" << r.total_frames << " encoded=" << r.encoded_frames
      << " skips=" << r.total_skips
      << " display_misses=" << r.total_display_misses
      << " internal_misses=" << r.total_internal_misses << std::setprecision(3)
      << " mean_psnr=" << r.fleet_mean_psnr
+     << " mean_ssim=" << r.fleet_mean_ssim
      << " mean_quality=" << r.fleet_mean_quality << "\n";
   os << "quality histogram:";
   for (std::size_t q = 0; q < r.quality_histogram.size(); ++q) {
@@ -83,8 +86,14 @@ std::string summarize(const FarmResult& r) {
        << (so.placement.migrated ? " migrated" : "")
        << (so.placement.degraded ? " degraded" : "")
        << (so.placement.via_renegotiation ? " via_renegotiation" : "");
-    if (so.renegotiated) {
-      os << " renegotiated->Mcycles="
+    if (so.renegotiated || so.restored) {
+      // Label by where the budget ended up, not by which events ever
+      // happened: a stream shrunk again after a restore is reported
+      // as renegotiated.
+      const bool ended_shrunk =
+          so.epochs.back().table_budget < so.placement.table_budget;
+      os << (ended_shrunk ? " renegotiated->Mcycles="
+                          : " restored->Mcycles=")
          << static_cast<double>(so.epochs.back().table_budget) / 1e6;
     }
     os << " q_initial=" << so.placement.initial_quality
@@ -93,6 +102,9 @@ std::string summarize(const FarmResult& r) {
        << " display_misses=" << so.display_misses
        << " internal_misses=" << so.internal_misses
        << " mean_psnr=" << so.result.mean_psnr
+       << " psnr_p5=" << so.result.psnr_stats.p5
+       << " psnr_min=" << so.result.psnr_stats.min
+       << " mean_ssim=" << so.result.mean_ssim
        << " mean_quality=" << so.result.mean_quality << "\n";
   }
   return os.str();
@@ -107,7 +119,7 @@ std::string to_json(const FarmResult& r) {
   json_kv(os, "context_switch_cost",
           static_cast<long long>(r.sched.policy.context_switch_cost));
   os << "\"renegotiate\":" << (r.sched.renegotiate ? "true" : "false")
-     << ',';
+     << ",\"restore\":" << (r.sched.restore ? "true" : "false") << ',';
   json_kv(os, "preemptions", r.total_preemptions);
   json_kv(os, "overhead_cycles",
           static_cast<long long>(r.total_overhead_cycles));
@@ -120,6 +132,8 @@ std::string to_json(const FarmResult& r) {
           static_cast<long long>(r.admitted_via_renegotiation));
   json_kv(os, "renegotiated_streams",
           static_cast<long long>(r.renegotiated_streams));
+  json_kv(os, "restored_streams",
+          static_cast<long long>(r.restored_streams));
   json_kv(os, "rejection_rate", r.rejection_rate);
   json_kv(os, "total_frames", r.total_frames);
   json_kv(os, "encoded_frames", r.encoded_frames);
@@ -129,6 +143,7 @@ std::string to_json(const FarmResult& r) {
   json_kv(os, "internal_misses",
           static_cast<long long>(r.total_internal_misses));
   json_kv(os, "mean_psnr", r.fleet_mean_psnr);
+  json_kv(os, "mean_ssim", r.fleet_mean_ssim);
   json_kv(os, "mean_quality", r.fleet_mean_quality, false);
   os << ",\"quality_histogram\":[";
   for (std::size_t q = 0; q < r.quality_histogram.size(); ++q) {
@@ -180,7 +195,7 @@ std::string to_json(const FarmResult& r) {
        << ",\"via_renegotiation\":"
        << (so.placement.via_renegotiation ? "true" : "false")
        << ",\"renegotiated\":" << (so.renegotiated ? "true" : "false")
-       << ',';
+       << ",\"restored\":" << (so.restored ? "true" : "false") << ',';
     json_kv(os, "final_budget",
             static_cast<long long>(so.epochs.empty()
                                        ? so.placement.table_budget
@@ -195,6 +210,11 @@ std::string to_json(const FarmResult& r) {
     json_kv(os, "max_start_lag", static_cast<long long>(so.max_start_lag));
     json_kv(os, "mean_start_lag", so.mean_start_lag);
     json_kv(os, "mean_psnr", so.result.mean_psnr);
+    json_kv(os, "psnr_p5", so.result.psnr_stats.p5);
+    json_kv(os, "psnr_min", so.result.psnr_stats.min);
+    json_kv(os, "mean_ssim", so.result.mean_ssim);
+    json_kv(os, "ssim_p5", so.result.ssim_stats.p5);
+    json_kv(os, "ssim_min", so.result.ssim_stats.min);
     json_kv(os, "mean_quality", so.result.mean_quality);
     json_kv(os, "kbps", so.result.achieved_bps / 1e3, false);
     os << "}";
@@ -208,9 +228,11 @@ std::string to_csv(const FarmResult& r) {
   os << std::setprecision(17);
   os << "id,mode,width,height,buffer_capacity,frame_period,join_time,"
         "num_frames,admitted,processor,table_budget,committed_cost,"
-        "migrated,degraded,via_renegotiation,renegotiated,final_budget,"
+        "migrated,degraded,via_renegotiation,renegotiated,restored,"
+        "final_budget,"
         "initial_quality,skips,display_misses,"
         "internal_misses,max_start_lag,mean_start_lag,mean_psnr,"
+        "psnr_p5,psnr_min,mean_ssim,ssim_p5,ssim_min,"
         "mean_quality,kbps\n";
   for (const StreamOutcome& so : r.streams) {
     os << so.spec.id << ',' << mode_name(so.spec.mode) << ','
@@ -219,7 +241,7 @@ std::string to_csv(const FarmResult& r) {
        << so.spec.join_time << ',' << so.spec.num_frames << ','
        << (so.placement.admitted ? 1 : 0) << ',';
     if (!so.placement.admitted) {
-      os << "-1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n";
+      os << "-1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n";
       continue;
     }
     os << so.placement.processor << ',' << so.placement.table_budget << ','
@@ -227,14 +249,17 @@ std::string to_csv(const FarmResult& r) {
        << (so.placement.migrated ? 1 : 0) << ','
        << (so.placement.degraded ? 1 : 0) << ','
        << (so.placement.via_renegotiation ? 1 : 0) << ','
-       << (so.renegotiated ? 1 : 0) << ','
+       << (so.renegotiated ? 1 : 0) << ',' << (so.restored ? 1 : 0) << ','
        << (so.epochs.empty() ? so.placement.table_budget
                              : so.epochs.back().table_budget)
        << ','
        << so.placement.initial_quality << ',' << so.result.total_skips
        << ',' << so.display_misses << ',' << so.internal_misses << ','
        << so.max_start_lag << ',' << so.mean_start_lag << ','
-       << so.result.mean_psnr << ',' << so.result.mean_quality << ','
+       << so.result.mean_psnr << ',' << so.result.psnr_stats.p5 << ','
+       << so.result.psnr_stats.min << ',' << so.result.mean_ssim << ','
+       << so.result.ssim_stats.p5 << ',' << so.result.ssim_stats.min << ','
+       << so.result.mean_quality << ','
        << so.result.achieved_bps / 1e3 << '\n';
   }
   return os.str();

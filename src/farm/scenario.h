@@ -75,6 +75,14 @@ struct SchedulingSpec {
   /// (recompiling slack tables from the per-budget cache) to make
   /// room, instead of only degrading the newcomer.
   bool renegotiate = false;
+  /// Restore pass: when a stream departs, grow previously-shrunk
+  /// incumbents' budgets back up the certified ladder (largest deficit
+  /// first, one rung at a time, never past the budget they were
+  /// admitted at) while the processor stays schedulable.  Only
+  /// meaningful together with renegotiate (nothing shrinks otherwise),
+  /// but an independent knob so churn experiments can separate the
+  /// two effects.
+  bool restore = false;
 };
 
 /// A full offered load: streams sorted by (join_time, id) when played.

@@ -316,18 +316,18 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   using Leave = std::pair<rt::Cycles, int>;  // (leave time, stream id)
   std::priority_queue<Leave, std::vector<Leave>, std::greater<Leave>> leaves;
 
-  for (StreamOutcome* so : join_order) {
-    while (!leaves.empty() && leaves.top().first <= so->spec.join_time) {
-      admission.release(leaves.top().second);
-      leaves.pop();
-    }
-    const int preferred = admission.least_loaded();
-    so->placement = admission.admit(so->spec, preferred);
-    // Budget shrinks imposed on incumbents to make room: each opens a
-    // new budget epoch on its stream at the newcomer's join time.
+  // Budget changes imposed on running streams — shrinks by admission,
+  // grows by a departure's restore pass — each open a new budget epoch
+  // on their stream at the change's effective time.
+  auto apply_renegotiations = [&] {
     for (BudgetRenegotiation& r : admission.take_renegotiations()) {
       StreamOutcome* victim = by_id.at(r.stream_id);
-      if (!victim->renegotiated) {
+      if (r.grow) {
+        if (!victim->restored) {
+          victim->restored = true;
+          ++result.restored_streams;
+        }
+      } else if (!victim->renegotiated) {
         victim->renegotiated = true;
         ++result.renegotiated_streams;
       }
@@ -335,6 +335,17 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
                                            r.committed_cost,
                                            std::move(r.system)});
     }
+  };
+
+  for (StreamOutcome* so : join_order) {
+    while (!leaves.empty() && leaves.top().first <= so->spec.join_time) {
+      admission.release(leaves.top().second, leaves.top().first);
+      leaves.pop();
+      apply_renegotiations();
+    }
+    const int preferred = admission.least_loaded();
+    so->placement = admission.admit(so->spec, preferred);
+    apply_renegotiations();
     if (so->placement.admitted) {
       so->epochs.insert(
           so->epochs.begin(),
@@ -347,6 +358,13 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
           std::max(proc.peak_committed_utilization,
                    admission.committed_utilization(so->placement.processor));
     }
+  }
+  // Departures after the last join: their restore passes still grow
+  // long-lived incumbents, so drain the leave queue to the end.
+  while (!leaves.empty()) {
+    admission.release(leaves.top().second, leaves.top().first);
+    leaves.pop();
+    apply_renegotiations();
   }
 
   // ----- Data plane: one run queue per processor, workers in parallel.
@@ -383,7 +401,7 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
     result.total_preemptions += po.preemptions;
     result.total_overhead_cycles += po.overhead_cycles;
   }
-  double psnr_sum = 0.0, quality_sum = 0.0;
+  double psnr_sum = 0.0, ssim_sum = 0.0, quality_sum = 0.0;
   for (const StreamOutcome& so : result.streams) {
     if (!so.placement.admitted) {
       ++result.rejected;
@@ -400,6 +418,7 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
     result.total_internal_misses += so.internal_misses;
     for (const pipe::FrameRecord& fr : so.result.frames) {
       psnr_sum += fr.psnr;
+      ssim_sum += fr.ssim;
       if (!fr.skipped) {
         ++result.encoded_frames;
         quality_sum += fr.mean_quality;
@@ -419,6 +438,10 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   result.fleet_mean_psnr =
       result.total_frames > 0
           ? psnr_sum / static_cast<double>(result.total_frames)
+          : 0.0;
+  result.fleet_mean_ssim =
+      result.total_frames > 0
+          ? ssim_sum / static_cast<double>(result.total_frames)
           : 0.0;
   result.fleet_mean_quality =
       result.encoded_frames > 0

@@ -61,6 +61,8 @@ struct StreamOutcome {
   std::vector<BudgetEpoch> epochs;
   /// True when a later newcomer shrank this stream's budget.
   bool renegotiated = false;
+  /// True when a departure's restore pass grew it back up the ladder.
+  bool restored = false;
   /// Per-frame records and aggregates (empty when rejected).
   pipe::PipelineResult result;
   /// Frames whose encoding finished past arrival + K * P.
@@ -104,6 +106,8 @@ struct FarmResult {
   int admitted_via_renegotiation = 0;
   /// Running streams whose budget a later newcomer shrank.
   int renegotiated_streams = 0;
+  /// Shrunk streams a departure's restore pass grew back.
+  int restored_streams = 0;
   long long total_preemptions = 0;
   rt::Cycles total_overhead_cycles = 0;
   double rejection_rate = 0.0;
@@ -115,6 +119,7 @@ struct FarmResult {
   int total_internal_misses = 0;
 
   double fleet_mean_psnr = 0.0;     ///< over all admitted frames
+  double fleet_mean_ssim = 0.0;     ///< over all admitted frames
   double fleet_mean_quality = 0.0;  ///< over encoded frames
   /// Encoded frames per quality level (frame mean quality, rounded).
   std::vector<long long> quality_histogram;

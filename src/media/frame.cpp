@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "media/simd/kernels.h"
+
 namespace qosctrl::media {
 
 Frame::Frame(int width, int height, Sample fill)
@@ -83,25 +85,34 @@ std::int64_t sad_256(const std::array<Sample, 256>& a,
   return acc;
 }
 
-double frame_sse(const Frame& a, const Frame& b) {
+std::int64_t frame_sse_i64(const Frame& a, const Frame& b) {
   QC_EXPECT(a.width() == b.width() && a.height() == b.height(),
             "frames must have equal dimensions");
-  double acc = 0.0;
-  const auto& da = a.data();
-  const auto& db = b.data();
-  for (std::size_t i = 0; i < da.size(); ++i) {
-    const double d = static_cast<double>(da[i]) - static_cast<double>(db[i]);
-    acc += d * d;
-  }
-  return acc;
+  // Frames are contiguous row-major buffers of width * height samples,
+  // a multiple of 256, so the whole plane is one kernel call.
+  return simd::active_kernels().sum_sq_diff(a.data().data(),
+                                            b.data().data(),
+                                            a.data().size());
+}
+
+double frame_sse(const Frame& a, const Frame& b) {
+  // Exact: a frame's worth of 8-bit squared differences is far below
+  // 2^53, so this double is bit-identical with the old double
+  // accumulation.
+  return static_cast<double>(frame_sse_i64(a, b));
+}
+
+double psnr_from_sse(std::int64_t sse, std::int64_t pixels, double cap) {
+  QC_EXPECT(pixels > 0, "PSNR needs a non-empty frame");
+  if (sse <= 0) return cap;
+  const double mse =
+      static_cast<double>(sse) / static_cast<double>(pixels);
+  return std::min(cap, 10.0 * std::log10(255.0 * 255.0 / mse));
 }
 
 double psnr(const Frame& a, const Frame& b, double cap) {
-  const double sse = frame_sse(a, b);
-  const double n = static_cast<double>(a.width()) * a.height();
-  if (sse <= 0.0) return cap;
-  const double mse = sse / n;
-  return std::min(cap, 10.0 * std::log10(255.0 * 255.0 / mse));
+  return psnr_from_sse(frame_sse_i64(a, b),
+                       static_cast<std::int64_t>(a.data().size()), cap);
 }
 
 }  // namespace qosctrl::media

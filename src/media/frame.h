@@ -110,8 +110,20 @@ Block8 read_block8(const Frame& frame, int x0, int y0, int b);
 std::int64_t sad_256(const std::array<Sample, 256>& a,
                      const std::array<Sample, 256>& b);
 
+/// Integer sum of squared errors over whole frames (equal dimensions
+/// required; SIMD-dispatched, exact).  The one kernel call site —
+/// frame_sse, psnr, and quality::frame_sse all route through it.
+std::int64_t frame_sse_i64(const Frame& a, const Frame& b);
+
 /// Sum of squared errors over whole frames (equal dimensions required).
 double frame_sse(const Frame& a, const Frame& b);
+
+/// PSNR in dB from an integer sum of squared errors over `pixels`
+/// 8-bit samples; `cap` bounds the value for identical inputs
+/// (sse == 0).  The single home of the dB formula — psnr() below and
+/// quality::psnr both route through it.
+double psnr_from_sse(std::int64_t sse, std::int64_t pixels,
+                     double cap = 99.0);
 
 /// Peak signal-to-noise ratio in dB; identical frames yield `cap`
 /// (default 99 dB) rather than infinity.

@@ -13,6 +13,7 @@ namespace {
 const KernelTable kScalarTable = {
     "scalar",           Backend::kScalar, scalar_sad_16x16,
     scalar_sad_16x16_x4, scalar_halfpel_16x16, scalar_fdct8, scalar_idct8,
+    scalar_sum_sq_diff,  scalar_ssim_stats_8x8,
 };
 
 /// The CPU can execute `b`'s kernels *and* they were compiled in.
@@ -143,23 +144,5 @@ Backend set_backend_for_testing(Backend b) {
   active_table_slot().store(&kernels_for(b), std::memory_order_release);
   return previous;
 }
-
-// ---------------------------------------------------------------------------
-// NEON stub: the AArch64 slot in the dispatch table exists so the
-// selection logic and CI legs exercise the same code paths on ARM,
-// but the kernels are still the scalar ones.  Real NEON SAD/half-pel
-// kernels are a ROADMAP item.
-
-#if defined(__aarch64__) || defined(_M_ARM64)
-namespace {
-const KernelTable kNeonStubTable = {
-    "neon-stub(scalar)", Backend::kNeon,       scalar_sad_16x16,
-    scalar_sad_16x16_x4,  scalar_halfpel_16x16, scalar_fdct8, scalar_idct8,
-};
-}  // namespace
-const KernelTable* neon_kernel_table() { return &kNeonStubTable; }
-#else
-const KernelTable* neon_kernel_table() { return nullptr; }
-#endif
 
 }  // namespace qosctrl::media::simd

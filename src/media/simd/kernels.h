@@ -1,11 +1,12 @@
 // Runtime-dispatched SIMD media kernels.
 //
 // The encoder's hot pixel loops — macroblock SAD, half-pel bilinear
-// interpolation, and the fixed-point LLM DCT butterflies — are reached
-// through a table of function pointers selected once at startup from
-// CPUID: SSE2 is the x86-64 baseline, AVX2 is used when the CPU
-// reports it, and non-x86 builds (the NEON slot is a stub for now)
-// fall back to the scalar reference kernels.  Every entry is pinned
+// interpolation, the fixed-point LLM DCT butterflies, and the
+// PSNR / SSIM distortion accumulators — are reached through a table
+// of function pointers selected once at startup from CPUID: SSE2 is
+// the x86-64 baseline, AVX2 is used when the CPU reports it, and
+// AArch64 builds get `vabal` NEON SAD kernels (the remaining NEON
+// slots alias the scalar reference kernels).  Every entry is pinned
 // bit-exact against the scalar kernel over the encoder's input domain
 // (tests/media/simd_kernel_equivalence_test.cpp), so the backend in
 // use is unobservable except through speed.
@@ -33,7 +34,7 @@ enum class Backend {
   kScalar = 0,
   kSse2 = 1,
   kAvx2 = 2,
-  kNeon = 3,  ///< stub: scalar kernels behind the NEON table slot
+  kNeon = 3,  ///< vabal SAD kernels; other slots alias scalar
 };
 
 /// The kernel function-pointer table.  All pointers are non-null in
@@ -76,6 +77,23 @@ struct KernelTable {
   /// encoder's 9-bit residuals and their transform coefficients.
   void (*fdct8)(const std::int16_t* in, std::int32_t* out);
   void (*idct8)(const std::int32_t* in, std::int16_t* out);
+
+  /// Sum of squared differences between two contiguous sample spans of
+  /// `n` pixels, `n` a positive multiple of 16 — the PSNR accumulator
+  /// (quality::frame_sse feeds whole luma planes through one call).
+  /// Integer accumulation: the result is exact, so every backend
+  /// returns the identical sum.
+  std::int64_t (*sum_sq_diff)(const std::uint8_t* a, const std::uint8_t* b,
+                              std::size_t n);
+
+  /// Raw moments of one co-located 8x8 block pair — the per-window
+  /// input of the fixed-point SSIM (src/quality/distortion.cpp):
+  /// out = {sum a, sum b, sum a*a, sum b*b, sum a*b}.  All integer, so
+  /// the downstream SSIM arithmetic is backend-independent by
+  /// construction.
+  void (*ssim_stats_8x8)(const std::uint8_t* a, std::ptrdiff_t a_stride,
+                         const std::uint8_t* b, std::ptrdiff_t b_stride,
+                         std::int64_t out[5]);
 };
 
 /// The table selected at startup (rules above).  Thread-safe; the

@@ -400,9 +400,101 @@ void avx2_idct8(const std::int32_t* in, std::int16_t* out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Distortion kernels (PSNR / SSIM accumulators).
+
+/// Widens the eight non-negative 32-bit vpmaddwd partials into the
+/// 64-bit accumulator lanes — overflow-free for any span length.
+inline __m256i accumulate_madd(__m256i acc, __m256i madd) {
+  const __m256i zero = _mm256_setzero_si256();
+  acc = _mm256_add_epi64(acc, _mm256_unpacklo_epi32(madd, zero));
+  return _mm256_add_epi64(acc, _mm256_unpackhi_epi32(madd, zero));
+}
+
+std::int64_t avx2_sum_sq_diff(const std::uint8_t* a, const std::uint8_t* b,
+                              std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i dlo = _mm256_sub_epi16(_mm256_unpacklo_epi8(va, zero),
+                                         _mm256_unpacklo_epi8(vb, zero));
+    const __m256i dhi = _mm256_sub_epi16(_mm256_unpackhi_epi8(va, zero),
+                                         _mm256_unpackhi_epi8(vb, zero));
+    acc = accumulate_madd(acc, _mm256_madd_epi16(dlo, dlo));
+    acc = accumulate_madd(acc, _mm256_madd_epi16(dhi, dhi));
+  }
+  std::int64_t total = hsum_sad256(acc);
+  if (i < n) {  // one 16-pixel tail (n is a multiple of 16)
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i z = _mm_setzero_si128();
+    const __m128i dlo =
+        _mm_sub_epi16(_mm_unpacklo_epi8(va, z), _mm_unpacklo_epi8(vb, z));
+    const __m128i dhi =
+        _mm_sub_epi16(_mm_unpackhi_epi8(va, z), _mm_unpackhi_epi8(vb, z));
+    __m128i acc32 = _mm_add_epi32(_mm_madd_epi16(dlo, dlo),
+                                  _mm_madd_epi16(dhi, dhi));
+    acc32 = _mm_add_epi32(
+        acc32, _mm_shuffle_epi32(acc32, _MM_SHUFFLE(1, 0, 3, 2)));
+    acc32 = _mm_add_epi32(
+        acc32, _mm_shuffle_epi32(acc32, _MM_SHUFFLE(2, 3, 0, 1)));
+    total += _mm_cvtsi128_si32(acc32);
+  }
+  return total;
+}
+
+void avx2_ssim_stats_8x8(const std::uint8_t* a, std::ptrdiff_t a_stride,
+                         const std::uint8_t* b, std::ptrdiff_t b_stride,
+                         std::int64_t out[5]) {
+  // Two rows per iteration in 16-lane 16-bit vectors.  First moments
+  // stay exact in 16-bit lanes (8 rows * 255 = 2040); second-moment
+  // vpmaddwd partials stay far under 2^31.
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc_aa = zero;
+  __m256i acc_bb = zero;
+  __m256i acc_ab = zero;
+  __m256i sum_a16 = zero;
+  __m256i sum_b16 = zero;
+  const auto load2x8 = [](const std::uint8_t* lo, const std::uint8_t* hi) {
+    return _mm256_cvtepu8_epi16(_mm_unpacklo_epi64(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(lo)),
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(hi))));
+  };
+  for (int y = 0; y < 8; y += 2) {
+    const __m256i ra = load2x8(a + y * a_stride, a + (y + 1) * a_stride);
+    const __m256i rb = load2x8(b + y * b_stride, b + (y + 1) * b_stride);
+    sum_a16 = _mm256_add_epi16(sum_a16, ra);
+    sum_b16 = _mm256_add_epi16(sum_b16, rb);
+    acc_aa = _mm256_add_epi32(acc_aa, _mm256_madd_epi16(ra, ra));
+    acc_bb = _mm256_add_epi32(acc_bb, _mm256_madd_epi16(rb, rb));
+    acc_ab = _mm256_add_epi32(acc_ab, _mm256_madd_epi16(ra, rb));
+  }
+  const __m256i one16 = _mm256_set1_epi16(1);
+  const auto hsum32 = [](__m256i v) -> std::int64_t {
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                              _mm256_extracti128_si256(v, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(s);
+  };
+  out[0] = hsum32(_mm256_madd_epi16(sum_a16, one16));
+  out[1] = hsum32(_mm256_madd_epi16(sum_b16, one16));
+  out[2] = hsum32(acc_aa);
+  out[3] = hsum32(acc_bb);
+  out[4] = hsum32(acc_ab);
+}
+
 const KernelTable kAvx2Table = {
     "avx2",         Backend::kAvx2, avx2_sad_16x16, avx2_sad_16x16_x4,
     avx2_halfpel_16x16, avx2_fdct8, avx2_idct8,
+    avx2_sum_sq_diff,   avx2_ssim_stats_8x8,
 };
 
 }  // namespace

@@ -57,6 +57,11 @@ void scalar_halfpel_16x16(const std::uint8_t* src, std::ptrdiff_t stride,
                           int fx, int fy, std::uint8_t* dst);
 void scalar_fdct8(const std::int16_t* in, std::int32_t* out);
 void scalar_idct8(const std::int32_t* in, std::int16_t* out);
+std::int64_t scalar_sum_sq_diff(const std::uint8_t* a, const std::uint8_t* b,
+                                std::size_t n);
+void scalar_ssim_stats_8x8(const std::uint8_t* a, std::ptrdiff_t a_stride,
+                           const std::uint8_t* b, std::ptrdiff_t b_stride,
+                           std::int64_t out[5]);
 
 // ---------------------------------------------------------------------------
 // Per-backend tables.  Each accessor returns nullptr when the backend
@@ -66,6 +71,6 @@ void scalar_idct8(const std::int32_t* in, std::int16_t* out);
 
 const KernelTable* sse2_kernel_table();  ///< null off x86
 const KernelTable* avx2_kernel_table();  ///< null unless built with AVX2
-const KernelTable* neon_kernel_table();  ///< null off AArch64 (stub table)
+const KernelTable* neon_kernel_table();  ///< null off AArch64
 
 }  // namespace qosctrl::media::simd

@@ -215,6 +215,40 @@ void scalar_halfpel_16x16(const std::uint8_t* src, std::ptrdiff_t stride,
   }
 }
 
+std::int64_t scalar_sum_sq_diff(const std::uint8_t* a, const std::uint8_t* b,
+                                std::size_t n) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int d = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+void scalar_ssim_stats_8x8(const std::uint8_t* a, std::ptrdiff_t a_stride,
+                           const std::uint8_t* b, std::ptrdiff_t b_stride,
+                           std::int64_t out[5]) {
+  std::int64_t sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  for (int y = 0; y < kN; ++y) {
+    const std::uint8_t* pa = a + y * a_stride;
+    const std::uint8_t* pb = b + y * b_stride;
+    for (int x = 0; x < kN; ++x) {
+      const int va = pa[x];
+      const int vb = pb[x];
+      sa += va;
+      sb += vb;
+      saa += va * va;
+      sbb += vb * vb;
+      sab += va * vb;
+    }
+  }
+  out[0] = sa;
+  out[1] = sb;
+  out[2] = saa;
+  out[3] = sbb;
+  out[4] = sab;
+}
+
 void scalar_fdct8(const std::int16_t* in, std::int32_t* out) {
   std::int64_t row_in[kN];
   std::int64_t ws[kN * kN];

@@ -150,9 +150,77 @@ void sse2_halfpel_16x16(const std::uint8_t* src, std::ptrdiff_t stride,
   }
 }
 
+/// Widens the four non-negative 32-bit pmaddwd partials into the
+/// 64-bit accumulator lanes — overflow-free for any span length.
+inline __m128i accumulate_madd(__m128i acc, __m128i madd) {
+  const __m128i zero = _mm_setzero_si128();
+  acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(madd, zero));
+  return _mm_add_epi64(acc, _mm_unpackhi_epi32(madd, zero));
+}
+
+std::int64_t sse2_sum_sq_diff(const std::uint8_t* a, const std::uint8_t* b,
+                              std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;
+  for (std::size_t i = 0; i < n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i dlo = _mm_sub_epi16(_mm_unpacklo_epi8(va, zero),
+                                      _mm_unpacklo_epi8(vb, zero));
+    const __m128i dhi = _mm_sub_epi16(_mm_unpackhi_epi8(va, zero),
+                                      _mm_unpackhi_epi8(vb, zero));
+    acc = accumulate_madd(acc, _mm_madd_epi16(dlo, dlo));
+    acc = accumulate_madd(acc, _mm_madd_epi16(dhi, dhi));
+  }
+  return hsum_sad(acc);
+}
+
+void sse2_ssim_stats_8x8(const std::uint8_t* a, std::ptrdiff_t a_stride,
+                         const std::uint8_t* b, std::ptrdiff_t b_stride,
+                         std::int64_t out[5]) {
+  const __m128i zero = _mm_setzero_si128();
+  // 16-bit first-moment lanes stay exact (8 rows * 255 = 2040); the
+  // second-moment pmaddwd partials stay far under 2^31 (8 rows * 2 *
+  // 255^2 ~ 1.0e6), so 32-bit accumulation is exact throughout.
+  __m128i acc_aa = zero;
+  __m128i acc_bb = zero;
+  __m128i acc_ab = zero;
+  __m128i sum_a16 = zero;
+  __m128i sum_b16 = zero;
+  for (int y = 0; y < 8; ++y) {
+    const __m128i ra = _mm_unpacklo_epi8(
+        _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(a + y * a_stride)),
+        zero);
+    const __m128i rb = _mm_unpacklo_epi8(
+        _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(b + y * b_stride)),
+        zero);
+    sum_a16 = _mm_add_epi16(sum_a16, ra);
+    sum_b16 = _mm_add_epi16(sum_b16, rb);
+    acc_aa = _mm_add_epi32(acc_aa, _mm_madd_epi16(ra, ra));
+    acc_bb = _mm_add_epi32(acc_bb, _mm_madd_epi16(rb, rb));
+    acc_ab = _mm_add_epi32(acc_ab, _mm_madd_epi16(ra, rb));
+  }
+  const __m128i one16 = _mm_set1_epi16(1);
+  const auto hsum32 = [](__m128i v) -> std::int64_t {
+    v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+    v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(v);
+  };
+  out[0] = hsum32(_mm_madd_epi16(sum_a16, one16));
+  out[1] = hsum32(_mm_madd_epi16(sum_b16, one16));
+  out[2] = hsum32(acc_aa);
+  out[3] = hsum32(acc_bb);
+  out[4] = hsum32(acc_ab);
+}
+
 const KernelTable kSse2Table = {
     "sse2",         Backend::kSse2,     sse2_sad_16x16, sse2_sad_16x16_x4,
     sse2_halfpel_16x16, scalar_fdct8, scalar_idct8,
+    sse2_sum_sq_diff,   sse2_ssim_stats_8x8,
 };
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "quality/distortion.h"
 #include "util/check.h"
 
 namespace qosctrl::pipe {
@@ -195,6 +196,7 @@ FrameRecord StreamSession::encode(int index, rt::Cycles t0) {
   rec.encode_cycles = stats.encode_cycles;
   rec.start_lag = t0;
   rec.psnr = stats.psnr;
+  rec.ssim = stats.ssim;
   rec.bits = stats.bits;
   rec.mean_quality = stats.mean_quality;
   rec.min_quality = stats.min_quality;
@@ -214,9 +216,12 @@ FrameRecord StreamSession::skip(int index) {
   rec.qp = rate_.qp();
   // The decoder re-displays the previous output frame.
   const media::Frame input = video_.frame(index);
-  rec.psnr = encoder_.has_reference()
-                 ? media::psnr(input, encoder_.reconstructed().y)
-                 : 0.0;
+  if (encoder_.has_reference()) {
+    const quality::FrameDistortion d =
+        quality::measure(input, encoder_.reconstructed().y);
+    rec.psnr = d.psnr;
+    rec.ssim = d.ssim;
+  }
   rate_.frame_skipped();
   return rec;
 }
@@ -264,16 +269,37 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
                            config.rate.frame_rate);
 }
 
+namespace {
+
+/// mean / 5th percentile / min of a per-frame quality series.
+QualitySeriesStats series_stats(std::vector<double> values) {
+  QualitySeriesStats s;
+  if (values.empty()) return s;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.p5 = values[(values.size() - 1) / 20];
+  return s;
+}
+
+}  // namespace
+
 PipelineResult aggregate_records(std::vector<FrameRecord> frames,
                                  rt::Cycles budget, double frame_rate) {
   PipelineResult result;
   result.frames = std::move(frames);
 
-  double psnr_all = 0.0, psnr_enc = 0.0, cycles = 0.0, quality = 0.0;
+  double psnr_enc = 0.0, cycles = 0.0, quality = 0.0;
   double util = 0.0;
   int encoded = 0;
+  std::vector<double> psnr_series, ssim_series;
+  psnr_series.reserve(result.frames.size());
+  ssim_series.reserve(result.frames.size());
   for (const FrameRecord& rec : result.frames) {
-    psnr_all += rec.psnr;
+    psnr_series.push_back(rec.psnr);
+    ssim_series.push_back(rec.ssim);
     result.total_deadline_misses += rec.deadline_misses;
     if (rec.skipped) {
       ++result.total_skips;
@@ -287,8 +313,11 @@ PipelineResult aggregate_records(std::vector<FrameRecord> frames,
     util += static_cast<double>(rec.encode_cycles) /
             static_cast<double>(budget);
   }
+  result.psnr_stats = series_stats(std::move(psnr_series));
+  result.ssim_stats = series_stats(std::move(ssim_series));
+  result.mean_psnr = result.psnr_stats.mean;
+  result.mean_ssim = result.ssim_stats.mean;
   const int n = static_cast<int>(result.frames.size());
-  result.mean_psnr = n > 0 ? psnr_all / n : 0.0;
   if (encoded > 0) {
     result.mean_psnr_encoded = psnr_enc / encoded;
     result.mean_encode_cycles = cycles / encoded;
@@ -309,6 +338,8 @@ std::string summarize(const PipelineResult& result) {
      << " deadline_misses=" << result.total_deadline_misses
      << " mean_psnr=" << result.mean_psnr
      << " mean_psnr_encoded=" << result.mean_psnr_encoded
+     << " mean_ssim=" << result.mean_ssim
+     << " psnr_p5=" << result.psnr_stats.p5
      << " mean_encode_Mcycles=" << result.mean_encode_cycles / 1e6
      << " budget_util=" << result.mean_budget_utilization
      << " mean_quality=" << result.mean_quality

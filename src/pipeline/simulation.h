@@ -86,6 +86,7 @@ struct FrameRecord {
   rt::Cycles encode_cycles = 0;  ///< 0 for skipped frames
   rt::Cycles start_lag = 0;      ///< start - arrival (buffer wait)
   double psnr = 0.0;             ///< vs displayed output
+  double ssim = 0.0;             ///< vs displayed output
   std::int64_t bits = 0;
   double mean_quality = 0.0;
   rt::QualityLevel min_quality = 0;
@@ -96,12 +97,27 @@ struct FrameRecord {
   int intra_macroblocks = 0;
 };
 
+/// Distribution summary of a per-frame quality series (PSNR or SSIM)
+/// over every displayed frame, skips included — skipped frames
+/// re-display stale output, and their low scores are exactly the
+/// quality cost a policy comparison must see.  p5 is the 5th
+/// percentile (sorted ascending, index floor((n-1)/20)): the tail
+/// quality a viewer actually experiences under churn.
+struct QualitySeriesStats {
+  double mean = 0.0;
+  double p5 = 0.0;
+  double min = 0.0;
+};
+
 struct PipelineResult {
   std::vector<FrameRecord> frames;
   int total_skips = 0;
   int total_deadline_misses = 0;
   double mean_psnr = 0.0;          ///< over all frames incl. skipped
   double mean_psnr_encoded = 0.0;  ///< over encoded frames only
+  double mean_ssim = 0.0;          ///< over all frames incl. skipped
+  QualitySeriesStats psnr_stats;   ///< mean/p5/min over all frames
+  QualitySeriesStats ssim_stats;
   double mean_encode_cycles = 0.0;
   std::int64_t total_bits = 0;
   double achieved_bps = 0.0;

@@ -86,6 +86,16 @@ class CostModel {
 /// every switch.
 inline constexpr rt::Cycles kContextSwitchCycles = 20000;
 
+/// Per-frame cost of hosting a stream away from its preferred
+/// processor: the encoder's working set (reference frame rows, slack
+/// tables) no longer lives in that processor's cache, so every frame
+/// pays a cold-refill surcharge — ~15 us at the paper's 8 GHz, several
+/// context switches' worth.  farm::AdmissionController inflates a
+/// migrated stream's committed worst-case frame cost by it, which is
+/// what makes migration vs local degradation a real trade-off instead
+/// of migration always winning.
+inline constexpr rt::Cycles kMigrationCycles = 120000;
+
 /// The paper's Figure 5 tables for the MPEG-4 encoder benchmark:
 /// 9 actions (ids follow qosctrl::enc::BodyAction order), 8 quality
 /// levels; only Motion_Estimate varies with quality.

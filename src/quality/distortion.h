@@ -1,0 +1,64 @@
+// Distortion measurement — the quality side of the quality-vs-deadline
+// trade the controller makes.
+//
+// The paper evaluates its controller by the PSNR of the frames the
+// encoder actually delivers; this module measures that (and a
+// structural metric, SSIM) from pixels, through the same CPUID-
+// dispatched kernel table as the encoder's hot loops
+// (media/simd/kernels.h):
+//
+//  * PSNR — from the integer sum of squared errors over the luma
+//    plane.  The accumulation is integer in every backend, so the SSE
+//    (and hence the dB value, a pure function of it) is bit-identical
+//    scalar / SSE2 / AVX2 / NEON.
+//  * SSIM — mean structural similarity over non-overlapping 8x8 luma
+//    blocks.  Per block the kernels return raw integer moments
+//    (sums, second moments, cross moment); the SSIM ratio is then
+//    evaluated in 64/128-bit fixed point (kSsimFpBits fractional
+//    bits) from those integers, so the per-block scores — and their
+//    mean — are backend-independent by construction, not just within
+//    floating-point tolerance.
+//
+// Both metrics are pinned against golden values and across backends
+// in tests/quality/distortion_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "media/frame.h"
+
+namespace qosctrl::quality {
+
+/// Fractional bits of the fixed-point per-block SSIM scores.
+inline constexpr int kSsimFpBits = 20;
+
+/// Integer sum of squared errors over two equal-geometry luma frames
+/// (SIMD-dispatched; exact, so bit-identical across backends).
+std::int64_t frame_sse(const media::Frame& a, const media::Frame& b);
+
+/// Luma PSNR via the dispatched SSE kernel — a delegation to
+/// media::psnr, which owns the single copy of the dB formula
+/// (media::psnr_from_sse), so encoded-frame and skipped-frame scores
+/// can never drift apart.
+double psnr(const media::Frame& a, const media::Frame& b, double cap = 99.0);
+
+/// Fixed-point SSIM score of one 8x8 block pair from its raw moments
+/// {sum a, sum b, sum a*a, sum b*b, sum a*b}, in [-1, 1] scaled by
+/// 2^kSsimFpBits.  Exposed for the golden tests.
+std::int64_t ssim_block_fp(const std::int64_t stats[5]);
+
+/// Mean SSIM over the non-overlapping 8x8 block grid of two
+/// equal-geometry luma frames (frame dimensions are multiples of 16,
+/// so the grid tiles exactly).  The mean of integer per-block scores:
+/// bit-identical across backends; 1.0 for identical frames.
+double ssim(const media::Frame& a, const media::Frame& b);
+
+/// Both metrics in one pass over the frame pair.
+struct FrameDistortion {
+  double psnr = 0.0;
+  double ssim = 0.0;
+};
+FrameDistortion measure(const media::Frame& a, const media::Frame& b,
+                        double psnr_cap = 99.0);
+
+}  // namespace qosctrl::quality

@@ -131,7 +131,7 @@ TEST_F(AdmissionTest, ReleaseMakesRoomAgain) {
   const StreamSpec extra = small_stream(100);
   ASSERT_FALSE(ac.admit(extra, 0).admitted)
       << "the processor should be saturated";
-  for (const int id : admitted_ids) ac.release(id);
+  for (const int id : admitted_ids) ac.release(id, /*now=*/0);
   EXPECT_EQ(ac.committed_streams(0), 0);
   const Placement p = ac.admit(extra, 0);
   EXPECT_TRUE(p.admitted) << p.reason;
@@ -307,6 +307,107 @@ TEST_F(AdmissionTest, RenegotiationRollsBackWhenEvenQminCannotFit) {
   EXPECT_TRUE(ac.take_renegotiations().empty());
   EXPECT_DOUBLE_EQ(ac.committed_utilization(0), before)
       << "a failed renegotiation must leave commitments untouched";
+}
+
+/// A two-rung ladder (60% of the latency window, then the qmin
+/// minimum) with a controlled filler at the rich rung on processor 0:
+/// a newcomer preferring 0 cannot take the rich rung there (1.2x
+/// utilization), so migration-vs-degradation is decided by the
+/// surcharge alone.
+AdmissionConfig two_rung_config(rt::Cycles migration_cost) {
+  AdmissionConfig cfg;
+  cfg.budget_fractions = {0.6};
+  cfg.min_budget_multiples = {};
+  cfg.max_stream_share = 1.0;
+  cfg.migration_cost = migration_cost;
+  return cfg;
+}
+
+TEST_F(AdmissionTest, MigrationChargesTheSurchargeOnOffPreferredHosts) {
+  AdmissionController ac(2, two_rung_config(120000), &tables_);
+  ASSERT_TRUE(ac.admit(small_stream(0, 4.0), 0).admitted);
+
+  const Placement p = ac.admit(small_stream(1, 4.0), 0);
+  ASSERT_TRUE(p.admitted) << p.reason;
+  EXPECT_EQ(p.processor, 1);
+  EXPECT_TRUE(p.migrated);
+  EXPECT_FALSE(p.degraded);
+  // Controlled streams commit their table budget; a migrated one
+  // commits budget + surcharge.
+  EXPECT_EQ(p.committed_cost, p.table_budget + 120000);
+}
+
+TEST_F(AdmissionTest, ExpensiveMigrationMakesLocalDegradationWin) {
+  // Migration now costs more than the whole latency window: no
+  // candidate is schedulable off-processor, so the newcomer degrades
+  // locally to the qmin rung instead — the trade-off the cost term
+  // exists to expose (with a zero surcharge it would migrate rich,
+  // as the test above pins).
+  AdmissionController ac(2, two_rung_config(20000000), &tables_);
+  ASSERT_TRUE(ac.admit(small_stream(0, 4.0), 0).admitted);
+
+  const Placement p = ac.admit(small_stream(1, 4.0), 0);
+  ASSERT_TRUE(p.admitted) << p.reason;
+  EXPECT_EQ(p.processor, 0);
+  EXPECT_FALSE(p.migrated);
+  EXPECT_TRUE(p.degraded);
+  EXPECT_EQ(p.committed_cost, p.table_budget);  // no surcharge at home
+  EXPECT_EQ(p.table_budget, tables_.min_budget(12));
+}
+
+TEST_F(AdmissionTest, RestorePassGrowsShrunkIncumbentsBackOnRelease) {
+  SchedulingSpec sched;
+  sched.renegotiate = true;
+  sched.restore = true;
+  AdmissionController ac(1, {}, &tables_, sched);
+  // Three rich incumbents (share 0.25 each), then a newcomer whose
+  // qmin worst case only fits after incumbents shrink.
+  rt::Cycles rich_budget = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Placement p = ac.admit(small_stream(i, 4.0), 0);
+    ASSERT_TRUE(p.admitted) << p.reason;
+    rich_budget = p.table_budget;
+  }
+  const double before = ac.committed_utilization(0);
+  const Placement newcomer = ac.admit(small_stream(3, 3.0), 0);
+  ASSERT_TRUE(newcomer.admitted) << newcomer.reason;
+  ASSERT_TRUE(newcomer.via_renegotiation);
+  const std::vector<BudgetRenegotiation> shrinks =
+      ac.take_renegotiations();
+  ASSERT_FALSE(shrinks.empty());
+  for (const BudgetRenegotiation& r : shrinks) {
+    EXPECT_FALSE(r.grow);
+    EXPECT_LT(r.table_budget, rich_budget);
+  }
+
+  // The newcomer departs: the restore pass walks every shrunk
+  // incumbent back up the certified ladder to the budget it was
+  // admitted at, stamped with the departure time.
+  ac.release(3, /*now=*/777);
+  const std::vector<BudgetRenegotiation> grows = ac.take_renegotiations();
+  ASSERT_EQ(grows.size(), shrinks.size());
+  for (const BudgetRenegotiation& r : grows) {
+    EXPECT_TRUE(r.grow);
+    EXPECT_EQ(r.effective_time, 777);
+    EXPECT_EQ(r.table_budget, rich_budget);
+    ASSERT_NE(r.system, nullptr);
+    EXPECT_EQ(r.system->budget, r.table_budget);
+  }
+  EXPECT_DOUBLE_EQ(ac.committed_utilization(0), before)
+      << "restore must return exactly to the pre-newcomer commitment";
+  // Without the restore flag, a release leaves budgets shrunk.
+  SchedulingSpec no_restore;
+  no_restore.renegotiate = true;
+  TableCache tables2(platform::figure5_cost_table());
+  AdmissionController ac2(1, {}, &tables2, no_restore);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ac2.admit(small_stream(i, 4.0), 0).admitted);
+  }
+  ASSERT_TRUE(ac2.admit(small_stream(3, 3.0), 0).admitted);
+  ac2.take_renegotiations();
+  ac2.release(3, 777);
+  EXPECT_TRUE(ac2.take_renegotiations().empty());
+  EXPECT_LT(ac2.committed_utilization(0), before);
 }
 
 TEST_F(AdmissionTest, DeterministicVerdicts) {

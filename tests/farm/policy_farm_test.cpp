@@ -69,6 +69,9 @@ FarmScenario blocking_limited_mix(rt::Cycles wide_period = 8 * kM) {
 FarmConfig two_proc_config() {
   FarmConfig cfg;
   cfg.num_processors = 2;
+  // The pinned mixes' arithmetic is exact in m; keep the migration
+  // surcharge out of it (admission_test.cpp pins the surcharge).
+  cfg.admission.migration_cost = 0;
   return cfg;
 }
 
@@ -202,6 +205,34 @@ TEST(PolicyFarm, RenegotiationConvertsRejectionIntoAdmissionMissFree) {
                 so.placement.table_budget);
     }
   }
+}
+
+TEST(PolicyFarm, RestorePassGrowsIncumbentsBackAfterTheNewcomersLeave) {
+  // The renegotiation scenario's newcomers (6 frames at 8m) leave at
+  // 68m, while the incumbents (4 frames at 48m) still have frames
+  // arriving at 96m and 144m.  With the restore pass those frames are
+  // paced over the re-grown 12m tables instead of the qmin 4m ones.
+  FarmScenario sc = renegotiation_scenario(true);
+  sc.sched.restore = true;
+  const FarmResult r = run_farm(sc, two_proc_config());
+  EXPECT_EQ(r.admitted, 8) << summarize(r);
+  EXPECT_EQ(r.renegotiated_streams, 6);
+  EXPECT_EQ(r.restored_streams, 6);
+  expect_all_admitted_miss_free(r);
+  for (const StreamOutcome& so : r.streams) {
+    if (!so.renegotiated) continue;
+    EXPECT_TRUE(so.restored);
+    // Epoch history: admitted rich, shrunk to qmin, grown back.
+    ASSERT_GE(so.epochs.size(), 3u);
+    EXPECT_EQ(so.epochs.back().table_budget, so.placement.table_budget);
+    EXPECT_LT(so.epochs[1].table_budget, so.epochs.back().table_budget);
+  }
+  // The re-grown tables buy back quality on the incumbents' remaining
+  // frames: fleet mean quality must not drop vs leaving them shrunk.
+  const FarmResult shrunk =
+      run_farm(renegotiation_scenario(true), two_proc_config());
+  EXPECT_GT(r.fleet_mean_quality, shrunk.fleet_mean_quality)
+      << summarize(r) << summarize(shrunk);
 }
 
 TEST(PolicyFarm, ResultsAreBitIdenticalAcrossWorkerCountsForEveryPolicy) {

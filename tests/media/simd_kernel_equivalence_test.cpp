@@ -222,6 +222,71 @@ TEST(SimdKernelEquivalence, RoundTripDctAcrossBackends) {
   }
 }
 
+TEST(SimdKernelEquivalence, SumSqDiffMatchesScalarExactly) {
+  util::Rng rng(308);
+  // Span lengths cover one macroblock row up to a whole QCIF plane,
+  // including lengths that exercise the AVX2 16-pixel tail (n % 32 ==
+  // 16) and biased content (small diffs) as well as full-range noise.
+  const std::size_t lengths[] = {16, 48, 256, 1008, 25344};
+  std::vector<std::uint8_t> a(25344), b(25344);
+  for (const Backend bk : simd_backends()) {
+    const KernelTable& t = kernels_for(bk);
+    for (int trial = 0; trial < 20; ++trial) {
+      const bool small_diffs = trial % 2 == 0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = static_cast<std::uint8_t>(rng.uniform_i64(0, 255));
+        b[i] = small_diffs
+                   ? static_cast<std::uint8_t>(
+                         std::clamp<std::int64_t>(
+                             a[i] + rng.uniform_i64(-4, 4), 0, 255))
+                   : static_cast<std::uint8_t>(rng.uniform_i64(0, 255));
+      }
+      for (const std::size_t n : lengths) {
+        EXPECT_EQ(t.sum_sq_diff(a.data(), b.data(), n),
+                  scalar_sum_sq_diff(a.data(), b.data(), n))
+            << t.name << " n=" << n;
+      }
+    }
+    // Worst case: maximal per-pixel difference over the whole span.
+    std::fill(a.begin(), a.end(), 255);
+    std::fill(b.begin(), b.end(), 0);
+    EXPECT_EQ(t.sum_sq_diff(a.data(), b.data(), a.size()),
+              static_cast<std::int64_t>(a.size()) * 255 * 255)
+        << t.name;
+  }
+}
+
+TEST(SimdKernelEquivalence, SsimStatsMatchScalarExactlyOnOddStrides) {
+  util::Rng rng(309);
+  const StridedBuffer bufa(rng, /*stride=*/59, /*rows=*/32);
+  const StridedBuffer bufb(rng, /*stride=*/83, /*rows=*/32);
+  for (const Backend bk : simd_backends()) {
+    const KernelTable& t = kernels_for(bk);
+    for (int trial = 0; trial < 200; ++trial) {
+      const int xa = static_cast<int>(rng.uniform_i64(0, 59 - 8));
+      const int ya = static_cast<int>(rng.uniform_i64(0, 32 - 8));
+      const int xb = static_cast<int>(rng.uniform_i64(0, 83 - 8));
+      const int yb = static_cast<int>(rng.uniform_i64(0, 32 - 8));
+      std::int64_t want[5], got[5];
+      scalar_ssim_stats_8x8(bufa.at(xa, ya), bufa.stride, bufb.at(xb, yb),
+                            bufb.stride, want);
+      t.ssim_stats_8x8(bufa.at(xa, ya), bufa.stride, bufb.at(xb, yb),
+                       bufb.stride, got);
+      for (int k = 0; k < 5; ++k) {
+        EXPECT_EQ(got[k], want[k]) << t.name << " moment " << k;
+      }
+    }
+    // All-255 blocks pin the lane-overflow margins.
+    std::vector<std::uint8_t> solid(64, 255);
+    std::int64_t want[5], got[5];
+    scalar_ssim_stats_8x8(solid.data(), 8, solid.data(), 8, want);
+    t.ssim_stats_8x8(solid.data(), 8, solid.data(), 8, got);
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_EQ(got[k], want[k]) << t.name << " solid moment " << k;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Whole-search equivalence: estimate_motion through each dispatched
 // backend must produce identical results, frame borders included (the

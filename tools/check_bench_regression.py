@@ -28,11 +28,12 @@ import re
 import sys
 
 # Anchored: must not also catch the deliberately-slow reference /
-# scalar-kernel variants (BM_SadMacroblockRef, BM_ForwardDct8Ref, ...).
-# The farm throughput is tracked per scheduling policy: np (bare),
-# preemptive, and quantum-sliced run queues.
+# scalar-kernel variants (BM_SadMacroblockRef, BM_ForwardDct8Ref,
+# BM_PsnrFrameScalarKernel, ...).  The farm throughput is tracked per
+# scheduling policy: np (bare), preemptive, and quantum-sliced run
+# queues; PsnrFrame/SsimFrame track the distortion kernels.
 DEFAULT_BENCHMARKS = (
-    r"^BM_(SadMacroblock|ForwardDct8"
+    r"^BM_(SadMacroblock|ForwardDct8|PsnrFrame|SsimFrame"
     r"|FarmThroughput(Preemptive|Quantum)?/\d+)$"
 )
 

@@ -1,0 +1,96 @@
+// Small argument-parsing and file-output helpers shared by the CLI
+// front-ends (qosfarm, qoseval).  Header-only; tools/ is not part of
+// the library, so this lives next to the mains.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qosctrl::cli {
+
+inline bool parse_int(const char* s, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+inline bool parse_u64(const char* s, std::uint64_t* out) {
+  if (*s == '-') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+/// A fraction in [0, 1].
+inline bool parse_fraction(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+/// Splits "a,b,c" into items; empty input yields an empty vector.
+inline std::vector<std::string> split_commas(const char* s) {
+  std::vector<std::string> out;
+  const std::string str(s);
+  std::size_t pos = 0;
+  while (pos < str.size()) {
+    std::size_t comma = str.find(',', pos);
+    if (comma == std::string::npos) comma = str.size();
+    out.push_back(str.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Comma-separated positive doubles.
+inline bool parse_double_list(const char* s, std::vector<double>* out) {
+  out->clear();
+  for (const std::string& item : split_commas(s)) {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(item, &used);
+      if (used != item.size() || v <= 0.0) return false;
+      out->push_back(v);
+    } catch (...) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+/// "LO" or "LO:HI" into [lo, hi] (hi = lo when no colon).
+inline bool parse_int_range(const char* s, int* lo, int* hi) {
+  const char* colon = std::strchr(s, ':');
+  if (colon == nullptr) {
+    if (!parse_int(s, lo)) return false;
+    *hi = *lo;
+    return true;
+  }
+  const std::string first(s, colon);
+  return parse_int(first.c_str(), lo) && parse_int(colon + 1, hi);
+}
+
+/// Writes `content` (plus a trailing newline) to `path`; complains on
+/// stderr as "<tool>: cannot write <path>" on failure.
+inline bool write_file(const char* tool, const char* path,
+                       const std::string& content) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool, path);
+    return false;
+  }
+  f << content << '\n';
+  return true;
+}
+
+}  // namespace qosctrl::cli

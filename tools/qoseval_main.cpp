@@ -1,0 +1,196 @@
+// qoseval — quality-vs-deadline policy evaluation harness.
+//
+// Runs the same generated offered loads under every combination of
+// quality policy (table-driven controller vs fixed-quality baseline),
+// scheduling policy (np / preemptive / quantum EDF), and budget
+// renegotiation (off / on, the restore pass included), then ranks the
+// combinations on the quality / miss frontier (see
+// src/quality/qoseval.h for the scoring).
+//
+// Usage:
+//   qoseval sweep [options]
+//
+// Options (key value pairs):
+//   --procs N            virtual processors per farm (default 2)
+//   --workers N          host threads over grid cells (default 1;
+//                        any value gives bit-identical results)
+//   --streams N          offered streams per scenario (default 8)
+//   --frames LO[:HI]     stream lifetime range in frames (default 4:8)
+//   --scenario-seeds A,B,...  load-generator seeds, one scenario each
+//                        (default 7,11,19)
+//   --constant-q L       the fixed-quality baseline's level (default 3)
+//   --policies A,B,...   scheduling policies to sweep (subset of
+//                        np,preemptive,quantum; default all three)
+//   --quantum C          quantum for the quantum policy (default 1000000)
+//   --ctx-switch C       context-switch cost in cycles
+//                        (default platform::kContextSwitchCycles)
+//   --reneg off|on|both  renegotiation axis (default both)
+//   --seed S             farm seed shared by every cell (default 2026)
+//   --csv PATH           write the per-cell CSV
+//   --quiet              suppress the human-readable report
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cli_util.h"
+#include "quality/qoseval.h"
+
+namespace {
+
+using namespace qosctrl;
+using cli::parse_int;
+using cli::parse_int_range;
+using cli::parse_u64;
+using cli::split_commas;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: qoseval sweep [--procs N] [--workers N] [--streams N]\n"
+      "                     [--frames LO[:HI]] [--scenario-seeds A,B,...]\n"
+      "                     [--constant-q L] [--policies np,preemptive,"
+      "quantum]\n"
+      "                     [--quantum C] [--ctx-switch C]\n"
+      "                     [--reneg off|on|both] [--seed S]\n"
+      "                     [--csv PATH] [--quiet]\n");
+  return 2;
+}
+
+bool parse_u64_list(const char* s, std::vector<std::uint64_t>* out) {
+  out->clear();
+  for (const std::string& item : split_commas(s)) {
+    std::uint64_t v = 0;
+    if (!parse_u64(item.c_str(), &v)) return false;
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+bool parse_policy_list(const char* s, std::vector<sched::PolicyKind>* out) {
+  out->clear();
+  for (const std::string& item : split_commas(s)) {
+    sched::PolicyKind kind;
+    if (!sched::parse_policy_name(item.c_str(), &kind)) return false;
+    out->push_back(kind);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "sweep") != 0) return usage();
+
+  quality::SweepConfig sweep;
+  int streams = 8;
+  int min_frames = 4, max_frames = 8;
+  std::vector<std::uint64_t> scenario_seeds = {7, 11, 19};
+  std::vector<sched::PolicyKind> kinds = {sched::PolicyKind::kNonPreemptiveEdf,
+                                          sched::PolicyKind::kPreemptiveEdf,
+                                          sched::PolicyKind::kQuantumEdf};
+  rt::Cycles quantum = 1000000;
+  rt::Cycles ctx_switch = platform::kContextSwitchCycles;
+  const char* csv_path = nullptr;
+  bool quiet = false;
+  int constant_q = 3;
+
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--procs") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &sweep.num_processors)) return usage();
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &sweep.workers)) return usage();
+    } else if (std::strcmp(arg, "--streams") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &streams)) return usage();
+    } else if (std::strcmp(arg, "--frames") == 0) {
+      const char* v = value();
+      if (!v || !parse_int_range(v, &min_frames, &max_frames)) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--scenario-seeds") == 0) {
+      const char* v = value();
+      if (!v || !parse_u64_list(v, &scenario_seeds)) return usage();
+    } else if (std::strcmp(arg, "--constant-q") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &constant_q)) return usage();
+    } else if (std::strcmp(arg, "--policies") == 0) {
+      const char* v = value();
+      if (!v || !parse_policy_list(v, &kinds)) return usage();
+    } else if (std::strcmp(arg, "--quantum") == 0) {
+      const char* v = value();
+      std::uint64_t q = 0;
+      if (!v || !parse_u64(v, &q) || q == 0) return usage();
+      quantum = static_cast<rt::Cycles>(q);
+    } else if (std::strcmp(arg, "--ctx-switch") == 0) {
+      const char* v = value();
+      std::uint64_t c = 0;
+      if (!v || !parse_u64(v, &c)) return usage();
+      ctx_switch = static_cast<rt::Cycles>(c);
+    } else if (std::strcmp(arg, "--reneg") == 0) {
+      const char* v = value();
+      if (!v) return usage();
+      if (std::strcmp(v, "off") == 0) {
+        sweep.renegotiate = {false};
+      } else if (std::strcmp(v, "on") == 0) {
+        sweep.renegotiate = {true};
+      } else if (std::strcmp(v, "both") == 0) {
+        sweep.renegotiate = {false, true};
+      } else {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = value();
+      if (!v || !parse_u64(v, &sweep.farm_seed)) return usage();
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      csv_path = value();
+      if (!csv_path) return usage();
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "qoseval: unknown option %s\n", arg);
+      return usage();
+    }
+  }
+  // Reject an out-of-range baseline level here, loudly: admission
+  // would reject every constant-policy stream and the sweep would
+  // silently rank the controller against a vacuous baseline.
+  const int num_levels =
+      static_cast<int>(platform::figure5_quality_levels().size());
+  if (sweep.num_processors < 1 || sweep.workers < 1 || streams < 1 ||
+      min_frames < 1 || max_frames < min_frames || constant_q < 0 ||
+      constant_q >= num_levels) {
+    return usage();
+  }
+  sweep.constant_quality = static_cast<rt::QualityLevel>(constant_q);
+
+  for (const std::uint64_t s : scenario_seeds) {
+    farm::LoadGenConfig lg;
+    lg.num_streams = streams;
+    lg.min_frames = min_frames;
+    lg.max_frames = max_frames;
+    lg.seed = s;
+    sweep.scenarios.push_back(lg);
+  }
+  for (const sched::PolicyKind k : kinds) {
+    sched::PolicyParams p;
+    p.kind = k;
+    p.context_switch_cost = ctx_switch;
+    p.quantum = quantum;
+    sweep.sched_policies.push_back(p);
+  }
+
+  const quality::SweepResult result = quality::run_sweep(sweep);
+  if (!quiet) std::fputs(quality::summarize(result).c_str(), stdout);
+  if (csv_path &&
+      !cli::write_file("qoseval", csv_path, quality::to_csv(result))) {
+    return 1;
+  }
+  return 0;
+}

@@ -22,17 +22,21 @@
 //                     (default: platform::kContextSwitchCycles)
 //   --renegotiate     shrink running streams' budgets toward qmin to
 //                     admit newcomers that would otherwise be rejected
+//   --restore         grow previously-shrunk streams' budgets back up
+//                     the certified ladder when departures free room
+//   --migration-cost C  per-frame worst-case surcharge committed for a
+//                     stream placed off its preferred processor
+//                     (default: platform::kMigrationCycles)
 //   --json PATH       write the JSON report
 //   --csv PATH        write the per-stream CSV
 //   --quiet           suppress the human-readable report
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "cli_util.h"
 #include "farm/load_gen.h"
 #include "farm/metrics.h"
 #include "farm/simulator.h"
@@ -40,6 +44,11 @@
 namespace {
 
 using namespace qosctrl;
+using cli::parse_double_list;
+using cli::parse_fraction;
+using cli::parse_int;
+using cli::parse_int_range;
+using cli::parse_u64;
 
 int usage() {
   std::fprintf(
@@ -48,65 +57,14 @@ int usage() {
       "                   [--frames LO[:HI]] [--period-factors A,B,...]\n"
       "                   [--constant-frac F] [--seed S]\n"
       "                   [--policy np|preemptive|quantum] [--quantum C]\n"
-      "                   [--ctx-switch C] [--renegotiate]\n"
+      "                   [--ctx-switch C] [--renegotiate] [--restore]\n"
+      "                   [--migration-cost C]\n"
       "                   [--json PATH] [--csv PATH] [--quiet]\n");
   return 2;
 }
 
-bool parse_int(const char* s, int* out) {
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0') return false;
-  *out = static_cast<int>(v);
-  return true;
-}
-
-bool parse_u64(const char* s, std::uint64_t* out) {
-  if (*s == '-') return false;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || *end != '\0') return false;
-  *out = static_cast<std::uint64_t>(v);
-  return true;
-}
-
-bool parse_fraction(const char* s, double* out) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0' || v < 0.0 || v > 1.0) return false;
-  *out = v;
-  return true;
-}
-
-bool parse_double_list(const char* s, std::vector<double>* out) {
-  out->clear();
-  std::string str(s);
-  std::size_t pos = 0;
-  while (pos < str.size()) {
-    std::size_t comma = str.find(',', pos);
-    if (comma == std::string::npos) comma = str.size();
-    try {
-      const std::string item = str.substr(pos, comma - pos);
-      std::size_t used = 0;
-      const double v = std::stod(item, &used);
-      if (used != item.size() || v <= 0.0) return false;
-      out->push_back(v);
-    } catch (...) {
-      return false;
-    }
-    pos = comma + 1;
-  }
-  return !out->empty();
-}
-
 bool write_file(const char* path, const std::string& content) {
-  std::ofstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "qosfarm: cannot write %s\n", path);
-    return false;
-  }
-  f << content << '\n';
-  return true;
+  return cli::write_file("qosfarm", path, content);
 }
 
 }  // namespace
@@ -140,20 +98,9 @@ int main(int argc, char** argv) {
       if (!v || !parse_int(v, &load.num_streams)) return usage();
     } else if (std::strcmp(arg, "--frames") == 0) {
       const char* v = value();
-      if (!v) return usage();
-      int lo = 0, hi = 0;
-      const char* colon = std::strchr(v, ':');
-      if (colon) {
-        const std::string first(v, colon);
-        if (!parse_int(first.c_str(), &lo) || !parse_int(colon + 1, &hi)) {
-          return usage();
-        }
-      } else {
-        if (!parse_int(v, &lo)) return usage();
-        hi = lo;
+      if (!v || !parse_int_range(v, &load.min_frames, &load.max_frames)) {
+        return usage();
       }
-      load.min_frames = lo;
-      load.max_frames = hi;
     } else if (std::strcmp(arg, "--period-factors") == 0) {
       const char* v = value();
       if (!v || !parse_double_list(v, &load.period_factors)) return usage();
@@ -185,6 +132,13 @@ int main(int argc, char** argv) {
       sched.policy.context_switch_cost = static_cast<rt::Cycles>(c);
     } else if (std::strcmp(arg, "--renegotiate") == 0) {
       sched.renegotiate = true;
+    } else if (std::strcmp(arg, "--restore") == 0) {
+      sched.restore = true;
+    } else if (std::strcmp(arg, "--migration-cost") == 0) {
+      const char* v = value();
+      std::uint64_t c = 0;
+      if (!v || !parse_u64(v, &c)) return usage();
+      cfg.admission.migration_cost = static_cast<rt::Cycles>(c);
     } else if (std::strcmp(arg, "--json") == 0) {
       json_path = value();
       if (!json_path) return usage();
