@@ -360,8 +360,8 @@ BENCHMARK(BM_SyntheticFrame);
 // queues, real pixel encoding).  items_per_second reports simulated
 // stream-frames per wall-second — the farm metric tracked in
 // BENCH_micro.json; Arg is the worker-thread count.
-void run_farm_throughput(benchmark::State& state,
-                         sched::PolicyKind policy) {
+void run_farm_throughput(benchmark::State& state, sched::PolicyKind policy,
+                         bool faults = false) {
   farm::LoadGenConfig load;
   load.num_streams = 6;
   load.resolutions = {{32, 32}};
@@ -374,6 +374,11 @@ void run_farm_throughput(benchmark::State& state,
   scenario.sched.policy.context_switch_cost =
       platform::kContextSwitchCycles;
   scenario.sched.policy.quantum = 1000000;
+  if (faults) {
+    scenario.faults.overrun.probability = 0.25;
+    scenario.faults.overrun.factor = 3.0;
+    scenario.faults.loss.probability = 0.1;
+  }
   farm::FarmConfig cfg;
   cfg.num_processors = 2;
   cfg.workers = static_cast<int>(state.range(0));
@@ -406,6 +411,18 @@ void BM_FarmThroughputQuantum(benchmark::State& state) {
   run_farm_throughput(state, sched::PolicyKind::kQuantumEdf);
 }
 BENCHMARK(BM_FarmThroughputQuantum)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Same farm under fault injection (WCET overruns policed + frame loss
+// routed through decoder-side concealment): keeps the policer and the
+// concealment chain's cost pinned relative to the fault-free baseline.
+void BM_FarmThroughputFaults(benchmark::State& state) {
+  run_farm_throughput(state, sched::PolicyKind::kNonPreemptiveEdf,
+                      /*faults=*/true);
+}
+BENCHMARK(BM_FarmThroughputFaults)
     ->Arg(1)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);

@@ -55,6 +55,38 @@ AdmissionController::AdmissionController(int num_processors,
   QC_EXPECT(config_.max_stream_share > 0.0 && config_.max_stream_share <= 1.0,
             "max stream share must be in (0, 1]");
   committed_.resize(static_cast<std::size_t>(num_processors));
+  failed_.resize(static_cast<std::size_t>(num_processors), false);
+}
+
+void AdmissionController::fail_processor(int processor) {
+  failed_.at(static_cast<std::size_t>(processor)) = true;
+}
+
+bool AdmissionController::processor_failed(int processor) const {
+  return failed_.at(static_cast<std::size_t>(processor));
+}
+
+std::vector<int> AdmissionController::resident_stream_ids(
+    int processor) const {
+  std::vector<int> ids;
+  for (const Commitment& c :
+       committed_.at(static_cast<std::size_t>(processor))) {
+    ids.push_back(c.stream_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<CertifiedRung> AdmissionController::certified_ladder(
+    int macroblocks, rt::Cycles latency, rt::Cycles period) {
+  std::vector<CertifiedRung> ladder;
+  for (const rt::Cycles b :
+       controlled_candidates(macroblocks, latency, period)) {
+    auto system = tables_->get(macroblocks, b);
+    if (system->tables->max_initial_delay() < 0) continue;
+    ladder.push_back(CertifiedRung{b, std::move(system)});
+  }
+  return ladder;
 }
 
 double AdmissionController::committed_utilization(int processor) const {
@@ -73,19 +105,21 @@ int AdmissionController::committed_streams(int processor) const {
 }
 
 int AdmissionController::least_loaded() const {
-  int best = 0;
-  double best_u = committed_utilization(0);
-  for (int p = 1; p < num_processors(); ++p) {
+  int best = -1;
+  double best_u = 0.0;
+  for (int p = 0; p < num_processors(); ++p) {
+    if (failed_[static_cast<std::size_t>(p)]) continue;
     const double u = committed_utilization(p);
-    if (u < best_u) {
+    if (best < 0 || u < best_u) {
       best = p;
       best_u = u;
     }
   }
-  return best;
+  return best < 0 ? 0 : best;
 }
 
 bool AdmissionController::fits(int p, const sched::NpTask& candidate) const {
+  if (failed_[static_cast<std::size_t>(p)]) return false;
   std::vector<sched::NpTask> tasks;
   const auto& cs = committed_.at(static_cast<std::size_t>(p));
   tasks.reserve(cs.size() + 1);
@@ -358,6 +392,10 @@ bool AdmissionController::set_schedulable(int p) const {
 }
 
 void AdmissionController::restore_pass(int p, rt::Cycles now) {
+  // A dead processor serves nothing: growing its residents' budgets
+  // would only inflate commitments the failure handler is about to
+  // release.
+  if (failed_[static_cast<std::size_t>(p)]) return;
   // Inverse of the shrink loop in try_place_renegotiating: grow the
   // incumbent with the largest deficit below the budget it was
   // admitted at (ties to the lowest stream id) one certified ladder

@@ -145,6 +145,16 @@ struct BudgetEpoch {
   std::shared_ptr<const enc::EncoderSystem> system;
 };
 
+/// One certified rung of a controlled stream's budget ladder: a
+/// candidate budget whose slack tables certify the qmin worst case
+/// (max_initial_delay >= 0), with its compiled system.  Ladders are
+/// built by the control plane (TableCache is not thread-safe); the
+/// data plane's overrun policer only follows the shared pointers.
+struct CertifiedRung {
+  rt::Cycles table_budget = 0;
+  std::shared_ptr<const enc::EncoderSystem> system;
+};
+
 /// A budget change imposed on a running stream: a shrink (to admit a
 /// newcomer) or, with SchedulingSpec::restore, a grow (after a
 /// departure freed capacity).
@@ -193,8 +203,29 @@ class AdmissionController {
   const sched::SchedPolicy& policy() const { return *policy_; }
 
   /// The processor a newcomer should prefer: least committed
-  /// utilization, ties to the lowest index.
+  /// utilization over the surviving processors, ties to the lowest
+  /// index (0 when every processor has failed).
   int least_loaded() const;
+
+  /// Marks `processor` permanently failed: it hosts no new
+  /// commitments, the restore pass skips it, and least_loaded() never
+  /// prefers it.  Existing commitments stay until release() — the
+  /// failure handler releases and re-admits them one by one.
+  void fail_processor(int processor);
+  bool processor_failed(int processor) const;
+
+  /// Stream ids currently committed on `processor`, ascending — the
+  /// deterministic re-admission order after a failure.
+  std::vector<int> resident_stream_ids(int processor) const;
+
+  /// The certified budget ladder for a controlled stream's geometry
+  /// and contract, richest rung first, the qmin minimum last: the
+  /// rungs the simulator's forced-downgrade and quarantine re-entry
+  /// paths may move a stream to.  Compiles (and caches) each rung's
+  /// system, so callers must be on the control plane.
+  std::vector<CertifiedRung> certified_ladder(int macroblocks,
+                                              rt::Cycles latency,
+                                              rt::Cycles period);
 
  private:
   struct Commitment {
@@ -262,6 +293,7 @@ class AdmissionController {
   std::unique_ptr<sched::SchedPolicy> policy_;
   TableCache* tables_;
   std::vector<std::vector<Commitment>> committed_;  ///< per processor
+  std::vector<bool> failed_;                        ///< per processor
   std::vector<BudgetRenegotiation> pending_renegotiations_;
 };
 

@@ -52,12 +52,49 @@ std::string summarize(const FarmResult& r) {
      << " renegotiated=" << r.renegotiated_streams
      << " restored=" << r.restored_streams << "\n"
      << "frames=" << r.total_frames << " encoded=" << r.encoded_frames
-     << " skips=" << r.total_skips
+     << " skips=" << r.total_skips << " concealed=" << r.total_concealed
      << " display_misses=" << r.total_display_misses
      << " internal_misses=" << r.total_internal_misses << std::setprecision(3)
      << " mean_psnr=" << r.fleet_mean_psnr
      << " mean_ssim=" << r.fleet_mean_ssim
      << " mean_quality=" << r.fleet_mean_quality << "\n";
+  if (r.fault_spec.any()) {
+    const StreamFaultStats& ft = r.faults_total;
+    os << "faults: overrun_p=" << r.fault_spec.overrun.probability
+       << " factor=" << r.fault_spec.overrun.factor << " policy="
+       << overrun_policy_name(r.fault_spec.overrun.policy)
+       << " loss_p=" << r.fault_spec.loss.probability
+       << " failures=" << r.fault_spec.failures.size() << "\n"
+       << "fault totals: overruns=" << ft.overruns_injected
+       << " policed=" << ft.overruns_policed
+       << " aborted=" << ft.aborted_frames
+       << " downgrades=" << ft.forced_downgrades
+       << " quarantines=" << ft.quarantines
+       << " quarantine_drops=" << ft.quarantine_drops
+       << " lost=" << ft.lost_frames
+       << " failure_drops=" << ft.failure_drops
+       << " quarantined_streams=" << r.quarantined_streams
+       << " failover_readmissions=" << r.failover_readmissions
+       << " failover_drops=" << r.failover_drops << "\n";
+  }
+  for (std::size_t k = 0; k < r.failures.size(); ++k) {
+    const FailureOutcome& fo = r.failures[k];
+    os << "failure " << k << ": proc=" << fo.event.processor
+       << " at_Mcycles=" << static_cast<double>(fo.event.time) / 1e6
+       << (fo.event.permanent() ? " permanent" : " transient");
+    if (!fo.event.permanent()) {
+      os << " repair_Mcycles=" << static_cast<double>(fo.event.repair) / 1e6;
+    }
+    os << " displaced=" << fo.displaced << " readmitted=" << fo.readmitted
+       << " dropped=" << fo.dropped << " recovered=" << fo.recovered;
+    if (fo.first_recovery >= 0) {
+      os << " first_recovery_Mcycles="
+         << static_cast<double>(fo.first_recovery) / 1e6
+         << " full_recovery_Mcycles="
+         << static_cast<double>(fo.full_recovery) / 1e6;
+    }
+    os << "\n";
+  }
   os << "quality histogram:";
   for (std::size_t q = 0; q < r.quality_histogram.size(); ++q) {
     os << " q" << q << "=" << r.quality_histogram[q];
@@ -70,7 +107,12 @@ std::string summarize(const FarmResult& r) {
        << static_cast<double>(po.busy_cycles) / 1e6
        << " util=" << po.utilization
        << " peak_committed=" << po.peak_committed_utilization
-       << " preemptions=" << po.preemptions << "\n";
+       << " preemptions=" << po.preemptions;
+    if (po.failed) {
+      os << " FAILED at_Mcycles=" << static_cast<double>(po.failed_at) / 1e6;
+    }
+    if (po.fault_conceals > 0) os << " fault_conceals=" << po.fault_conceals;
+    os << "\n";
   }
   for (const StreamOutcome& so : r.streams) {
     os << "stream " << so.spec.id << " [" << mode_name(so.spec.mode) << " "
@@ -90,22 +132,41 @@ std::string summarize(const FarmResult& r) {
       // Label by where the budget ended up, not by which events ever
       // happened: a stream shrunk again after a restore is reported
       // as renegotiated.
+      const std::vector<BudgetEpoch>& epochs = active_epochs(so);
       const bool ended_shrunk =
-          so.epochs.back().table_budget < so.placement.table_budget;
+          epochs.back().table_budget < so.placement.table_budget;
       os << (ended_shrunk ? " renegotiated->Mcycles="
                           : " restored->Mcycles=")
-         << static_cast<double>(so.epochs.back().table_budget) / 1e6;
+         << static_cast<double>(epochs.back().table_budget) / 1e6;
     }
     os << " q_initial=" << so.placement.initial_quality
        << " frames=" << so.result.frames.size()
        << " skips=" << so.result.total_skips
+       << " concealed=" << so.result.total_concealed
        << " display_misses=" << so.display_misses
        << " internal_misses=" << so.internal_misses
        << " mean_psnr=" << so.result.mean_psnr
        << " psnr_p5=" << so.result.psnr_stats.p5
        << " psnr_min=" << so.result.psnr_stats.min
        << " mean_ssim=" << so.result.mean_ssim
-       << " mean_quality=" << so.result.mean_quality << "\n";
+       << " mean_quality=" << so.result.mean_quality;
+    if (so.faults.overruns_injected > 0 || so.faults.lost_frames > 0 ||
+        so.faults.failure_drops > 0 || so.quarantined) {
+      os << " overruns=" << so.faults.overruns_injected << "/policed="
+         << so.faults.overruns_policed
+         << " downgrades=" << so.faults.forced_downgrades
+         << " lost=" << so.faults.lost_frames
+         << " failure_drops=" << so.faults.failure_drops;
+      if (so.quarantined) os << " QUARANTINED";
+    }
+    if (!so.failover.empty()) {
+      os << " failovers=" << so.failover.size() << " (->proc";
+      for (const FailoverSegment& seg : so.failover) {
+        os << ' ' << seg.placement.processor;
+      }
+      os << ")";
+    }
+    os << "\n";
   }
   return os.str();
 }
@@ -144,12 +205,59 @@ std::string to_json(const FarmResult& r) {
           static_cast<long long>(r.total_internal_misses));
   json_kv(os, "mean_psnr", r.fleet_mean_psnr);
   json_kv(os, "mean_ssim", r.fleet_mean_ssim);
+  json_kv(os, "total_concealed", r.total_concealed);
+  json_kv(os, "overruns_injected",
+          static_cast<long long>(r.faults_total.overruns_injected));
+  json_kv(os, "overruns_policed",
+          static_cast<long long>(r.faults_total.overruns_policed));
+  json_kv(os, "aborted_frames",
+          static_cast<long long>(r.faults_total.aborted_frames));
+  json_kv(os, "forced_downgrades",
+          static_cast<long long>(r.faults_total.forced_downgrades));
+  json_kv(os, "quarantines",
+          static_cast<long long>(r.faults_total.quarantines));
+  json_kv(os, "quarantine_drops",
+          static_cast<long long>(r.faults_total.quarantine_drops));
+  json_kv(os, "lost_frames",
+          static_cast<long long>(r.faults_total.lost_frames));
+  json_kv(os, "failure_drops",
+          static_cast<long long>(r.faults_total.failure_drops));
+  json_kv(os, "quarantined_streams",
+          static_cast<long long>(r.quarantined_streams));
+  json_kv(os, "failover_readmissions",
+          static_cast<long long>(r.failover_readmissions));
+  json_kv(os, "failover_drops",
+          static_cast<long long>(r.failover_drops));
   json_kv(os, "mean_quality", r.fleet_mean_quality, false);
   os << ",\"quality_histogram\":[";
   for (std::size_t q = 0; q < r.quality_histogram.size(); ++q) {
     os << (q ? "," : "") << r.quality_histogram[q];
   }
-  os << "]},\"processors\":[";
+  os << "]},\"faults\":{";
+  json_kv(os, "overrun_probability", r.fault_spec.overrun.probability);
+  json_kv(os, "overrun_factor", r.fault_spec.overrun.factor);
+  os << "\"overrun_policy\":\""
+     << overrun_policy_name(r.fault_spec.overrun.policy) << "\",";
+  json_kv(os, "loss_probability", r.fault_spec.loss.probability, false);
+  os << "},\"failures\":[";
+  for (std::size_t k = 0; k < r.failures.size(); ++k) {
+    const FailureOutcome& fo = r.failures[k];
+    os << (k ? "," : "") << "{";
+    json_kv(os, "processor", static_cast<long long>(fo.event.processor));
+    json_kv(os, "time", static_cast<long long>(fo.event.time));
+    os << "\"permanent\":" << (fo.event.permanent() ? "true" : "false")
+       << ',';
+    json_kv(os, "repair", static_cast<long long>(fo.event.repair));
+    json_kv(os, "displaced", static_cast<long long>(fo.displaced));
+    json_kv(os, "readmitted", static_cast<long long>(fo.readmitted));
+    json_kv(os, "dropped", static_cast<long long>(fo.dropped));
+    json_kv(os, "recovered", static_cast<long long>(fo.recovered));
+    json_kv(os, "first_recovery", static_cast<long long>(fo.first_recovery));
+    json_kv(os, "full_recovery", static_cast<long long>(fo.full_recovery),
+            false);
+    os << "}";
+  }
+  os << "],\"processors\":[";
   for (std::size_t p = 0; p < r.processors.size(); ++p) {
     const ProcessorOutcome& po = r.processors[p];
     os << (p ? "," : "") << "{";
@@ -162,6 +270,10 @@ std::string to_json(const FarmResult& r) {
     json_kv(os, "preemptions", static_cast<long long>(po.preemptions));
     json_kv(os, "overhead_cycles",
             static_cast<long long>(po.overhead_cycles));
+    os << "\"failed\":" << (po.failed ? "true" : "false") << ',';
+    json_kv(os, "failed_at", static_cast<long long>(po.failed_at));
+    json_kv(os, "fault_conceals",
+            static_cast<long long>(po.fault_conceals));
     json_kv(os, "peak_committed_utilization",
             po.peak_committed_utilization, false);
     os << "}";
@@ -197,18 +309,40 @@ std::string to_json(const FarmResult& r) {
        << ",\"renegotiated\":" << (so.renegotiated ? "true" : "false")
        << ",\"restored\":" << (so.restored ? "true" : "false") << ',';
     json_kv(os, "final_budget",
-            static_cast<long long>(so.epochs.empty()
-                                       ? so.placement.table_budget
-                                       : so.epochs.back().table_budget));
+            static_cast<long long>(
+                active_epochs(so).empty()
+                    ? so.placement.table_budget
+                    : active_epochs(so).back().table_budget));
     json_kv(os, "initial_quality",
             static_cast<long long>(so.placement.initial_quality));
     json_kv(os, "skips", static_cast<long long>(so.result.total_skips));
+    json_kv(os, "concealed",
+            static_cast<long long>(so.result.total_concealed));
     json_kv(os, "display_misses",
             static_cast<long long>(so.display_misses));
     json_kv(os, "internal_misses",
             static_cast<long long>(so.internal_misses));
     json_kv(os, "max_start_lag", static_cast<long long>(so.max_start_lag));
     json_kv(os, "mean_start_lag", so.mean_start_lag);
+    json_kv(os, "start_lag_p95", static_cast<long long>(so.start_lag_p95));
+    json_kv(os, "overruns_injected",
+            static_cast<long long>(so.faults.overruns_injected));
+    json_kv(os, "overruns_policed",
+            static_cast<long long>(so.faults.overruns_policed));
+    json_kv(os, "aborted_frames",
+            static_cast<long long>(so.faults.aborted_frames));
+    json_kv(os, "forced_downgrades",
+            static_cast<long long>(so.faults.forced_downgrades));
+    json_kv(os, "quarantines",
+            static_cast<long long>(so.faults.quarantines));
+    json_kv(os, "quarantine_drops",
+            static_cast<long long>(so.faults.quarantine_drops));
+    json_kv(os, "lost_frames",
+            static_cast<long long>(so.faults.lost_frames));
+    json_kv(os, "failure_drops",
+            static_cast<long long>(so.faults.failure_drops));
+    os << "\"quarantined\":" << (so.quarantined ? "true" : "false") << ',';
+    json_kv(os, "failovers", static_cast<long long>(so.failover.size()));
     json_kv(os, "mean_psnr", so.result.mean_psnr);
     json_kv(os, "psnr_p5", so.result.psnr_stats.p5);
     json_kv(os, "psnr_min", so.result.psnr_stats.min);
@@ -233,7 +367,10 @@ std::string to_csv(const FarmResult& r) {
         "initial_quality,skips,display_misses,"
         "internal_misses,max_start_lag,mean_start_lag,mean_psnr,"
         "psnr_p5,psnr_min,mean_ssim,ssim_p5,ssim_min,"
-        "mean_quality,kbps\n";
+        "mean_quality,kbps,"
+        "concealed,start_lag_p95,overruns_injected,overruns_policed,"
+        "aborted_frames,forced_downgrades,quarantines,quarantine_drops,"
+        "lost_frames,failure_drops,quarantined,failovers\n";
   for (const StreamOutcome& so : r.streams) {
     os << so.spec.id << ',' << mode_name(so.spec.mode) << ','
        << so.spec.width << ',' << so.spec.height << ','
@@ -241,7 +378,8 @@ std::string to_csv(const FarmResult& r) {
        << so.spec.join_time << ',' << so.spec.num_frames << ','
        << (so.placement.admitted ? 1 : 0) << ',';
     if (!so.placement.admitted) {
-      os << "-1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n";
+      os << "-1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,"
+            "0,0,0,0,0,0,0,0,0,0,0,0\n";
       continue;
     }
     os << so.placement.processor << ',' << so.placement.table_budget << ','
@@ -250,8 +388,9 @@ std::string to_csv(const FarmResult& r) {
        << (so.placement.degraded ? 1 : 0) << ','
        << (so.placement.via_renegotiation ? 1 : 0) << ','
        << (so.renegotiated ? 1 : 0) << ',' << (so.restored ? 1 : 0) << ','
-       << (so.epochs.empty() ? so.placement.table_budget
-                             : so.epochs.back().table_budget)
+       << (active_epochs(so).empty()
+               ? so.placement.table_budget
+               : active_epochs(so).back().table_budget)
        << ','
        << so.placement.initial_quality << ',' << so.result.total_skips
        << ',' << so.display_misses << ',' << so.internal_misses << ','
@@ -260,7 +399,14 @@ std::string to_csv(const FarmResult& r) {
        << so.result.psnr_stats.min << ',' << so.result.mean_ssim << ','
        << so.result.ssim_stats.p5 << ',' << so.result.ssim_stats.min << ','
        << so.result.mean_quality << ','
-       << so.result.achieved_bps / 1e3 << '\n';
+       << so.result.achieved_bps / 1e3 << ','
+       << so.result.total_concealed << ',' << so.start_lag_p95 << ','
+       << so.faults.overruns_injected << ',' << so.faults.overruns_policed
+       << ',' << so.faults.aborted_frames << ','
+       << so.faults.forced_downgrades << ',' << so.faults.quarantines << ','
+       << so.faults.quarantine_drops << ',' << so.faults.lost_frames << ','
+       << so.faults.failure_drops << ',' << (so.quarantined ? 1 : 0) << ','
+       << so.failover.size() << '\n';
   }
   return os.str();
 }

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "farm/faults.h"
 #include "pipeline/simulation.h"
 #include "rt/types.h"
 #include "sched/policy.h"
@@ -89,6 +90,9 @@ struct SchedulingSpec {
 struct FarmScenario {
   std::vector<StreamSpec> streams;
   SchedulingSpec sched{};
+  /// Injected misbehavior (WCET overruns, processor failures, frame
+  /// loss) the run must degrade gracefully under; empty by default.
+  FaultSpec faults{};
 };
 
 }  // namespace qosctrl::farm

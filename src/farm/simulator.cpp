@@ -5,17 +5,21 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <set>
 #include <thread>
 #include <tuple>
+#include <utility>
 
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace qosctrl::farm {
 namespace {
+
+constexpr rt::Cycles kNever = std::numeric_limits<rt::Cycles>::max();
 
 /// The session config a StreamSpec expands to.  Seeds (cost jitter and
 /// video content) are forked from the farm seed by stream id, so the
@@ -47,6 +51,44 @@ pipe::PipelineConfig stream_pipeline_config(const StreamSpec& spec,
   return cfg;
 }
 
+/// A processor outage interval injected by a FailureEvent: service is
+/// down for t in [start, end) (end = kNever when permanent).  Arrival
+/// concealment tests against these precomputed windows — never against
+/// mutable simulation state — so event ordering at the boundary
+/// instants cannot change what a frame sees.
+struct Window {
+  rt::Cycles start = 0;
+  rt::Cycles end = kNever;
+  bool permanent = false;
+};
+
+/// Per-segment tallies the data plane writes and run_farm stitches
+/// into StreamOutcome after the worker pool joins.
+struct SegmentResult {
+  int display_misses = 0;
+  std::vector<rt::Cycles> lags;  ///< start lag of every dispatched frame
+  StreamFaultStats faults;
+  /// First completion of a delivered (non-concealed) frame within its
+  /// display deadline; -1 when the segment never got one.  Recovery
+  /// latency of a failover segment = first_ontime - failure time.
+  rt::Cycles first_ontime = -1;
+  bool quarantined = false;
+};
+
+/// One stream *segment* (base placement, or a failover re-admission)
+/// assigned to a processor's run queue.  Records and tallies point
+/// into per-stream storage owned by run_farm; segments of one stream
+/// cover disjoint frame ranges, so workers never race.
+struct Assignment {
+  StreamOutcome* so = nullptr;
+  int segment = 0;  ///< 0 = base placement, k > 0 = failover[k - 1]
+  int first_frame = 0;
+  int end_frame = 0;  ///< one past the last frame this segment serves
+  pipe::FrameRecord* records = nullptr;  ///< the stream's full array
+  SegmentResult* res = nullptr;
+  const std::vector<CertifiedRung>* ladder = nullptr;  ///< null: none
+};
+
 /// A frame queued on a processor.
 struct FrameJob {
   rt::Cycles deadline;  ///< display deadline (EDF key)
@@ -69,20 +111,31 @@ struct PendingArrival {
   }
 };
 
-/// One admitted stream's simulation state on its processor.
+/// One assigned stream segment's simulation state on its processor.
 struct StreamState {
   const StreamSpec* spec = nullptr;
-  const StreamOutcome* outcome = nullptr;
+  const std::vector<BudgetEpoch>* epochs = nullptr;
+  const std::vector<CertifiedRung>* ladder = nullptr;
   std::unique_ptr<pipe::StreamSession> session;
+  std::optional<FaultPlan> plan;
   rt::Cycles period = 0;
   rt::Cycles latency = 0;
+  int first_frame = 0;
+  int end_frame = 0;
   int next_arrival = 0;  ///< next camera frame index to arrive
   int queued = 0;        ///< frames waiting (excluding dispatched ones)
-  std::size_t next_epoch = 1;  ///< next budget epoch to switch into
-  std::vector<pipe::FrameRecord> frames;
-  int display_misses = 0;
-  rt::Cycles max_lag = 0;
-  double lag_sum = 0.0;
+  std::size_t epoch_idx = 0;  ///< budget epoch of the last dispatch
+  /// Overrun-policer state.
+  int force_rung = -1;  ///< ladder rung imposed by the policer (-1: none)
+  int strikes = 0;      ///< policed overruns toward quarantine
+  rt::Cycles quarantined_until = -1;  ///< arrivals before this are dropped
+  bool pending_qmin = false;  ///< re-enter at the qmin rung on release
+  /// The budget the current tables are paced over and the committed
+  /// worst case the policer cuts at (budget + migration surcharge).
+  rt::Cycles enforce_budget = 0;
+  rt::Cycles enforce_cost = 0;
+  pipe::FrameRecord* records = nullptr;
+  SegmentResult* res = nullptr;
 };
 
 /// A frame in service (or suspended mid-service by a preemption).
@@ -93,55 +146,119 @@ struct StreamState {
 struct ActiveJob {
   FrameJob job{};
   pipe::FrameRecord rec{};
+  FrameFaults faults{};          ///< drawn once at first dispatch
+  bool aborted = false;          ///< cut off by the budget policer
   rt::Cycles remaining = 0;      ///< service cycles still owed
   rt::Cycles dispatched_at = 0;  ///< start of the current segment
 };
 
 /// Simulates one processor's run queue to completion under the
 /// scenario's scheduling policy.  Writes the per-stream frame records
-/// back through `assigned` (each admitted stream is owned by exactly
-/// one processor, so no locking).
+/// back through `assigned` (segments of one stream serve disjoint
+/// frame ranges, so no locking).
 void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
-                   std::vector<StreamOutcome*> assigned,
+                   const FaultSpec& fault_spec,
+                   const std::vector<Window>& windows,
+                   const std::vector<Assignment>& assigned,
                    ProcessorOutcome* out) {
   const std::unique_ptr<sched::SchedPolicy> policy =
       sched::make_policy(sched.policy);
   const rt::Cycles ctx = policy->context_switch_cost();
+  const bool police_overruns = fault_spec.overrun.enabled();
+  const bool inject_loss = fault_spec.loss.enabled();
+  const OverrunSpec& ospec = fault_spec.overrun;
 
   std::vector<StreamState> streams;
   streams.reserve(assigned.size());
-  for (StreamOutcome* so : assigned) {
+  for (const Assignment& asg : assigned) {
     StreamState st;
-    st.spec = &so->spec;
-    st.outcome = so;
-    st.period = period_of(so->spec);
-    st.latency = latency_of(so->spec);
-    const BudgetEpoch& initial = so->epochs.front();
+    st.spec = &asg.so->spec;
+    st.epochs = asg.segment == 0
+                    ? &asg.so->epochs
+                    : &asg.so->failover[static_cast<std::size_t>(
+                                            asg.segment - 1)]
+                           .epochs;
+    st.ladder = asg.ladder;
+    st.period = period_of(*st.spec);
+    st.latency = latency_of(*st.spec);
+    st.first_frame = asg.first_frame;
+    st.end_frame = asg.end_frame;
+    st.next_arrival = asg.first_frame;
+    const BudgetEpoch& initial = st.epochs->front();
     st.session = std::make_unique<pipe::StreamSession>(
-        stream_pipeline_config(so->spec, config.seed, config.frame_rate),
+        stream_pipeline_config(*st.spec, config.seed, config.frame_rate),
         initial.table_budget, initial.system);
-    st.frames.resize(static_cast<std::size_t>(so->spec.num_frames));
+    if (fault_spec.any()) st.session->track_delivery();
+    st.plan.emplace(fault_spec, config.seed, st.spec->id);
+    st.enforce_budget = initial.table_budget;
+    st.enforce_cost = initial.committed_cost;
+    st.records = asg.records;
+    st.res = asg.res;
     streams.push_back(std::move(st));
   }
 
-  // Arrival events, earliest (then lowest stream) first.
+  // Arrival events, earliest (then lowest stream) first.  Frame f of a
+  // segment arrives at join_time + f * P.
   std::priority_queue<PendingArrival, std::vector<PendingArrival>,
                       std::greater<PendingArrival>>
       arrivals;
   for (std::size_t s = 0; s < streams.size(); ++s) {
-    if (streams[s].spec->num_frames > 0) {
-      arrivals.push(PendingArrival{streams[s].spec->join_time,
-                                   static_cast<int>(s)});
+    const StreamState& st = streams[s];
+    if (st.first_frame < st.end_frame) {
+      arrivals.push(PendingArrival{
+          st.spec->join_time +
+              static_cast<rt::Cycles>(st.first_frame) * st.period,
+          static_cast<int>(s)});
     }
   }
 
-  constexpr rt::Cycles kNever = std::numeric_limits<rt::Cycles>::max();
   std::set<FrameJob> ready;  ///< the run queue, EDF by display deadline
   /// Jobs suspended mid-service, keyed by (stream, frame).
   std::map<std::pair<int, int>, ActiveJob> suspended;
   std::optional<ActiveJob> running;
   rt::Cycles now = 0;
   rt::Cycles span = 0;  ///< last completion time
+  std::size_t next_window = 0;
+  rt::Cycles blackout_until = -1;  ///< end of the current transient outage
+  bool halted = false;             ///< permanently failed
+
+  /// Whether an event at instant `t` falls inside any injected outage
+  /// window.  Window-based (not state-based): the answer is a pure
+  /// function of (fault spec, t), independent of how the event loop
+  /// interleaves transitions at equal instants.
+  auto in_blackout = [&](rt::Cycles t) {
+    for (const Window& w : windows) {
+      if (t >= w.start && (w.permanent || t < w.end)) return true;
+    }
+    return false;
+  };
+
+  /// Selects the tables frame `arrival` is paced over: its budget
+  /// epoch (renegotiations), capped by any policer-forced ladder rung.
+  /// Also refreshes the policer's cut threshold — the committed worst
+  /// case enforce_budget + migration surcharge.
+  auto resolve_system = [&](StreamState& st, rt::Cycles arrival) {
+    while (st.epoch_idx + 1 < st.epochs->size() &&
+           (*st.epochs)[st.epoch_idx + 1].from_time <= arrival) {
+      ++st.epoch_idx;
+    }
+    const BudgetEpoch& ep = (*st.epochs)[st.epoch_idx];
+    rt::Cycles budget = ep.table_budget;
+    std::shared_ptr<const enc::EncoderSystem> sys = ep.system;
+    if (st.force_rung >= 0 && st.ladder != nullptr) {
+      const CertifiedRung& rung =
+          (*st.ladder)[static_cast<std::size_t>(st.force_rung)];
+      if (rung.table_budget < budget) {
+        budget = rung.table_budget;
+        sys = rung.system;
+      }
+    }
+    if (sys != nullptr && &st.session->system() != sys.get()) {
+      st.session->switch_system(sys);
+    }
+    st.enforce_budget = budget;
+    st.enforce_cost = budget + (ep.committed_cost - ep.table_budget);
+  };
 
   auto dispatch = [&] {
     const FrameJob job = *ready.begin();
@@ -159,36 +276,124 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
     } else {
       StreamState& st = streams[static_cast<std::size_t>(job.stream)];
       --st.queued;
-      // Budget renegotiation: frames arriving at or after an epoch
-      // boundary are paced over that epoch's tables.
-      while (st.next_epoch < st.outcome->epochs.size() &&
-             st.outcome->epochs[st.next_epoch].from_time <= job.arrival) {
-        st.session->switch_system(st.outcome->epochs[st.next_epoch].system);
-        ++st.next_epoch;
-      }
+      resolve_system(st, job.arrival);
       // Elapsed time is measured from service start (t0 = 0): the
       // session's tables are paced over the reserved budget, and the
       // queueing delay lives in the latency slack K*P - B instead.
       a.job = job;
       a.rec = st.session->encode(job.frame, 0);
       a.rec.start_lag = now - job.arrival;
-      a.remaining = a.rec.encode_cycles;
-      st.max_lag = std::max(st.max_lag, a.rec.start_lag);
-      st.lag_sum += static_cast<double>(a.rec.start_lag);
+      a.faults = st.plan->at(job.frame);
+      rt::Cycles demand = a.rec.encode_cycles;
+      if (police_overruns && a.faults.overrun) {
+        // Injected WCET overrun: the frame demands `factor` times its
+        // honest cost.  The policer cuts it off at the stream's
+        // committed worst case — co-resident streams never pay.
+        a.rec.overrun = true;
+        ++st.res->faults.overruns_injected;
+        demand = std::max(
+            demand, static_cast<rt::Cycles>(std::llround(
+                        static_cast<double>(demand) * ospec.factor)));
+        if (demand > st.enforce_cost) {
+          ++st.res->faults.overruns_policed;
+          a.aborted = true;
+          a.rec.aborted = true;
+          demand = st.enforce_cost;
+        }
+        a.rec.encode_cycles = demand;
+      }
+      a.remaining = demand;
+      st.res->lags.push_back(a.rec.start_lag);
     }
     a.dispatched_at = now;
     running = a;
   };
 
+  /// Policer side effects of a frame it just aborted.
+  auto punish_overrun = [&](StreamState& st) {
+    switch (ospec.policy) {
+      case OverrunPolicy::kAbortConceal:
+        break;
+      case OverrunPolicy::kDowngrade: {
+        // Force the stream one certified rung below its current
+        // effective budget (no-op when already on the qmin rung).
+        if (st.ladder == nullptr) break;
+        for (std::size_t r = 0; r < st.ladder->size(); ++r) {
+          if ((*st.ladder)[r].table_budget < st.enforce_budget) {
+            st.force_rung = static_cast<int>(r);
+            ++st.res->faults.forced_downgrades;
+            break;
+          }
+        }
+        break;
+      }
+      case OverrunPolicy::kQuarantine: {
+        if (++st.strikes < ospec.quarantine_strikes) break;
+        st.strikes = 0;
+        st.quarantined_until =
+            now + static_cast<rt::Cycles>(ospec.quarantine_periods) *
+                      st.period;
+        st.pending_qmin = true;
+        ++st.res->faults.quarantines;
+        st.res->quarantined = true;
+        // Already-queued frames of the offender are dropped too.
+        for (auto it = ready.begin(); it != ready.end();) {
+          if (it->stream >= 0 &&
+              &streams[static_cast<std::size_t>(it->stream)] == &st) {
+            st.records[it->frame] = st.session->drop(it->frame);
+            ++st.res->faults.quarantine_drops;
+            --st.queued;
+            it = ready.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      }
+    }
+  };
+
   auto complete = [&] {
     StreamState& st =
         streams[static_cast<std::size_t>(running->job.stream)];
-    if (now > running->job.deadline) ++st.display_misses;
-    out->busy_cycles += running->rec.encode_cycles;
+    pipe::FrameRecord rec = running->rec;
+    if (running->aborted) {
+      rec = st.session->lose(rec);
+      ++st.res->faults.aborted_frames;
+      punish_overrun(st);
+    } else if (inject_loss && running->faults.lost) {
+      rec.lost = true;
+      rec = st.session->lose(rec);
+      ++st.res->faults.lost_frames;
+    } else {
+      rec = st.session->deliver(rec);
+    }
+    if (!rec.concealed) {
+      if (now > running->job.deadline) {
+        ++st.res->display_misses;
+      } else if (st.res->first_ontime < 0) {
+        st.res->first_ontime = now;
+      }
+    }
+    out->busy_cycles += rec.encode_cycles;
     ++out->frames_encoded;
-    st.frames[static_cast<std::size_t>(running->job.frame)] = running->rec;
+    st.records[running->job.frame] = rec;
     span = now;
     running.reset();
+  };
+
+  /// Conceals a frame caught in service (running or suspended) by a
+  /// processor outage: the cycles already burned are charged, the
+  /// frame is lost, the viewer keeps the previous picture.
+  auto conceal_in_service = [&](const ActiveJob& a) {
+    StreamState& st = streams[static_cast<std::size_t>(a.job.stream)];
+    pipe::FrameRecord rec = a.rec;
+    rec.encode_cycles -= a.remaining;  // cycles actually consumed
+    rec = st.session->lose(rec);
+    st.records[a.job.frame] = rec;
+    ++st.res->faults.failure_drops;
+    ++out->fault_conceals;
+    out->busy_cycles += rec.encode_cycles;
   };
 
   // The earliest instant the policy lets the top ready job displace
@@ -207,24 +412,83 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
   };
 
   while (running || !ready.empty() || !arrivals.empty()) {
+    // Blackout transitions due now (after completions — a frame
+    // finishing exactly at the failure instant was delivered).  Repair
+    // first: encoder state was lost, so every session re-syncs with a
+    // forced intra frame.
+    if (!halted && blackout_until >= 0 && now >= blackout_until) {
+      blackout_until = -1;
+      for (StreamState& st : streams) st.session->reset_reference();
+    }
+    while (next_window < windows.size() &&
+           now >= windows[next_window].start) {
+      const Window& w = windows[next_window++];
+      // Everything in flight or queued is lost to the outage.
+      if (running) {
+        conceal_in_service(*running);
+        running.reset();
+      }
+      for (const auto& [key, a] : suspended) {
+        conceal_in_service(a);
+        ready.erase(a.job);
+      }
+      suspended.clear();
+      for (const FrameJob& job : ready) {
+        StreamState& st = streams[static_cast<std::size_t>(job.stream)];
+        st.records[job.frame] = st.session->drop(job.frame);
+        ++st.res->faults.failure_drops;
+        ++out->fault_conceals;
+        --st.queued;
+      }
+      ready.clear();
+      if (w.permanent) {
+        halted = true;
+      } else {
+        blackout_until = std::max(blackout_until, w.end);
+      }
+    }
+
     // Camera frames due by now enter the input buffers (or are
-    // dropped when full).
+    // dropped when full, quarantined, or lost to an outage).
     while (!arrivals.empty() && arrivals.top().time <= now) {
       const PendingArrival a = arrivals.top();
       arrivals.pop();
       StreamState& st = streams[static_cast<std::size_t>(a.stream)];
       const int f = st.next_arrival++;
-      if (st.next_arrival < st.spec->num_frames) {
+      if (st.next_arrival < st.end_frame) {
         arrivals.push(PendingArrival{a.time + st.period, a.stream});
+      }
+      if (in_blackout(a.time)) {
+        // The processor is down: nobody services this frame.
+        st.records[f] = st.session->drop(f);
+        ++st.res->faults.failure_drops;
+        ++out->fault_conceals;
+        continue;
+      }
+      if (st.quarantined_until >= 0) {
+        if (a.time < st.quarantined_until) {
+          st.records[f] = st.session->drop(f);
+          ++st.res->faults.quarantine_drops;
+          continue;
+        }
+        // Quarantine over: re-admit at the qmin rung.
+        st.quarantined_until = -1;
+        if (st.pending_qmin && st.ladder != nullptr &&
+            !st.ladder->empty()) {
+          st.force_rung = static_cast<int>(st.ladder->size()) - 1;
+        }
+        st.pending_qmin = false;
       }
       if (st.queued >= st.spec->buffer_capacity) {
         // Input buffer full: the camera drops the frame.
-        st.frames[static_cast<std::size_t>(f)] = st.session->skip(f);
+        st.records[f] = st.session->skip(f);
       } else {
         ++st.queued;
         ready.insert(FrameJob{a.time + st.latency, a.stream, f, a.time});
       }
     }
+
+    const bool in_outage = halted || blackout_until >= 0;
 
     // Preemption due now: suspend the runner (switch-out charge); the
     // displacing job is dispatched on the next pass.
@@ -239,17 +503,24 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       continue;
     }
 
-    if (!running && !ready.empty()) {
+    if (!running && !ready.empty() && !in_outage) {
       dispatch();
       continue;
     }
 
-    // Advance to the next event: completion, arrival, or an armed
-    // quantum-boundary preemption.
+    // Advance to the next event: completion, arrival, an armed
+    // quantum-boundary preemption, or a blackout boundary.
     const rt::Cycles t_fin = running ? now + running->remaining : kNever;
     const rt::Cycles t_arr = arrivals.empty() ? kNever : arrivals.top().time;
-    const rt::Cycles t = std::min({t_fin, t_arr, preemption_at()});
+    const rt::Cycles t_black = next_window < windows.size()
+                                   ? windows[next_window].start
+                                   : kNever;
+    const rt::Cycles t_repair =
+        (!halted && blackout_until >= 0) ? blackout_until : kNever;
+    rt::Cycles t =
+        std::min({t_fin, t_arr, preemption_at(), t_black, t_repair});
     if (t == kNever) break;  // unreachable: some event is always due
+    t = std::max(t, now);    // a window may start in the past
     if (running) running->remaining -= t - now;
     now = t;
     if (running && running->remaining == 0) complete();
@@ -262,32 +533,22 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
           ? static_cast<double>(out->busy_cycles) /
                 static_cast<double>(out->span_cycles)
           : 0.0;
-
-  // Publish per-stream results.
-  for (std::size_t s = 0; s < streams.size(); ++s) {
-    StreamState& st = streams[s];
-    StreamOutcome* so = assigned[s];
-    int skips = 0;
-    for (const auto& fr : st.frames) skips += fr.skipped ? 1 : 0;
-    const int encoded = st.spec->num_frames - skips;
-    so->result = pipe::aggregate_records(
-        std::move(st.frames), so->placement.table_budget,
-        st.session->config().rate.frame_rate);
-    so->display_misses = st.display_misses;
-    so->internal_misses = so->result.total_deadline_misses;
-    so->max_start_lag = st.max_lag;
-    so->mean_start_lag =
-        encoded > 0 ? st.lag_sum / static_cast<double>(encoded) : 0.0;
-  }
 }
 
 }  // namespace
 
 FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   QC_EXPECT(config.num_processors >= 1, "farm needs >= 1 processor");
+  for (const FailureEvent& ev : scenario.faults.failures) {
+    QC_EXPECT(ev.processor >= 0 && ev.processor < config.num_processors,
+              "failure event targets a processor outside the farm");
+    QC_EXPECT(ev.time >= 0 && ev.repair >= 0,
+              "failure event times must be non-negative");
+  }
 
   FarmResult result;
   result.sched = scenario.sched;
+  result.fault_spec = scenario.faults;
   result.streams.reserve(scenario.streams.size());
   for (const StreamSpec& spec : scenario.streams) {
     StreamOutcome so;
@@ -295,10 +556,19 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
     result.streams.push_back(std::move(so));
   }
   result.processors.resize(static_cast<std::size_t>(config.num_processors));
+  result.failures.reserve(scenario.faults.failures.size());
+  for (const FailureEvent& ev : scenario.faults.failures) {
+    FailureOutcome fo;
+    fo.event = ev;
+    result.failures.push_back(fo);
+  }
 
-  // ----- Control plane: global join/leave event queue, in time order.
-  // Joins at equal times are processed in stream-id order; a leave
-  // releases its commitment before any join at or after it.
+  // ----- Control plane: global join/leave/failure event queue, in
+  // time order.  Joins at equal times are processed in stream-id
+  // order; a leave releases its commitment before any join at or
+  // after it; a permanent failure is handled before any join at or
+  // after it (so newcomers never land on a dead processor) and after
+  // leaves at the same instant.
   std::vector<StreamOutcome*> join_order;
   join_order.reserve(result.streams.size());
   for (StreamOutcome& so : result.streams) join_order.push_back(&so);
@@ -316,9 +586,24 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   using Leave = std::pair<rt::Cycles, int>;  // (leave time, stream id)
   std::priority_queue<Leave, std::vector<Leave>, std::greater<Leave>> leaves;
 
+  // Permanent failures in control-plane order: (time, processor,
+  // scenario index).
+  std::vector<std::size_t> perm;
+  for (std::size_t k = 0; k < scenario.faults.failures.size(); ++k) {
+    if (scenario.faults.failures[k].permanent()) perm.push_back(k);
+  }
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    const FailureEvent& ea = scenario.faults.failures[a];
+    const FailureEvent& eb = scenario.faults.failures[b];
+    return std::tie(ea.time, ea.processor, a) <
+           std::tie(eb.time, eb.processor, b);
+  });
+  std::size_t next_perm = 0;
+
   // Budget changes imposed on running streams — shrinks by admission,
   // grows by a departure's restore pass — each open a new budget epoch
-  // on their stream at the change's effective time.
+  // on their stream at the change's effective time (on the stream's
+  // currently-running segment: the latest failover one, if any).
   auto apply_renegotiations = [&] {
     for (BudgetRenegotiation& r : admission.take_renegotiations()) {
       StreamOutcome* victim = by_id.at(r.stream_id);
@@ -331,18 +616,102 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
         victim->renegotiated = true;
         ++result.renegotiated_streams;
       }
-      victim->epochs.push_back(BudgetEpoch{r.effective_time, r.table_budget,
-                                           r.committed_cost,
-                                           std::move(r.system)});
+      std::vector<BudgetEpoch>& epochs = victim->failover.empty()
+                                             ? victim->epochs
+                                             : victim->failover.back().epochs;
+      epochs.push_back(BudgetEpoch{r.effective_time, r.table_budget,
+                                   r.committed_cost, std::move(r.system)});
+    }
+  };
+
+  auto note_peak = [&](int processor) {
+    auto& proc = result.processors[static_cast<std::size_t>(processor)];
+    proc.peak_committed_utilization =
+        std::max(proc.peak_committed_utilization,
+                 admission.committed_utilization(processor));
+  };
+
+  /// A permanent processor failure: mark it dead, then release and
+  /// re-admit its residents one by one (ascending stream id) across
+  /// the survivors — migration, degradation, and renegotiation all
+  /// apply, exactly as for a fresh join.  Each successful re-admission
+  /// opens a failover segment serving the stream's first frame not yet
+  /// due on the dead processor.
+  auto handle_failure = [&](std::size_t k) {
+    const FailureEvent& ev = scenario.faults.failures[k];
+    FailureOutcome& fo = result.failures[k];
+    if (admission.processor_failed(ev.processor)) return;  // already dead
+    admission.fail_processor(ev.processor);
+    auto& po = result.processors[static_cast<std::size_t>(ev.processor)];
+    po.failed = true;
+    po.failed_at = ev.time;
+    for (int id : admission.resident_stream_ids(ev.processor)) {
+      StreamOutcome* so = by_id.at(id);
+      admission.release(id, ev.time);
+      apply_renegotiations();
+      ++fo.displaced;
+      const rt::Cycles period = period_of(so->spec);
+      // First frame the survivors serve: the first arrival strictly
+      // after the failure instant (an arrival at the instant itself is
+      // concealed by the dying processor's blackout).
+      const rt::Cycles elapsed = ev.time - so->spec.join_time;
+      int ff = elapsed >= 0
+                   ? static_cast<int>(elapsed / period) + 1
+                   : 0;
+      if (ff >= so->spec.num_frames) continue;  // nothing left to serve
+      StreamSpec resume = so->spec;
+      resume.join_time =
+          so->spec.join_time + static_cast<rt::Cycles>(ff) * period;
+      resume.num_frames = so->spec.num_frames - ff;
+      const Placement pl =
+          admission.admit(resume, admission.least_loaded());
+      apply_renegotiations();
+      if (!pl.admitted) {
+        // No survivor can host it: the remaining frames stay with the
+        // halted processor, which conceals every one of them.
+        ++fo.dropped;
+        ++result.failover_drops;
+        continue;
+      }
+      ++fo.readmitted;
+      ++result.failover_readmissions;
+      FailoverSegment seg;
+      seg.failure_index = static_cast<int>(k);
+      seg.from_time = ev.time;
+      seg.first_frame = ff;
+      seg.placement = pl;
+      seg.epochs.push_back(BudgetEpoch{resume.join_time, pl.table_budget,
+                                       pl.committed_cost, pl.system});
+      so->failover.push_back(std::move(seg));
+      note_peak(pl.processor);
+      // The stream keeps its original leave time (same last frame), so
+      // the leave entry already queued releases the new commitment.
+    }
+  };
+
+  /// Processes every leave and permanent failure due at or before
+  /// `t_limit`, leaves first at equal instants.
+  auto drain_until = [&](rt::Cycles t_limit) {
+    while (true) {
+      const rt::Cycles t_leave = leaves.empty() ? kNever : leaves.top().first;
+      const rt::Cycles t_fail =
+          next_perm < perm.size()
+              ? scenario.faults.failures[perm[next_perm]].time
+              : kNever;
+      if (t_leave == kNever && t_fail == kNever) break;
+      if (t_leave > t_limit && t_fail > t_limit) break;
+      if (t_leave <= t_fail) {
+        admission.release(leaves.top().second, leaves.top().first);
+        leaves.pop();
+        apply_renegotiations();
+      } else {
+        handle_failure(perm[next_perm++]);
+      }
     }
   };
 
   for (StreamOutcome* so : join_order) {
-    while (!leaves.empty() && leaves.top().first <= so->spec.join_time) {
-      admission.release(leaves.top().second, leaves.top().first);
-      leaves.pop();
-      apply_renegotiations();
-    }
+    drain_until(so->spec.join_time);
     const int preferred = admission.least_loaded();
     so->placement = admission.admit(so->spec, preferred);
     apply_renegotiations();
@@ -352,28 +721,91 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
           BudgetEpoch{so->spec.join_time, so->placement.table_budget,
                       so->placement.committed_cost, so->placement.system});
       leaves.emplace(leave_time_of(so->spec), so->spec.id);
-      auto& proc = result.processors[static_cast<std::size_t>(
-          so->placement.processor)];
-      proc.peak_committed_utilization =
-          std::max(proc.peak_committed_utilization,
-                   admission.committed_utilization(so->placement.processor));
+      note_peak(so->placement.processor);
     }
   }
-  // Departures after the last join: their restore passes still grow
-  // long-lived incumbents, so drain the leave queue to the end.
-  while (!leaves.empty()) {
-    admission.release(leaves.top().second, leaves.top().first);
-    leaves.pop();
-    apply_renegotiations();
+  // Departures and failures after the last join: drain to the end —
+  // restore passes still grow long-lived incumbents, and a late
+  // failure still displaces whoever remains.
+  drain_until(kNever);
+
+  // ----- Certified budget ladders for the overrun policer (compiled
+  // on the control plane: TableCache is not thread-safe).
+  const bool need_ladders =
+      scenario.faults.overrun.enabled() &&
+      scenario.faults.overrun.policy != OverrunPolicy::kAbortConceal;
+  std::vector<std::vector<CertifiedRung>> ladders(result.streams.size());
+  if (need_ladders) {
+    for (std::size_t i = 0; i < result.streams.size(); ++i) {
+      const StreamOutcome& so = result.streams[i];
+      if (!so.placement.admitted ||
+          so.spec.mode != pipe::ControlMode::kControlled) {
+        continue;
+      }
+      ladders[i] = admission.certified_ladder(
+          macroblocks_of(so.spec), latency_of(so.spec), period_of(so.spec));
+    }
   }
 
-  // ----- Data plane: one run queue per processor, workers in parallel.
-  std::vector<std::vector<StreamOutcome*>> per_processor(
+  // ----- Outage windows per processor, from the injected failures.
+  std::vector<std::vector<Window>> windows(
+      static_cast<std::size_t>(config.num_processors));
+  for (const FailureEvent& ev : scenario.faults.failures) {
+    Window w;
+    w.start = ev.time;
+    w.end = ev.permanent() ? kNever : ev.time + ev.repair;
+    w.permanent = ev.permanent();
+    windows[static_cast<std::size_t>(ev.processor)].push_back(w);
+  }
+  for (auto& ws : windows) {
+    std::sort(ws.begin(), ws.end(), [](const Window& a, const Window& b) {
+      return std::tie(a.start, a.end) < std::tie(b.start, b.end);
+    });
+  }
+
+  // ----- Data plane: one run queue per processor, workers in
+  // parallel.  Each admitted stream contributes one segment per
+  // placement (base + failovers), covering disjoint frame ranges of a
+  // shared per-stream record array.
+  std::vector<std::vector<pipe::FrameRecord>> records(result.streams.size());
+  std::vector<std::vector<SegmentResult>> seg_results(result.streams.size());
+  std::vector<std::vector<Assignment>> per_processor(
       static_cast<std::size_t>(config.num_processors));
   for (StreamOutcome* so : join_order) {
-    if (so->placement.admitted) {
-      per_processor[static_cast<std::size_t>(so->placement.processor)]
-          .push_back(so);
+    if (!so->placement.admitted) continue;
+    const std::size_t i =
+        static_cast<std::size_t>(so - result.streams.data());
+    records[i].resize(static_cast<std::size_t>(so->spec.num_frames));
+    seg_results[i].resize(1 + so->failover.size());
+    const std::vector<CertifiedRung>* ladder =
+        ladders[i].empty() ? nullptr : &ladders[i];
+    auto segment_end = [&](std::size_t seg) {
+      return seg < so->failover.size()
+                 ? so->failover[seg].first_frame
+                 : so->spec.num_frames;
+    };
+    Assignment base;
+    base.so = so;
+    base.segment = 0;
+    base.first_frame = 0;
+    base.end_frame = segment_end(0);
+    base.records = records[i].data();
+    base.res = &seg_results[i][0];
+    base.ladder = ladder;
+    per_processor[static_cast<std::size_t>(so->placement.processor)]
+        .push_back(base);
+    for (std::size_t k = 0; k < so->failover.size(); ++k) {
+      Assignment asg;
+      asg.so = so;
+      asg.segment = static_cast<int>(k) + 1;
+      asg.first_frame = so->failover[k].first_frame;
+      asg.end_frame = segment_end(k + 1);
+      asg.records = records[i].data();
+      asg.res = &seg_results[i][k + 1];
+      asg.ladder = ladder;
+      per_processor[static_cast<std::size_t>(
+                        so->failover[k].placement.processor)]
+          .push_back(asg);
     }
   }
 
@@ -382,7 +814,8 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   auto drain = [&] {
     for (int p = next_processor.fetch_add(1); p < config.num_processors;
          p = next_processor.fetch_add(1)) {
-      run_processor(config, scenario.sched,
+      run_processor(config, scenario.sched, scenario.faults,
+                    windows[static_cast<std::size_t>(p)],
                     per_processor[static_cast<std::size_t>(p)],
                     &result.processors[static_cast<std::size_t>(p)]);
     }
@@ -392,6 +825,64 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
   drain();
   for (std::thread& t : pool) t.join();
+
+  // ----- Stitch segments back into per-stream outcomes.
+  for (std::size_t i = 0; i < result.streams.size(); ++i) {
+    StreamOutcome& so = result.streams[i];
+    if (!so.placement.admitted) continue;
+    std::vector<rt::Cycles> lags;
+    for (const SegmentResult& sr : seg_results[i]) {
+      so.display_misses += sr.display_misses;
+      so.faults.overruns_injected += sr.faults.overruns_injected;
+      so.faults.overruns_policed += sr.faults.overruns_policed;
+      so.faults.aborted_frames += sr.faults.aborted_frames;
+      so.faults.forced_downgrades += sr.faults.forced_downgrades;
+      so.faults.quarantines += sr.faults.quarantines;
+      so.faults.quarantine_drops += sr.faults.quarantine_drops;
+      so.faults.lost_frames += sr.faults.lost_frames;
+      so.faults.failure_drops += sr.faults.failure_drops;
+      so.quarantined = so.quarantined || sr.quarantined;
+      lags.insert(lags.end(), sr.lags.begin(), sr.lags.end());
+    }
+    if (!lags.empty()) {
+      double lag_sum = 0.0;
+      for (rt::Cycles lag : lags) {
+        so.max_start_lag = std::max(so.max_start_lag, lag);
+        lag_sum += static_cast<double>(lag);
+      }
+      so.mean_start_lag = lag_sum / static_cast<double>(lags.size());
+      std::sort(lags.begin(), lags.end());
+      so.start_lag_p95 =
+          lags[static_cast<std::size_t>(0.95 *
+                                        static_cast<double>(lags.size() - 1))];
+    }
+    so.result = pipe::aggregate_records(
+        std::move(records[i]), so.placement.table_budget,
+        stream_pipeline_config(so.spec, config.seed, config.frame_rate)
+            .rate.frame_rate);
+    so.internal_misses = so.result.total_deadline_misses;
+  }
+
+  // Recovery latency per permanent failure: time from the failure
+  // instant to the first on-time delivered frame of each re-admitted
+  // segment.
+  for (const StreamOutcome& so : result.streams) {
+    const std::size_t i =
+        static_cast<std::size_t>(&so - result.streams.data());
+    for (std::size_t k = 0; k < so.failover.size(); ++k) {
+      const FailoverSegment& seg = so.failover[k];
+      const SegmentResult& sr = seg_results[i][k + 1];
+      if (seg.failure_index < 0 || sr.first_ontime < 0) continue;
+      FailureOutcome& fo =
+          result.failures[static_cast<std::size_t>(seg.failure_index)];
+      ++fo.recovered;
+      const rt::Cycles latency = sr.first_ontime - fo.event.time;
+      fo.first_recovery = fo.first_recovery < 0
+                              ? latency
+                              : std::min(fo.first_recovery, latency);
+      fo.full_recovery = std::max(fo.full_recovery, latency);
+    }
+  }
 
   // ----- Fleet aggregates.
   result.total_streams = static_cast<int>(result.streams.size());
@@ -414,20 +905,29 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
         so.placement.via_renegotiation ? 1 : 0;
     result.total_frames += static_cast<long long>(so.result.frames.size());
     result.total_skips += so.result.total_skips;
+    result.total_concealed += so.result.total_concealed;
     result.total_display_misses += so.display_misses;
     result.total_internal_misses += so.internal_misses;
+    result.faults_total.overruns_injected += so.faults.overruns_injected;
+    result.faults_total.overruns_policed += so.faults.overruns_policed;
+    result.faults_total.aborted_frames += so.faults.aborted_frames;
+    result.faults_total.forced_downgrades += so.faults.forced_downgrades;
+    result.faults_total.quarantines += so.faults.quarantines;
+    result.faults_total.quarantine_drops += so.faults.quarantine_drops;
+    result.faults_total.lost_frames += so.faults.lost_frames;
+    result.faults_total.failure_drops += so.faults.failure_drops;
+    if (so.quarantined) ++result.quarantined_streams;
     for (const pipe::FrameRecord& fr : so.result.frames) {
       psnr_sum += fr.psnr;
       ssim_sum += fr.ssim;
-      if (!fr.skipped) {
-        ++result.encoded_frames;
-        quality_sum += fr.mean_quality;
-        const auto bucket = static_cast<std::size_t>(std::lround(
-            std::clamp(fr.mean_quality, 0.0,
-                       static_cast<double>(
-                           result.quality_histogram.size() - 1))));
-        ++result.quality_histogram[bucket];
-      }
+      if (fr.skipped || (fr.concealed && fr.encode_cycles == 0)) continue;
+      ++result.encoded_frames;
+      quality_sum += fr.mean_quality;
+      const auto bucket = static_cast<std::size_t>(std::lround(
+          std::clamp(fr.mean_quality, 0.0,
+                     static_cast<double>(
+                         result.quality_histogram.size() - 1))));
+      ++result.quality_histogram[bucket];
     }
   }
   result.rejection_rate =

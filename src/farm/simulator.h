@@ -4,13 +4,17 @@
 // Two planes, mirroring a real ingest tier:
 //
 //  * Control plane (sequential): a global event queue interleaves
-//    stream joins and leaves in virtual-time order.  Each join asks
-//    the AdmissionController for a placement (preferred processor =
-//    least committed load); each leave releases its commitment.  The
-//    outcome is a static assignment of admitted streams to
-//    processors — placement never depends on how encoding happens to
-//    interleave, only on committed worst cases, so it is exactly
-//    reproducible.
+//    stream joins, leaves, and injected permanent processor failures
+//    in virtual-time order.  Each join asks the AdmissionController
+//    for a placement (preferred processor = least committed load);
+//    each leave releases its commitment.  A permanent failure marks
+//    the processor dead and re-admits its resident streams across the
+//    survivors through the same migration-cost and renegotiation
+//    machinery (each re-admission opens a *failover segment* of the
+//    stream's life).  The outcome is a static assignment of stream
+//    segments to processors — placement never depends on how encoding
+//    happens to interleave, only on committed worst cases, so it is
+//    exactly reproducible.
 //
 //  * Data plane (parallel): every processor owns a run queue and is
 //    simulated independently — a single-server discrete-event loop
@@ -26,14 +30,26 @@
 //    farm seed by stream id, results are bit-identical for any worker
 //    count and any policy.
 //
+//    With a FaultSpec (farm/faults.h) the data plane additionally
+//    runs a *budget policer*: a frame whose injected demand exceeds
+//    the stream's committed worst case is cut off at the commitment
+//    (co-resident streams never pay for an overrun) and the overrun
+//    policy decides what happens to the offender — conceal, forced
+//    ladder downgrade, or quarantine with re-entry at qmin.  Injected
+//    processor blackouts lose in-flight and queued frames; post-encode
+//    loss routes through the decoder-side concealment chain
+//    (pipe::StreamSession::deliver/lose/drop), so PSNR/SSIM measure
+//    what a viewer displays.
+//
 //    Event ordering at equal instants is fixed (completions, then
-//    arrivals, then preemption/dispatch decisions), so a run is a
-//    pure function of (scenario, config).
+//    blackout transitions, then arrivals, then preemption/dispatch
+//    decisions), so a run is a pure function of (scenario, config).
 #pragma once
 
 #include <vector>
 
 #include "farm/admission.h"
+#include "farm/faults.h"
 #include "farm/scenario.h"
 #include "pipeline/simulation.h"
 
@@ -51,27 +67,64 @@ struct FarmConfig {
   double frame_rate = 25.0;
 };
 
+/// Per-stream fault accounting, summed over the stream's segments
+/// (and, in FarmResult::faults_total, over the fleet).
+struct StreamFaultStats {
+  int overruns_injected = 0;  ///< frames whose demand was inflated
+  int overruns_policed = 0;   ///< inflated frames cut at the commitment
+  int aborted_frames = 0;     ///< cut frames concealed by the policer
+  int forced_downgrades = 0;  ///< ladder steps imposed by the policer
+  int quarantines = 0;        ///< times the stream entered quarantine
+  int quarantine_drops = 0;   ///< frames dropped while quarantined
+  int lost_frames = 0;        ///< post-encode losses (loss injection)
+  int failure_drops = 0;      ///< frames lost to a processor blackout
+};
+
+/// One re-admission of a stream displaced by a permanent processor
+/// failure: the control plane releases the dead processor's
+/// commitment and admits a phase-aligned continuation (same id, same
+/// contract, first unserved frame onward) on a survivor.
+struct FailoverSegment {
+  int failure_index = -1;    ///< index into FaultSpec::failures
+  rt::Cycles from_time = 0;  ///< the failure instant
+  int first_frame = 0;       ///< first camera frame this segment serves
+  Placement placement;       ///< the survivor-side admission verdict
+  /// Budget history of this segment (initial re-admission epoch plus
+  /// any later renegotiations).
+  std::vector<BudgetEpoch> epochs;
+};
+
 /// Everything that happened to one offered stream.
 struct StreamOutcome {
   StreamSpec spec;
   Placement placement;
-  /// Reserved-budget history: the initial placement opens the first
-  /// epoch; every renegotiation that shrank this stream appends one.
-  /// Empty when rejected.
+  /// Reserved-budget history of the stream's *initial* placement: the
+  /// admission opens the first epoch; every renegotiation before a
+  /// failover appends one.  Empty when rejected.
   std::vector<BudgetEpoch> epochs;
+  /// Failover segments, one per re-admission after a permanent
+  /// processor failure (empty when the hosting processor never died).
+  std::vector<FailoverSegment> failover;
   /// True when a later newcomer shrank this stream's budget.
   bool renegotiated = false;
   /// True when a departure's restore pass grew it back up the ladder.
   bool restored = false;
   /// Per-frame records and aggregates (empty when rejected).
   pipe::PipelineResult result;
-  /// Frames whose encoding finished past arrival + K * P.
+  /// Frames whose encoding finished past arrival + K * P (concealed
+  /// frames are not counted — the viewer saw stale output instead).
   int display_misses = 0;
   /// Actions finishing past the controller's paced deadlines
   /// (== result.total_deadline_misses).
   int internal_misses = 0;
   rt::Cycles max_start_lag = 0;   ///< worst queueing delay observed
   double mean_start_lag = 0.0;    ///< over encoded frames
+  /// 95th-percentile start lag over encoded frames (sorted ascending,
+  /// index floor(0.95 * (n - 1))) — the latency tail qoseval's fused
+  /// score discounts by.
+  rt::Cycles start_lag_p95 = 0;
+  StreamFaultStats faults;        ///< zero without a FaultSpec
+  bool quarantined = false;       ///< ever quarantined by the policer
 };
 
 struct ProcessorOutcome {
@@ -79,12 +132,32 @@ struct ProcessorOutcome {
   rt::Cycles span_cycles = 0;   ///< last completion time
   double utilization = 0.0;     ///< busy (service only) / span
   int frames_encoded = 0;
-  int streams_hosted = 0;
+  int streams_hosted = 0;       ///< stream segments assigned
   double peak_committed_utilization = 0.0;
   int preemptions = 0;          ///< in-flight frames suspended
   /// Context-switch cycles charged (2x context_switch_cost per
   /// preemption: switch-out plus the later switch-in).
   rt::Cycles overhead_cycles = 0;
+  bool failed = false;          ///< permanently halted by a FailureEvent
+  rt::Cycles failed_at = -1;    ///< halt instant (-1 when never)
+  /// Frames concealed because this processor was dead or blacked out
+  /// (in-flight, queued, and arriving during the outage).
+  int fault_conceals = 0;
+};
+
+/// What one injected FailureEvent did to the fleet (transient events
+/// are echoed with zero displacement — they never touch admission).
+struct FailureOutcome {
+  FailureEvent event{};
+  int displaced = 0;   ///< resident streams when the processor died
+  int readmitted = 0;  ///< re-admitted on survivors (failover segments)
+  int dropped = 0;     ///< no survivor could host them
+  int recovered = 0;   ///< re-admitted streams that met a deadline again
+  /// Failure instant -> first re-admitted frame completing within its
+  /// display deadline, over the fastest / slowest recovering stream;
+  /// -1 when nothing recovered.
+  rt::Cycles first_recovery = -1;
+  rt::Cycles full_recovery = -1;
 };
 
 /// Fleet-level result: per-stream outcomes (scenario order),
@@ -96,6 +169,10 @@ struct FarmResult {
   std::vector<ProcessorOutcome> processors;
   /// The scheduling contract the run was played under.
   SchedulingSpec sched;
+  /// The fault scenario it was played against (empty by default).
+  FaultSpec fault_spec;
+  /// Per-failure-event accounting, aligned with fault_spec.failures.
+  std::vector<FailureOutcome> failures;
 
   int total_streams = 0;
   int admitted = 0;
@@ -117,6 +194,14 @@ struct FarmResult {
   int total_skips = 0;
   int total_display_misses = 0;
   int total_internal_misses = 0;
+  /// Frames the viewer saw stale output for (loss, aborts, blackouts,
+  /// quarantine); disjoint from total_skips.
+  long long total_concealed = 0;
+
+  StreamFaultStats faults_total;  ///< fleet sums of per-stream stats
+  int quarantined_streams = 0;
+  int failover_readmissions = 0;  ///< segments opened after failures
+  int failover_drops = 0;         ///< displaced streams nobody could host
 
   double fleet_mean_psnr = 0.0;     ///< over all admitted frames
   double fleet_mean_ssim = 0.0;     ///< over all admitted frames
@@ -124,6 +209,13 @@ struct FarmResult {
   /// Encoded frames per quality level (frame mean quality, rounded).
   std::vector<long long> quality_histogram;
 };
+
+/// The budget-epoch list renegotiations currently apply to: the base
+/// placement's until a failover, then the latest failover segment's.
+inline const std::vector<BudgetEpoch>& active_epochs(
+    const StreamOutcome& so) {
+  return so.failover.empty() ? so.epochs : so.failover.back().epochs;
+}
 
 /// Plays the scenario.  Deterministic in (scenario, config) — worker
 /// count does not affect any result field.

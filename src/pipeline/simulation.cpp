@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "encoder/decoder.h"
 #include "quality/distortion.h"
 #include "util/check.h"
 
@@ -215,16 +216,71 @@ FrameRecord StreamSession::skip(int index) {
   rec.scene_cut = video_.is_scene_cut(index);
   rec.qp = rate_.qp();
   // The decoder re-displays the previous output frame.
-  const media::Frame input = video_.frame(index);
-  if (encoder_.has_reference()) {
-    const quality::FrameDistortion d =
-        quality::measure(input, encoder_.reconstructed().y);
-    rec.psnr = d.psnr;
-    rec.ssim = d.ssim;
-  }
+  score_against_display(&rec);
   rate_.frame_skipped();
   return rec;
 }
+
+void StreamSession::score_against_display(FrameRecord* rec) const {
+  const media::Frame input = video_.frame(rec->index);
+  if (track_delivery_) {
+    if (!displayed_) return;  // nothing ever displayed: scores stay 0
+    const quality::FrameDistortion d = quality::measure(input, displayed_->y);
+    rec->psnr = d.psnr;
+    rec->ssim = d.ssim;
+    return;
+  }
+  if (encoder_.has_reference()) {
+    const quality::FrameDistortion d =
+        quality::measure(input, encoder_.reconstructed().y);
+    rec->psnr = d.psnr;
+    rec->ssim = d.ssim;
+  }
+}
+
+FrameRecord StreamSession::deliver(FrameRecord rec) {
+  if (!track_delivery_) return rec;
+  enc::DecodeResult d = enc::decode_frame(
+      encoder_.bitstream(), displayed_ ? &*displayed_ : nullptr);
+  if (!d.ok) {
+    // Un-decodable at the receiver (e.g. an inter frame whose
+    // reference never survived to the decoder): conceal instead of
+    // crashing — the viewer keeps the previous picture.
+    rec.concealed = true;
+    score_against_display(&rec);
+    return rec;
+  }
+  displayed_ = std::move(d.frame);
+  // Re-score against the *decoded* picture.  While encoder and
+  // decoder references agree the decode is bit-exact with the
+  // encoder's reconstruction and the scores are unchanged; after a
+  // concealment the decoder predicts from its stale reference, and
+  // the drift measured here is the real propagation cost.
+  const quality::FrameDistortion dist =
+      quality::measure(video_.frame(rec.index), displayed_->y);
+  rec.psnr = dist.psnr;
+  rec.ssim = dist.ssim;
+  return rec;
+}
+
+FrameRecord StreamSession::lose(FrameRecord rec) {
+  rec.concealed = true;
+  score_against_display(&rec);
+  return rec;
+}
+
+FrameRecord StreamSession::drop(int index) {
+  FrameRecord rec;
+  rec.index = index;
+  rec.concealed = true;
+  rec.scene_cut = video_.is_scene_cut(index);
+  rec.qp = rate_.qp();
+  score_against_display(&rec);
+  rate_.frame_skipped();
+  return rec;
+}
+
+void StreamSession::reset_reference() { encoder_.reset_reference(); }
 
 PipelineResult run_pipeline(const PipelineConfig& config) {
   StreamSession session(config);
@@ -301,10 +357,15 @@ PipelineResult aggregate_records(std::vector<FrameRecord> frames,
     psnr_series.push_back(rec.psnr);
     ssim_series.push_back(rec.ssim);
     result.total_deadline_misses += rec.deadline_misses;
+    if (rec.concealed) ++result.total_concealed;
     if (rec.skipped) {
       ++result.total_skips;
       continue;
     }
+    // Concealed frames that never reached the encoder (quarantine and
+    // blackout drops) carry no cycles, bits, or quality decisions;
+    // like skips, they only contribute their stale-display scores.
+    if (rec.concealed && rec.encode_cycles == 0) continue;
     ++encoded;
     psnr_enc += rec.psnr;
     cycles += static_cast<double>(rec.encode_cycles);

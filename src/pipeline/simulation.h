@@ -83,6 +83,13 @@ struct FrameRecord {
   int index = 0;
   bool skipped = false;
   bool scene_cut = false;
+  /// The viewer saw stale output for this frame: its encoding was
+  /// lost, aborted, or never serviced (fault injection — disjoint
+  /// from `skipped`, which is the camera dropping an arrival).
+  bool concealed = false;
+  bool overrun = false;  ///< injected WCET overrun (inflated demand)
+  bool aborted = false;  ///< cut off at the committed budget
+  bool lost = false;     ///< encoded output dropped before the decoder
   rt::Cycles encode_cycles = 0;  ///< 0 for skipped frames
   rt::Cycles start_lag = 0;      ///< start - arrival (buffer wait)
   double psnr = 0.0;             ///< vs displayed output
@@ -112,6 +119,9 @@ struct QualitySeriesStats {
 struct PipelineResult {
   std::vector<FrameRecord> frames;
   int total_skips = 0;
+  /// Frames the viewer saw stale output for (losses, policer aborts,
+  /// blackout drops); disjoint from total_skips.
+  int total_concealed = 0;
   int total_deadline_misses = 0;
   double mean_psnr = 0.0;          ///< over all frames incl. skipped
   double mean_psnr_encoded = 0.0;  ///< over encoded frames only
@@ -168,12 +178,49 @@ class StreamSession {
   /// re-pace); the encoder, rate control, and video state persist.
   void switch_system(std::shared_ptr<const enc::EncoderSystem> system);
 
+  /// Routes quality scoring through a real decode of the emitted
+  /// bitstream (enc::decode_frame) against the decoder's own
+  /// reference chain, so loss and concealment are measured against
+  /// what a viewer displays — stale-reference propagation included.
+  /// Off by default: without faults the decode is bit-exact with the
+  /// encoder's reconstruction and every score is unchanged, so
+  /// fault-free runs skip the decode cost entirely.
+  void track_delivery() { track_delivery_ = true; }
+  bool tracking_delivery() const { return track_delivery_; }
+
+  /// Marks the record encode() just produced as delivered.  With
+  /// tracking, decodes the encoder's bitstream and re-scores
+  /// PSNR/SSIM against the decoded picture; a malformed or
+  /// unreferenced decode degrades to concealment instead of crashing.
+  FrameRecord deliver(FrameRecord rec);
+
+  /// Marks the record encode() just produced as *not* delivered (a
+  /// post-encode loss, a policer abort, or a frame lost in flight to
+  /// a processor failure): the viewer re-displays the previous
+  /// output, and the decoder keeps predicting from that stale
+  /// reference until the next intra re-sync.
+  FrameRecord lose(FrameRecord rec);
+
+  /// Records camera frame `index` as never serviced (quarantine, or a
+  /// dead / blacked-out processor): zero cycles, stale display.  Like
+  /// skip(), but attributed to a fault rather than the camera.
+  FrameRecord drop(int index);
+
+  /// Forgets the encoder's temporal reference (processor repair after
+  /// a blackout): the next encoded frame is forced intra, which is
+  /// also what re-syncs the tracked decoder chain.
+  void reset_reference();
+
   const enc::EncoderSystem& system() const { return *system_; }
   rt::Cycles budget() const { return system_->budget; }
   const media::SyntheticVideo& video() const { return video_; }
   const PipelineConfig& config() const { return config_; }
 
  private:
+  /// Scores `rec` against what the viewer currently displays: the
+  /// decoder chain's last output when tracking, the encoder's
+  /// reconstruction otherwise (the skip() scoring path).
+  void score_against_display(FrameRecord* rec) const;
   /// True when the configured controller holds no cross-frame state
   /// and may be rebuilt at will (table / online / constant).
   bool stateless_controller() const;
@@ -200,6 +247,10 @@ class StreamSession {
   /// Smallest remaining window that is qmin-WC schedulable; shorter
   /// backlogged frames keep arrival pacing (see the constructor).
   rt::Cycles min_repace_budget_ = 0;
+  bool track_delivery_ = false;
+  /// The decoder chain's displayed frame (and inter-prediction
+  /// reference) when tracking; empty before the first delivery.
+  std::optional<media::YuvFrame> displayed_;
 };
 
 /// Runs the full system simulation.

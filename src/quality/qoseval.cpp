@@ -50,7 +50,7 @@ farm::FarmScenario apply_quality_policy(farm::FarmScenario scenario,
   return scenario;
 }
 
-CellResult measure_cell(const farm::FarmResult& r) {
+CellResult measure_cell(const farm::FarmResult& r, double latency_discount) {
   CellResult c;
   c.offered = r.total_streams;
   c.admitted = r.admitted;
@@ -59,11 +59,13 @@ CellResult measure_cell(const farm::FarmResult& r) {
   c.skips = r.total_skips;
   c.display_misses = r.total_display_misses;
   c.internal_misses = r.total_internal_misses;
+  c.concealed = r.total_concealed;
   c.mean_psnr = r.fleet_mean_psnr;
   c.mean_ssim = r.fleet_mean_ssim;
   c.miss_rate =
       r.total_frames > 0
-          ? static_cast<double>(r.total_skips + r.total_display_misses) /
+          ? static_cast<double>(r.total_skips + r.total_display_misses +
+                                r.total_concealed) /
                 static_cast<double>(r.total_frames)
           : 0.0;
   double fused = 0.0;
@@ -75,14 +77,23 @@ CellResult measure_cell(const farm::FarmResult& r) {
     worst_p5 = std::min(worst_p5, so.result.psnr_stats.p5);
     const long long frames =
         static_cast<long long>(so.result.frames.size());
+    // A concealed frame was not delivered any more than a skipped one
+    // was: the viewer saw stale output either way.
     const double delivered =
         frames > 0 ? 1.0 -
                          static_cast<double>(so.result.total_skips +
-                                             so.display_misses) /
+                                             so.display_misses +
+                                             so.result.total_concealed) /
                              static_cast<double>(frames)
                    : 0.0;
+    const rt::Cycles window = farm::latency_of(so.spec);
+    const double lag_fraction =
+        window > 0 ? static_cast<double>(so.start_lag_p95) /
+                         static_cast<double>(window)
+                   : 0.0;
     fused += fuse_stream_quality(so.result.mean_psnr, so.result.mean_ssim,
-                                 std::clamp(delivered, 0.0, 1.0));
+                                 std::clamp(delivered, 0.0, 1.0),
+                                 lag_fraction, latency_discount);
   }
   c.psnr_p5 = any_admitted ? worst_p5 : 0.0;
   c.fused_quality =
@@ -104,9 +115,20 @@ const char* quality_policy_name(QualityPolicy p) {
 
 double fuse_stream_quality(double mean_psnr, double mean_ssim,
                            double delivered_fraction) {
+  return fuse_stream_quality(mean_psnr, mean_ssim, delivered_fraction, 0.0,
+                             0.0);
+}
+
+double fuse_stream_quality(double mean_psnr, double mean_ssim,
+                           double delivered_fraction, double lag_fraction,
+                           double latency_discount) {
   const double q1 = psnr_support(mean_psnr);
   const double q2 = std::clamp(mean_ssim, 0.0, 1.0);
-  return std::clamp(delivered_fraction, 0.0, 1.0) * pcr5_good(q1, q2);
+  const double reliability =
+      std::clamp(delivered_fraction, 0.0, 1.0) *
+      (1.0 - std::clamp(latency_discount, 0.0, 1.0) *
+                 std::clamp(lag_fraction, 0.0, 1.0));
+  return reliability * pcr5_good(q1, q2);
 }
 
 SweepResult run_sweep(const SweepConfig& config) {
@@ -117,6 +139,8 @@ SweepResult run_sweep(const SweepConfig& config) {
             "sweep needs at least one quality policy");
   QC_EXPECT(!config.renegotiate.empty(),
             "sweep needs the renegotiation axis non-empty");
+  QC_EXPECT(!config.fault_axis.empty(),
+            "sweep needs the fault axis non-empty");
 
   // Offered loads are a pure function of their LoadGenConfig; generate
   // each once and share across the policy axes.
@@ -129,7 +153,8 @@ SweepResult run_sweep(const SweepConfig& config) {
   const std::size_t nq = config.quality_policies.size();
   const std::size_t np = config.sched_policies.size();
   const std::size_t nr = config.renegotiate.size();
-  const std::size_t n_cells = bases.size() * nq * np * nr;
+  const std::size_t nf = config.fault_axis.size();
+  const std::size_t n_cells = bases.size() * nq * np * nr * nf;
 
   SweepResult result;
   result.cells.resize(n_cells);
@@ -140,16 +165,18 @@ SweepResult run_sweep(const SweepConfig& config) {
   auto drain = [&] {
     for (std::size_t i = next.fetch_add(1); i < n_cells;
          i = next.fetch_add(1)) {
-      const std::size_t ri = i % nr;
-      const std::size_t pi = (i / nr) % np;
-      const std::size_t qi = (i / (nr * np)) % nq;
-      const std::size_t si = i / (nr * np * nq);
+      const std::size_t fi = i % nf;
+      const std::size_t ri = (i / nf) % nr;
+      const std::size_t pi = (i / (nf * nr)) % np;
+      const std::size_t qi = (i / (nf * nr * np)) % nq;
+      const std::size_t si = i / (nf * nr * np * nq);
 
       farm::FarmScenario scenario = apply_quality_policy(
           bases[si], config.quality_policies[qi], config.constant_quality);
       scenario.sched.policy = config.sched_policies[pi];
       scenario.sched.renegotiate = config.renegotiate[ri];
       scenario.sched.restore = config.renegotiate[ri];
+      if (config.fault_axis[fi]) scenario.faults = config.faults;
 
       farm::FarmConfig fc;
       fc.num_processors = config.num_processors;
@@ -157,11 +184,13 @@ SweepResult run_sweep(const SweepConfig& config) {
       fc.seed = config.farm_seed;
       fc.frame_rate = config.frame_rate;
 
-      CellResult cell = measure_cell(farm::run_farm(scenario, fc));
+      CellResult cell = measure_cell(farm::run_farm(scenario, fc),
+                                     config.latency_discount);
       cell.scenario = static_cast<int>(si);
       cell.quality_policy = config.quality_policies[qi];
       cell.sched = config.sched_policies[pi];
       cell.renegotiate = config.renegotiate[ri];
+      cell.faulted = config.fault_axis[fi];
       result.cells[i] = cell;
     }
   };
@@ -176,29 +205,33 @@ SweepResult run_sweep(const SweepConfig& config) {
   for (std::size_t qi = 0; qi < nq; ++qi) {
     for (std::size_t pi = 0; pi < np; ++pi) {
       for (std::size_t ri = 0; ri < nr; ++ri) {
-        PolicyFrontierPoint pt;
-        pt.quality_policy = config.quality_policies[qi];
-        pt.sched = config.sched_policies[pi];
-        pt.renegotiate = config.renegotiate[ri];
-        int offered = 0, rejected = 0;
-        for (std::size_t si = 0; si < bases.size(); ++si) {
-          const CellResult& c =
-              result.cells[((si * nq + qi) * np + pi) * nr + ri];
-          pt.fused_quality += c.fused_quality;
-          pt.miss_rate += c.miss_rate;
-          pt.mean_psnr += c.mean_psnr;
-          pt.mean_ssim += c.mean_ssim;
-          offered += c.offered;
-          rejected += c.rejected;
+        for (std::size_t fi = 0; fi < nf; ++fi) {
+          PolicyFrontierPoint pt;
+          pt.quality_policy = config.quality_policies[qi];
+          pt.sched = config.sched_policies[pi];
+          pt.renegotiate = config.renegotiate[ri];
+          pt.faulted = config.fault_axis[fi];
+          int offered = 0, rejected = 0;
+          for (std::size_t si = 0; si < bases.size(); ++si) {
+            const CellResult& c =
+                result.cells[(((si * nq + qi) * np + pi) * nr + ri) * nf +
+                             fi];
+            pt.fused_quality += c.fused_quality;
+            pt.miss_rate += c.miss_rate;
+            pt.mean_psnr += c.mean_psnr;
+            pt.mean_ssim += c.mean_ssim;
+            offered += c.offered;
+            rejected += c.rejected;
+          }
+          const double ns = static_cast<double>(bases.size());
+          pt.fused_quality /= ns;
+          pt.miss_rate /= ns;
+          pt.mean_psnr /= ns;
+          pt.mean_ssim /= ns;
+          pt.rejection_rate =
+              offered > 0 ? static_cast<double>(rejected) / offered : 0.0;
+          result.ranking.push_back(pt);
         }
-        const double ns = static_cast<double>(bases.size());
-        pt.fused_quality /= ns;
-        pt.miss_rate /= ns;
-        pt.mean_psnr /= ns;
-        pt.mean_ssim /= ns;
-        pt.rejection_rate =
-            offered > 0 ? static_cast<double>(rejected) / offered : 0.0;
-        result.ranking.push_back(pt);
       }
     }
   }
@@ -241,6 +274,7 @@ std::string summarize(const SweepResult& result) {
        << quality_policy_name(pt.quality_policy) << " + "
        << sched::policy_name(pt.sched.kind)
        << (pt.renegotiate ? " + renegotiate" : "")
+       << (pt.faulted ? " + faults" : "")
        << ": fused_quality=" << pt.fused_quality
        << " miss_rate=" << pt.miss_rate
        << " mean_psnr=" << std::setprecision(2) << pt.mean_psnr
@@ -254,9 +288,11 @@ std::string summarize(const SweepResult& result) {
        << quality_policy_name(c.quality_policy) << "/"
        << sched::policy_name(c.sched.kind) << "/"
        << (c.renegotiate ? "reneg" : "fixed")
+       << (c.faulted ? "/faults" : "")
        << ": admitted=" << c.admitted << "/" << c.offered
        << " frames=" << c.total_frames << " skips=" << c.skips
        << " display_misses=" << c.display_misses
+       << " concealed=" << c.concealed
        << " miss_rate=" << c.miss_rate
        << " mean_psnr=" << std::setprecision(2) << c.mean_psnr
        << std::setprecision(4) << " mean_ssim=" << c.mean_ssim
@@ -270,18 +306,20 @@ std::string summarize(const SweepResult& result) {
 std::string to_csv(const SweepResult& result) {
   std::ostringstream os;
   os << std::setprecision(17);
-  os << "scenario,quality_policy,sched_policy,renegotiate,offered,"
+  os << "scenario,quality_policy,sched_policy,renegotiate,faulted,offered,"
         "admitted,rejected,total_frames,skips,display_misses,"
-        "internal_misses,miss_rate,mean_psnr,mean_ssim,psnr_p5,"
+        "internal_misses,concealed,miss_rate,mean_psnr,mean_ssim,psnr_p5,"
         "fused_quality\n";
   for (const CellResult& c : result.cells) {
     os << c.scenario << ',' << quality_policy_name(c.quality_policy) << ','
        << sched::policy_name(c.sched.kind) << ','
-       << (c.renegotiate ? 1 : 0) << ',' << c.offered << ','
+       << (c.renegotiate ? 1 : 0) << ',' << (c.faulted ? 1 : 0) << ','
+       << c.offered << ','
        << c.admitted << ',' << c.rejected << ',' << c.total_frames << ','
        << c.skips << ',' << c.display_misses << ',' << c.internal_misses
-       << ',' << c.miss_rate << ',' << c.mean_psnr << ',' << c.mean_ssim
-       << ',' << c.psnr_p5 << ',' << c.fused_quality << '\n';
+       << ',' << c.concealed << ',' << c.miss_rate << ',' << c.mean_psnr
+       << ',' << c.mean_ssim << ',' << c.psnr_p5 << ',' << c.fused_quality
+       << '\n';
   }
   return os.str();
 }

@@ -14,6 +14,10 @@
 //                         industrial fixed-quality baseline;
 //   * scheduling policy — np / preemptive / quantum EDF run queues;
 //   * renegotiation     — budget shrinking (and restoring) on / off;
+//   * faults            — optionally, the same load replayed under an
+//                         injected fault scenario (farm/faults.h), so
+//                         graceful degradation is scored on the same
+//                         frontier as fair-weather quality;
 //
 // and reduces each cell to one comparable score.  Per-stream quality
 // (PSNR, SSIM) and safety (skips, display misses) signals can
@@ -23,8 +27,11 @@
 // Martin & Osswald's conflict-redistributing rules (PCR5 on the
 // binary frame {good, bad}, one simple support function per metric)
 // followed by reliability discounting by the stream's delivered-frame
-// rate.  Rejected streams contribute zero — rejection is a quality
-// decision too.
+// rate and by its latency tail (the 95th-percentile start lag as a
+// fraction of the latency window, scaled by latency_discount — a
+// stream that delivers every frame but always at the edge of its
+// deadline is worth less than one with slack).  Rejected streams
+// contribute zero — rejection is a quality decision too.
 //
 // Cells are independent, so the sweep fans out on host worker
 // threads; results are keyed by grid index and every cell runs the
@@ -62,6 +69,15 @@ struct SweepConfig {
                                                  QualityPolicy::kConstant};
   /// Level every stream encodes at under QualityPolicy::kConstant.
   rt::QualityLevel constant_quality = 3;
+  /// Fault axis: cells run fault-free (false) and/or under `faults`
+  /// (true).  {false} by default — faults are opt-in.
+  std::vector<bool> fault_axis = {false};
+  /// The fault scenario faulted cells replay (farm/faults.h).
+  farm::FaultSpec faults{};
+  /// Weight of the latency-tail discount in the fused score: a
+  /// stream's reliability is scaled by
+  /// 1 - latency_discount * (start_lag_p95 / latency window).
+  double latency_discount = 0.25;
 
   int num_processors = 2;
   /// Host threads over grid cells (each cell's farm runs with one
@@ -77,6 +93,7 @@ struct CellResult {
   QualityPolicy quality_policy = QualityPolicy::kControlled;
   sched::PolicyParams sched{};
   bool renegotiate = false;
+  bool faulted = false;  ///< played under SweepConfig::faults
 
   int offered = 0;
   int admitted = 0;
@@ -85,14 +102,17 @@ struct CellResult {
   int skips = 0;
   int display_misses = 0;
   int internal_misses = 0;
+  long long concealed = 0;  ///< fault-concealed frames (stale display)
   double mean_psnr = 0.0;
   double mean_ssim = 0.0;
   double psnr_p5 = 0.0;  ///< min over streams of their p5 PSNR
-  /// (skips + display misses) / total frames of admitted streams.
+  /// (skips + display misses + concealed) / total frames of admitted
+  /// streams.
   double miss_rate = 0.0;
   /// Mean over *offered* streams of the fused per-stream belief
   /// (PCR5-combined PSNR/SSIM support, discounted by delivered-frame
-  /// reliability; 0 for rejected streams), in [0, 1].
+  /// reliability and the latency tail; 0 for rejected streams), in
+  /// [0, 1].
   double fused_quality = 0.0;
 };
 
@@ -102,6 +122,7 @@ struct PolicyFrontierPoint {
   QualityPolicy quality_policy = QualityPolicy::kControlled;
   sched::PolicyParams sched{};
   bool renegotiate = false;
+  bool faulted = false;
 
   double fused_quality = 0.0;  ///< mean over scenarios
   double miss_rate = 0.0;      ///< mean over scenarios
@@ -126,6 +147,15 @@ struct SweepResult {
 /// quality supports followed by reliability discounting.
 double fuse_stream_quality(double mean_psnr, double mean_ssim,
                            double delivered_fraction);
+
+/// Latency-aware overload: additionally discounts the reliability by
+/// `latency_discount * lag_fraction`, where lag_fraction is the
+/// stream's 95th-percentile start lag as a fraction of its latency
+/// window (both clamped to [0, 1]).  The 3-argument form is the
+/// lag_fraction == 0 special case.
+double fuse_stream_quality(double mean_psnr, double mean_ssim,
+                           double delivered_fraction, double lag_fraction,
+                           double latency_discount);
 
 /// Runs the full grid.  Deterministic in (config); the worker count
 /// changes wall time only.

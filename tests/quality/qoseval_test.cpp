@@ -56,6 +56,51 @@ TEST(QosEval, FusionFixedPointsAndDiscounting) {
             fuse_stream_quality(35.0, 0.9, 1.0));
 }
 
+TEST(QosEval, LatencyTailDiscountsTheFusedScore) {
+  // Zero lag (or a zero discount weight) reduces to the 3-arg form.
+  EXPECT_DOUBLE_EQ(fuse_stream_quality(45.0, 1.0, 1.0, 0.0, 0.25),
+                   fuse_stream_quality(45.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(fuse_stream_quality(45.0, 1.0, 1.0, 0.8, 0.0),
+                   fuse_stream_quality(45.0, 1.0, 1.0));
+  // A stream always at the edge of its latency window is worth
+  // exactly (1 - discount) of one with slack.
+  EXPECT_DOUBLE_EQ(fuse_stream_quality(45.0, 1.0, 1.0, 1.0, 0.25), 0.75);
+  // Monotone: more tail lag never raises the score.
+  EXPECT_GT(fuse_stream_quality(40.0, 0.9, 1.0, 0.2, 0.25),
+            fuse_stream_quality(40.0, 0.9, 1.0, 0.8, 0.25));
+  // Out-of-range lag fractions are clamped, not amplified.
+  EXPECT_DOUBLE_EQ(fuse_stream_quality(45.0, 1.0, 1.0, 7.0, 0.25),
+                   fuse_stream_quality(45.0, 1.0, 1.0, 1.0, 0.25));
+  EXPECT_GE(fuse_stream_quality(45.0, 1.0, 1.0, 1.0, 1.0), 0.0);
+}
+
+TEST(QosEval, FaultAxisAddsCellsAndLowersQuality) {
+  SweepConfig cfg = small_grid();
+  // One scenario, np only, reneg off: fault axis doubles the cells.
+  cfg.scenarios.resize(1);
+  cfg.sched_policies.resize(1);
+  cfg.renegotiate = {false};
+  cfg.fault_axis = {false, true};
+  cfg.faults.seed = 41;
+  cfg.faults.overrun.probability = 0.3;
+  cfg.faults.loss.probability = 0.25;
+  const SweepResult r = run_sweep(cfg);
+  ASSERT_EQ(r.cells.size(), 2u * 2u);  // quality policies x fault axis
+  for (std::size_t i = 0; i < r.cells.size(); i += 2) {
+    const CellResult& clean = r.cells[i];
+    const CellResult& faulted = r.cells[i + 1];
+    ASSERT_FALSE(clean.faulted);
+    ASSERT_TRUE(faulted.faulted);
+    EXPECT_EQ(clean.concealed, 0);
+    EXPECT_GT(faulted.concealed, 0);
+    // Faults cost measured quality; the frontier sees the damage.
+    EXPECT_LT(faulted.fused_quality, clean.fused_quality);
+    EXPECT_GT(faulted.miss_rate, clean.miss_rate);
+  }
+  // Faulted and clean variants rank as distinct frontier points.
+  EXPECT_EQ(r.ranking.size(), 2u * 2u);
+}
+
 TEST(QosEval, SweepIsBitIdenticalAcrossWorkerCounts) {
   SweepConfig one = small_grid();
   one.workers = 1;

@@ -34,7 +34,7 @@ import sys
 # queues; PsnrFrame/SsimFrame track the distortion kernels.
 DEFAULT_BENCHMARKS = (
     r"^BM_(SadMacroblock|ForwardDct8|PsnrFrame|SsimFrame"
-    r"|FarmThroughput(Preemptive|Quantum)?/\d+)$"
+    r"|FarmThroughput(Preemptive|Quantum|Faults)?/\d+)$"
 )
 
 

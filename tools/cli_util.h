@@ -29,6 +29,15 @@ inline bool parse_u64(const char* s, std::uint64_t* out) {
   return true;
 }
 
+/// Any finite double (range checks are the caller's).
+inline bool parse_double(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 /// A fraction in [0, 1].
 inline bool parse_fraction(const char* s, double* out) {
   char* end = nullptr;

@@ -25,6 +25,17 @@
 //   --ctx-switch C       context-switch cost in cycles
 //                        (default platform::kContextSwitchCycles)
 //   --reneg off|on|both  renegotiation axis (default both)
+//   --faults off|on|both fault axis: replay each cell under an injected
+//                        fault scenario (default off)
+//   --overrun-prob F     faulted cells' WCET-overrun probability
+//                        (default 0.2)
+//   --overrun-policy P   abort|downgrade|quarantine (default abort)
+//   --loss-prob F        faulted cells' frame-loss probability
+//                        (default 0.1)
+//   --fault-seed S       root of the fault draws (default: from the
+//                        farm seed)
+//   --latency-discount F weight of the start-lag-p95 tail discount in
+//                        the fused score (default 0.25)
 //   --seed S             farm seed shared by every cell (default 2026)
 //   --csv PATH           write the per-cell CSV
 //   --quiet              suppress the human-readable report
@@ -34,6 +45,7 @@
 #include <vector>
 
 #include "cli_util.h"
+#include "farm/faults.h"
 #include "quality/qoseval.h"
 
 namespace {
@@ -52,7 +64,11 @@ int usage() {
       "                     [--constant-q L] [--policies np,preemptive,"
       "quantum]\n"
       "                     [--quantum C] [--ctx-switch C]\n"
-      "                     [--reneg off|on|both] [--seed S]\n"
+      "                     [--reneg off|on|both] [--faults off|on|both]\n"
+      "                     [--overrun-prob F]\n"
+      "                     [--overrun-policy abort|downgrade|quarantine]\n"
+      "                     [--loss-prob F] [--fault-seed S]\n"
+      "                     [--latency-discount F] [--seed S]\n"
       "                     [--csv PATH] [--quiet]\n");
   return 2;
 }
@@ -94,6 +110,9 @@ int main(int argc, char** argv) {
   const char* csv_path = nullptr;
   bool quiet = false;
   int constant_q = 3;
+  // Defaults for faulted cells; inert while the axis stays {false}.
+  sweep.faults.overrun.probability = 0.2;
+  sweep.faults.loss.probability = 0.1;
 
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
@@ -143,6 +162,41 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(v, "both") == 0) {
         sweep.renegotiate = {false, true};
       } else {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--faults") == 0) {
+      const char* v = value();
+      if (!v) return usage();
+      if (std::strcmp(v, "off") == 0) {
+        sweep.fault_axis = {false};
+      } else if (std::strcmp(v, "on") == 0) {
+        sweep.fault_axis = {true};
+      } else if (std::strcmp(v, "both") == 0) {
+        sweep.fault_axis = {false, true};
+      } else {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--overrun-prob") == 0) {
+      const char* v = value();
+      if (!v || !cli::parse_fraction(v, &sweep.faults.overrun.probability)) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--overrun-policy") == 0) {
+      const char* v = value();
+      if (!v || !farm::parse_overrun_policy(v, &sweep.faults.overrun.policy)) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--loss-prob") == 0) {
+      const char* v = value();
+      if (!v || !cli::parse_fraction(v, &sweep.faults.loss.probability)) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--fault-seed") == 0) {
+      const char* v = value();
+      if (!v || !parse_u64(v, &sweep.faults.seed)) return usage();
+    } else if (std::strcmp(arg, "--latency-discount") == 0) {
+      const char* v = value();
+      if (!v || !cli::parse_fraction(v, &sweep.latency_discount)) {
         return usage();
       }
     } else if (std::strcmp(arg, "--seed") == 0) {

@@ -30,6 +30,25 @@
 //   --json PATH       write the JSON report
 //   --csv PATH        write the per-stream CSV
 //   --quiet           suppress the human-readable report
+//
+// Fault injection (see src/farm/faults.h for the fault model):
+//   --faults LIST     enable fault classes with their defaults; LIST is
+//                     a comma subset of overrun,loss (overrun: p=0.2
+//                     factor=3 policy=abort; loss: p=0.1)
+//   --overrun-prob F  per-frame WCET-overrun probability (enables
+//                     overruns when > 0)
+//   --overrun-factor X  demand multiplier of an overrunning frame (> 1)
+//   --overrun-policy P  abort (conceal only), downgrade (force one
+//                     certified rung down), or quarantine
+//   --overrun-strikes N  policed overruns before quarantine (>= 1)
+//   --loss-prob F     per-frame post-encode loss probability (enables
+//                     loss when > 0)
+//   --fail P@T[+R]    halt processor P at cycle T; with +R the halt is
+//                     transient and repairs after R cycles, without it
+//                     the failure is permanent and resident streams are
+//                     re-admitted across the survivors (repeatable)
+//   --fault-seed S    root of the per-stream fault draws (default:
+//                     derived from the farm seed)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +56,7 @@
 #include <vector>
 
 #include "cli_util.h"
+#include "farm/faults.h"
 #include "farm/load_gen.h"
 #include "farm/metrics.h"
 #include "farm/simulator.h"
@@ -59,12 +79,59 @@ int usage() {
       "                   [--policy np|preemptive|quantum] [--quantum C]\n"
       "                   [--ctx-switch C] [--renegotiate] [--restore]\n"
       "                   [--migration-cost C]\n"
+      "                   [--faults overrun,loss] [--overrun-prob F]\n"
+      "                   [--overrun-factor X]\n"
+      "                   [--overrun-policy abort|downgrade|quarantine]\n"
+      "                   [--overrun-strikes N] [--loss-prob F]\n"
+      "                   [--fail P@T[+R]] [--fault-seed S]\n"
       "                   [--json PATH] [--csv PATH] [--quiet]\n");
   return 2;
 }
 
 bool write_file(const char* path, const std::string& content) {
   return cli::write_file("qosfarm", path, content);
+}
+
+/// "P@T" (permanent) or "P@T+R" (transient, repairs after R cycles).
+bool parse_failure(const char* s, farm::FailureEvent* ev) {
+  const char* at = std::strchr(s, '@');
+  if (!at || at == s) return false;
+  const std::string proc(s, at);
+  if (!parse_int(proc.c_str(), &ev->processor) || ev->processor < 0) {
+    return false;
+  }
+  std::uint64_t time = 0, repair = 0;
+  if (const char* plus = std::strchr(at + 1, '+')) {
+    const std::string when(at + 1, plus);
+    if (!parse_u64(when.c_str(), &time) || !parse_u64(plus + 1, &repair) ||
+        repair == 0) {
+      return false;
+    }
+  } else if (!parse_u64(at + 1, &time)) {
+    return false;
+  }
+  ev->time = static_cast<rt::Cycles>(time);
+  ev->repair = static_cast<rt::Cycles>(repair);
+  return true;
+}
+
+/// Comma subset of "overrun","loss"; enables each class at its default
+/// strength unless an explicit probability already set one.
+bool enable_fault_classes(const char* s, farm::FaultSpec* faults) {
+  const std::vector<std::string> items = cli::split_commas(s);
+  if (items.empty()) return false;
+  for (const std::string& item : items) {
+    if (item == "overrun") {
+      if (faults->overrun.probability <= 0.0) {
+        faults->overrun.probability = 0.2;
+      }
+    } else if (item == "loss") {
+      if (faults->loss.probability <= 0.0) faults->loss.probability = 0.1;
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -78,6 +145,7 @@ int main(int argc, char** argv) {
   farm::SchedulingSpec sched;
   sched.policy.context_switch_cost = platform::kContextSwitchCycles;
   sched.policy.quantum = 1000000;  // 125 us at the paper's 8 GHz
+  farm::FaultSpec faults;
   const char* json_path = nullptr;
   const char* csv_path = nullptr;
   bool quiet = false;
@@ -139,6 +207,42 @@ int main(int argc, char** argv) {
       std::uint64_t c = 0;
       if (!v || !parse_u64(v, &c)) return usage();
       cfg.admission.migration_cost = static_cast<rt::Cycles>(c);
+    } else if (std::strcmp(arg, "--faults") == 0) {
+      const char* v = value();
+      if (!v || !enable_fault_classes(v, &faults)) return usage();
+    } else if (std::strcmp(arg, "--overrun-prob") == 0) {
+      const char* v = value();
+      if (!v || !parse_fraction(v, &faults.overrun.probability)) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--overrun-factor") == 0) {
+      const char* v = value();
+      if (!v || !cli::parse_double(v, &faults.overrun.factor) ||
+          faults.overrun.factor <= 1.0) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--overrun-policy") == 0) {
+      const char* v = value();
+      if (!v || !farm::parse_overrun_policy(v, &faults.overrun.policy)) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--overrun-strikes") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &faults.overrun.quarantine_strikes) ||
+          faults.overrun.quarantine_strikes < 1) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--loss-prob") == 0) {
+      const char* v = value();
+      if (!v || !parse_fraction(v, &faults.loss.probability)) return usage();
+    } else if (std::strcmp(arg, "--fail") == 0) {
+      const char* v = value();
+      farm::FailureEvent ev;
+      if (!v || !parse_failure(v, &ev)) return usage();
+      faults.failures.push_back(ev);
+    } else if (std::strcmp(arg, "--fault-seed") == 0) {
+      const char* v = value();
+      if (!v || !parse_u64(v, &faults.seed)) return usage();
     } else if (std::strcmp(arg, "--json") == 0) {
       json_path = value();
       if (!json_path) return usage();
@@ -156,6 +260,14 @@ int main(int argc, char** argv) {
       load.min_frames < 1 || load.max_frames < load.min_frames) {
     return usage();
   }
+  // Failure targets can only be range-checked once --procs is known.
+  for (const farm::FailureEvent& ev : faults.failures) {
+    if (ev.processor >= cfg.num_processors) {
+      std::fprintf(stderr, "qosfarm: --fail processor %d out of range\n",
+                   ev.processor);
+      return usage();
+    }
+  }
   if (cfg.workers <= 0) cfg.workers = cfg.num_processors;
   // run_farm clamps the same way; clamp here too so the report's
   // "(N workers)" matches what the measurement actually used.
@@ -163,6 +275,7 @@ int main(int argc, char** argv) {
 
   farm::FarmScenario scenario = farm::generate_scenario(load);
   scenario.sched = sched;
+  scenario.faults = faults;
   const auto t0 = std::chrono::steady_clock::now();
   const farm::FarmResult result = farm::run_farm(scenario, cfg);
   const double wall_s =
