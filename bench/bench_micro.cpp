@@ -18,6 +18,7 @@
 #include "media/padded_frame.h"
 #include "media/simd/kernels.h"
 #include "media/synthetic_video.h"
+#include "obs/buildinfo.h"
 #include "qos/controller.h"
 #include "quality/distortion.h"
 #include "sched/edf.h"
@@ -361,7 +362,7 @@ BENCHMARK(BM_SyntheticFrame);
 // stream-frames per wall-second — the farm metric tracked in
 // BENCH_micro.json; Arg is the worker-thread count.
 void run_farm_throughput(benchmark::State& state, sched::PolicyKind policy,
-                         bool faults = false) {
+                         bool faults = false, bool trace = false) {
   farm::LoadGenConfig load;
   load.num_streams = 6;
   load.resolutions = {{32, 32}};
@@ -382,6 +383,7 @@ void run_farm_throughput(benchmark::State& state, sched::PolicyKind policy,
   farm::FarmConfig cfg;
   cfg.num_processors = 2;
   cfg.workers = static_cast<int>(state.range(0));
+  cfg.trace = trace;
   long long frames = 0;
   for (auto _ : state) {
     const farm::FarmResult r = farm::run_farm(scenario, cfg);
@@ -427,6 +429,33 @@ BENCHMARK(BM_FarmThroughputFaults)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// Tracing on: the cost of the per-processor ring-buffer emission plus
+// the merge/stable-sort at the end of the run.  Deliberately NOT in the
+// tracked-regression set — its baseline is the delta against
+// BM_FarmThroughputFaults, which IS gated with tracing off (the
+// zero-overhead-when-off claim).
+void BM_FarmThroughputTraced(benchmark::State& state) {
+  run_farm_throughput(state, sched::PolicyKind::kNonPreemptiveEdf,
+                      /*faults=*/true, /*trace=*/true);
+}
+BENCHMARK(BM_FarmThroughputTraced)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the provenance of the
+// binary into the JSON context block so a committed BENCH_micro.json
+// is attributable to a tree, compiler, and dispatched SIMD backend.
+int main(int argc, char** argv) {
+  const qosctrl::obs::BuildInfo info = qosctrl::obs::build_info();
+  benchmark::AddCustomContext("version", info.version);
+  benchmark::AddCustomContext("compiler", info.compiler);
+  benchmark::AddCustomContext("simd_backend", info.simd_backend);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

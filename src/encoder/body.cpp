@@ -28,6 +28,20 @@ const char* body_action_name(BodyAction a) {
   QC_EXPECT(false, "unknown body action");
 }
 
+const char* encode_phase_name(EncodePhase p) {
+  switch (p) {
+    case EncodePhase::kMotion:
+      return "motion";
+    case EncodePhase::kDctQuant:
+      return "dct_quant";
+    case EncodePhase::kReconstruct:
+      return "reconstruct";
+    case EncodePhase::kEntropy:
+      return "entropy";
+  }
+  QC_EXPECT(false, "unknown encode phase");
+}
+
 rt::PrecedenceGraph make_body_graph() {
   rt::PrecedenceGraph g;
   for (int a = 0; a < kNumBodyActions; ++a) {

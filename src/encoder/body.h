@@ -38,6 +38,44 @@ inline constexpr int kNumBodyActions = 9;
 /// Display name of a body action (paper spelling).
 const char* body_action_name(BodyAction a);
 
+/// Profiling phases: the nine body actions grouped into the four
+/// stages an encoder engineer reasons about.  Cycle attribution over
+/// these phases (obs/ tracing, per-phase report breakdowns) is
+/// virtual-cycle based — a pure function of the cost-model draws, so
+/// it stays bit-identical across worker counts and policies.
+enum class EncodePhase : int {
+  kMotion = 0,       ///< Grab_Macro_Block + Motion_Estimate
+  kDctQuant = 1,     ///< DCT + Quantize + their inverses
+  kReconstruct = 2,  ///< Intra_Predict (mode decision) + Reconstruct
+  kEntropy = 3,      ///< Compress
+};
+
+inline constexpr int kNumEncodePhases = 4;
+
+/// Short stable phase name ("motion", "dct_quant", "reconstruct",
+/// "entropy") — used by metric names, report keys, and trace tracks.
+const char* encode_phase_name(EncodePhase p);
+
+/// The phase a body action's cycles are attributed to.
+constexpr EncodePhase phase_of(BodyAction a) {
+  switch (a) {
+    case BodyAction::kGrabMacroBlock:
+    case BodyAction::kMotionEstimate:
+      return EncodePhase::kMotion;
+    case BodyAction::kDct:
+    case BodyAction::kQuantize:
+    case BodyAction::kInverseQuantize:
+    case BodyAction::kInverseDct:
+      return EncodePhase::kDctQuant;
+    case BodyAction::kIntraPredict:
+    case BodyAction::kReconstruct:
+      return EncodePhase::kReconstruct;
+    case BodyAction::kCompress:
+      return EncodePhase::kEntropy;
+  }
+  return EncodePhase::kMotion;
+}
+
 /// Builds the Figure 2 precedence graph (9 actions, ids as above).
 rt::PrecedenceGraph make_body_graph();
 

@@ -83,6 +83,7 @@ FrameStats FrameEncoder::encode_frame(const media::YuvFrame& input,
     controller.observe(cost);
     t += cost;
     stats.encode_cycles += cost;
+    stats.phase_cycles[static_cast<std::size_t>(phase_of(ua.action))] += cost;
 
     const rt::Cycles deadline = sys.deadline(d.quality, d.action);
     if (!rt::is_no_deadline(deadline) && t > deadline) {

@@ -8,6 +8,7 @@
 // content-coupled component of the cycle costs.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "encoder/body.h"
@@ -57,6 +58,9 @@ struct EncoderConfig {
 /// Per-frame encoding outcome.
 struct FrameStats {
   rt::Cycles encode_cycles = 0;  ///< virtual cycles spent on actions
+  /// encode_cycles attributed per EncodePhase (motion / dct_quant /
+  /// reconstruct / entropy); sums to encode_cycles.
+  std::array<rt::Cycles, kNumEncodePhases> phase_cycles{};
   std::int64_t bits = 0;         ///< compressed size of the frame
   double psnr = 0.0;             ///< PSNR(input, reconstruction), dB
   double ssim = 0.0;             ///< SSIM(input, reconstruction)

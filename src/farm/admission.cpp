@@ -126,7 +126,7 @@ bool AdmissionController::fits(int p, const sched::NpTask& candidate) const {
   for (const Commitment& c : cs) tasks.push_back(c.task);
   tasks.push_back(candidate);
   if (sched::np_utilization(tasks) > config_.utilization_cap) return false;
-  return policy_->schedulable(tasks);
+  return policy_->schedulable(tasks, &scan_stats_);
 }
 
 std::vector<rt::Cycles> AdmissionController::controlled_candidates(
@@ -388,7 +388,7 @@ bool AdmissionController::set_schedulable(int p) const {
   tasks.reserve(cs.size());
   for (const Commitment& c : cs) tasks.push_back(c.task);
   if (sched::np_utilization(tasks) > config_.utilization_cap) return false;
-  return policy_->schedulable(tasks);
+  return policy_->schedulable(tasks, &scan_stats_);
 }
 
 void AdmissionController::restore_pass(int p, rt::Cycles now) {

@@ -202,6 +202,11 @@ class AdmissionController {
   int committed_streams(int processor) const;
   const sched::SchedPolicy& policy() const { return *policy_; }
 
+  /// Cumulative demand-scan work done by every schedulability query
+  /// this controller issued (admission, renegotiation, restore) — the
+  /// control-plane profiling counters of the observability layer.
+  const sched::EdfScanStats& scan_stats() const { return scan_stats_; }
+
   /// The processor a newcomer should prefer: least committed
   /// utilization over the surviving processors, ties to the lowest
   /// index (0 when every processor has failed).
@@ -295,6 +300,9 @@ class AdmissionController {
   std::vector<std::vector<Commitment>> committed_;  ///< per processor
   std::vector<bool> failed_;                        ///< per processor
   std::vector<BudgetRenegotiation> pending_renegotiations_;
+  /// Accumulated by the const demand tests (fits / set_schedulable);
+  /// the control plane is sequential, so plain mutable is safe.
+  mutable sched::EdfScanStats scan_stats_;
 };
 
 }  // namespace qosctrl::farm

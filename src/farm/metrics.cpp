@@ -3,6 +3,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "encoder/body.h"
+#include "obs/buildinfo.h"
+
 namespace qosctrl::farm {
 namespace {
 
@@ -34,6 +37,10 @@ void json_kv(std::ostringstream& os, const char* key, long long v,
 
 std::string summarize(const FarmResult& r) {
   std::ostringstream os;
+  // Provenance first.  fault_seed 0 means the fault draws were
+  // derived from the farm seed.
+  os << obs::version_line("qosfarm") << " seed=" << r.farm_seed
+     << " fault_seed=" << r.fault_spec.seed << "\n";
   os << "policy=" << sched::policy_name(r.sched.policy.kind);
   if (r.sched.policy.kind == sched::PolicyKind::kQuantumEdf) {
     os << " quantum=" << r.sched.policy.quantum;
@@ -168,13 +175,21 @@ std::string summarize(const FarmResult& r) {
     }
     os << "\n";
   }
+  os << r.metrics.summary();
+  os << "trace: events=" << r.trace.size()
+     << " trace_dropped=" << r.trace_dropped << "\n";
   return os.str();
 }
 
 std::string to_json(const FarmResult& r) {
   std::ostringstream os;
   os << std::setprecision(17);
-  os << "{\"fleet\":{";
+  os << "{\"build\":{" << obs::build_json_fields() << ',';
+  json_kv(os, "farm_seed", static_cast<long long>(r.farm_seed));
+  // 0 = the fault draws were derived from the farm seed.
+  json_kv(os, "fault_seed", static_cast<long long>(r.fault_spec.seed),
+          false);
+  os << "},\"fleet\":{";
   os << "\"policy\":\"" << sched::policy_name(r.sched.policy.kind) << "\",";
   json_kv(os, "quantum", static_cast<long long>(r.sched.policy.quantum));
   json_kv(os, "context_switch_cost",
@@ -350,10 +365,19 @@ std::string to_json(const FarmResult& r) {
     json_kv(os, "ssim_p5", so.result.ssim_stats.p5);
     json_kv(os, "ssim_min", so.result.ssim_stats.min);
     json_kv(os, "mean_quality", so.result.mean_quality);
-    json_kv(os, "kbps", so.result.achieved_bps / 1e3, false);
-    os << "}";
+    json_kv(os, "kbps", so.result.achieved_bps / 1e3);
+    os << "\"phase_cycles\":{";
+    for (int ph = 0; ph < enc::kNumEncodePhases; ++ph) {
+      os << (ph ? "," : "") << '"'
+         << enc::encode_phase_name(static_cast<enc::EncodePhase>(ph))
+         << "\":" << so.result.phase_cycles[static_cast<std::size_t>(ph)];
+    }
+    os << "}}";
   }
-  os << "]}";
+  os << "],\"metrics\":" << r.metrics.to_json() << ',';
+  json_kv(os, "trace_events", static_cast<long long>(r.trace.size()));
+  json_kv(os, "trace_dropped", r.trace_dropped, false);
+  os << "}";
   return os.str();
 }
 
@@ -407,6 +431,17 @@ std::string to_csv(const FarmResult& r) {
        << so.faults.quarantine_drops << ',' << so.faults.lost_frames << ','
        << so.faults.failure_drops << ',' << (so.quarantined ? 1 : 0) << ','
        << so.failover.size() << '\n';
+  }
+  // Metrics table, blank-line separated from the stream table so the
+  // file stays trivially splittable.
+  os << "\nmetric,kind,count,sum,min,max,p50,p95,p99\n";
+  for (const auto& [name, h] : r.metrics.histograms()) {
+    os << name << ",histogram," << h.count() << ',' << h.sum() << ','
+       << h.min() << ',' << h.max() << ',' << h.percentile(0.50) << ','
+       << h.percentile(0.95) << ',' << h.percentile(0.99) << '\n';
+  }
+  for (const auto& [name, v] : r.metrics.counters()) {
+    os << name << ",counter," << v << ',' << v << ",0,0,0,0,0\n";
   }
   return os.str();
 }

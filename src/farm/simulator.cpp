@@ -1,6 +1,7 @@
 #include "farm/simulator.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <limits>
@@ -9,6 +10,7 @@
 #include <optional>
 #include <queue>
 #include <set>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -155,18 +157,44 @@ struct ActiveJob {
 /// Simulates one processor's run queue to completion under the
 /// scenario's scheduling policy.  Writes the per-stream frame records
 /// back through `assigned` (segments of one stream serve disjoint
-/// frame ranges, so no locking).
+/// frame ranges, so no locking).  `metrics` (never null, always on)
+/// and `trace` (null unless FarmConfig::trace) are this processor's
+/// private observability sinks; every trace emission is a branch on
+/// the null pointer, so the hot loop pays nothing when tracing is off.
 void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
                    const FaultSpec& fault_spec,
                    const std::vector<Window>& windows,
                    const std::vector<Assignment>& assigned,
-                   ProcessorOutcome* out) {
+                   ProcessorOutcome* out, obs::Registry* metrics,
+                   obs::TraceBuffer* trace) {
   const std::unique_ptr<sched::SchedPolicy> policy =
       sched::make_policy(sched.policy);
   const rt::Cycles ctx = policy->context_switch_cost();
   const bool police_overruns = fault_spec.overrun.enabled();
   const bool inject_loss = fault_spec.loss.enabled();
   const OverrunSpec& ospec = fault_spec.overrun;
+
+  // Metric sinks, resolved once so the event loop records through
+  // plain references (the registry is per-processor, unshared).
+  long long& m_dispatched = metrics->counter("frames_dispatched");
+  long long& m_completed = metrics->counter("frames_completed");
+  long long& m_preemptions = metrics->counter("preemptions");
+  long long& m_concealed = metrics->counter("frames_concealed");
+  long long& m_display_misses = metrics->counter("display_misses");
+  long long& m_camera_skips = metrics->counter("camera_skips");
+  obs::Histogram& h_latency = metrics->histogram("frame_latency_cycles");
+  obs::Histogram& h_lag = metrics->histogram("start_lag_cycles");
+  obs::Histogram& h_qdepth = metrics->histogram("queue_depth");
+  obs::Histogram& h_encode = metrics->histogram("encode_cycles");
+  std::array<obs::Histogram*, enc::kNumEncodePhases> h_phase{};
+  for (int ph = 0; ph < enc::kNumEncodePhases; ++ph) {
+    h_phase[static_cast<std::size_t>(ph)] = &metrics->histogram(
+        std::string("phase_") +
+        enc::encode_phase_name(static_cast<enc::EncodePhase>(ph)) +
+        "_cycles");
+  }
+  // Cumulative per-phase cycles, the trace's phase counter tracks.
+  std::array<long long, enc::kNumEncodePhases> phase_total{};
 
   std::vector<StreamState> streams;
   streams.reserve(assigned.size());
@@ -240,6 +268,12 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
   auto resolve_system = [&](StreamState& st, rt::Cycles arrival) {
     while (st.epoch_idx + 1 < st.epochs->size() &&
            (*st.epochs)[st.epoch_idx + 1].from_time <= arrival) {
+      if (trace != nullptr) {
+        trace->push(obs::EventKind::kEpochClose, now, st.spec->id, -1,
+                    (*st.epochs)[st.epoch_idx].table_budget);
+        trace->push(obs::EventKind::kEpochOpen, now, st.spec->id, -1,
+                    (*st.epochs)[st.epoch_idx + 1].table_budget);
+      }
       ++st.epoch_idx;
     }
     const BudgetEpoch& ep = (*st.epochs)[st.epoch_idx];
@@ -263,6 +297,11 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
   auto dispatch = [&] {
     const FrameJob job = *ready.begin();
     ready.erase(ready.begin());
+    const int sid = streams[static_cast<std::size_t>(job.stream)].spec->id;
+    if (trace != nullptr) {
+      trace->push(obs::EventKind::kQueueDepth, now, -1, -1,
+                  static_cast<std::int64_t>(ready.size()));
+    }
     ActiveJob a;
     const auto key = std::make_pair(job.stream, job.frame);
     auto it = suspended.find(key);
@@ -273,6 +312,10 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       suspended.erase(it);
       out->overhead_cycles += ctx;
       now += ctx;
+      if (trace != nullptr) {
+        trace->push(obs::EventKind::kResume, now, sid, job.frame,
+                    a.remaining);
+      }
     } else {
       StreamState& st = streams[static_cast<std::size_t>(job.stream)];
       --st.queued;
@@ -304,6 +347,16 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       }
       a.remaining = demand;
       st.res->lags.push_back(a.rec.start_lag);
+      ++m_dispatched;
+      h_lag.record(a.rec.start_lag);
+      if (trace != nullptr) {
+        trace->push(obs::EventKind::kDispatch, now, sid, job.frame,
+                    job.deadline);
+        if (a.rec.overrun) {
+          trace->push(obs::EventKind::kFaultInject, now, sid, job.frame,
+                      demand, a.aborted ? 1u : 0u);
+        }
+      }
     }
     a.dispatched_at = now;
     running = a;
@@ -336,17 +389,32 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         st.pending_qmin = true;
         ++st.res->faults.quarantines;
         st.res->quarantined = true;
+        if (trace != nullptr) {
+          trace->push(obs::EventKind::kQuarantine, now, st.spec->id, -1,
+                      st.quarantined_until);
+        }
         // Already-queued frames of the offender are dropped too.
         for (auto it = ready.begin(); it != ready.end();) {
           if (it->stream >= 0 &&
               &streams[static_cast<std::size_t>(it->stream)] == &st) {
             st.records[it->frame] = st.session->drop(it->frame);
             ++st.res->faults.quarantine_drops;
+            ++m_concealed;
+            if (trace != nullptr) {
+              trace->push(
+                  obs::EventKind::kConceal, now, st.spec->id, it->frame, 0,
+                  static_cast<std::uint32_t>(
+                      obs::ConcealReason::kQuarantineDrop));
+            }
             --st.queued;
             it = ready.erase(it);
           } else {
             ++it;
           }
+        }
+        if (trace != nullptr) {
+          trace->push(obs::EventKind::kQueueDepth, now, -1, -1,
+                      static_cast<std::int64_t>(ready.size()));
         }
         break;
       }
@@ -371,8 +439,34 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
     if (!rec.concealed) {
       if (now > running->job.deadline) {
         ++st.res->display_misses;
+        ++m_display_misses;
+        if (trace != nullptr) {
+          trace->push(obs::EventKind::kDeadlineMiss, now, st.spec->id,
+                      running->job.frame, now - running->job.deadline);
+        }
       } else if (st.res->first_ontime < 0) {
         st.res->first_ontime = now;
+      }
+    } else {
+      ++m_concealed;
+    }
+    ++m_completed;
+    h_latency.record(now - running->job.arrival);
+    h_encode.record(rec.encode_cycles);
+    for (std::size_t ph = 0; ph < rec.phase_cycles.size(); ++ph) {
+      h_phase[ph]->record(rec.phase_cycles[ph]);
+      phase_total[ph] += static_cast<long long>(rec.phase_cycles[ph]);
+    }
+    if (trace != nullptr) {
+      const auto outcome = static_cast<std::uint32_t>(
+          running->aborted ? obs::CompleteOutcome::kAborted
+          : rec.concealed ? obs::CompleteOutcome::kLost
+                          : obs::CompleteOutcome::kDelivered);
+      trace->push(obs::EventKind::kComplete, now, st.spec->id,
+                  running->job.frame, rec.encode_cycles, outcome);
+      for (std::size_t ph = 0; ph < phase_total.size(); ++ph) {
+        trace->push(obs::EventKind::kPhaseCycles, now, -1, -1,
+                    phase_total[ph], static_cast<std::uint32_t>(ph));
       }
     }
     out->busy_cycles += rec.encode_cycles;
@@ -384,8 +478,11 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
 
   /// Conceals a frame caught in service (running or suspended) by a
   /// processor outage: the cycles already burned are charged, the
-  /// frame is lost, the viewer keeps the previous picture.
-  auto conceal_in_service = [&](const ActiveJob& a) {
+  /// frame is lost, the viewer keeps the previous picture.  The trace
+  /// distinguishes the running frame (whose open service segment this
+  /// terminates) from suspended ones (already closed by their
+  /// preemption event).
+  auto conceal_in_service = [&](const ActiveJob& a, bool was_running) {
     StreamState& st = streams[static_cast<std::size_t>(a.job.stream)];
     pipe::FrameRecord rec = a.rec;
     rec.encode_cycles -= a.remaining;  // cycles actually consumed
@@ -393,6 +490,20 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
     st.records[a.job.frame] = rec;
     ++st.res->faults.failure_drops;
     ++out->fault_conceals;
+    ++m_concealed;
+    if (trace != nullptr) {
+      if (was_running) {
+        trace->push(obs::EventKind::kConcealService, now, st.spec->id,
+                    a.job.frame, rec.encode_cycles,
+                    static_cast<std::uint32_t>(
+                        obs::ConcealReason::kSuspendedOutage));
+      } else {
+        trace->push(obs::EventKind::kConceal, now, st.spec->id, a.job.frame,
+                    rec.encode_cycles,
+                    static_cast<std::uint32_t>(
+                        obs::ConcealReason::kSuspendedOutage));
+      }
+    }
     out->busy_cycles += rec.encode_cycles;
   };
 
@@ -419,17 +530,24 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
     if (!halted && blackout_until >= 0 && now >= blackout_until) {
       blackout_until = -1;
       for (StreamState& st : streams) st.session->reset_reference();
+      if (trace != nullptr) {
+        trace->push(obs::EventKind::kProcRepair, now, -1, -1, 0);
+      }
     }
     while (next_window < windows.size() &&
            now >= windows[next_window].start) {
       const Window& w = windows[next_window++];
+      if (trace != nullptr) {
+        trace->push(obs::EventKind::kProcFail, now, -1, -1,
+                    w.permanent ? -1 : w.end, w.permanent ? 1u : 0u);
+      }
       // Everything in flight or queued is lost to the outage.
       if (running) {
-        conceal_in_service(*running);
+        conceal_in_service(*running, true);
         running.reset();
       }
       for (const auto& [key, a] : suspended) {
-        conceal_in_service(a);
+        conceal_in_service(a, false);
         ready.erase(a.job);
       }
       suspended.clear();
@@ -438,9 +556,19 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         st.records[job.frame] = st.session->drop(job.frame);
         ++st.res->faults.failure_drops;
         ++out->fault_conceals;
+        ++m_concealed;
+        if (trace != nullptr) {
+          trace->push(obs::EventKind::kConceal, now, st.spec->id, job.frame,
+                      0,
+                      static_cast<std::uint32_t>(
+                          obs::ConcealReason::kQueuedOutage));
+        }
         --st.queued;
       }
       ready.clear();
+      if (trace != nullptr) {
+        trace->push(obs::EventKind::kQueueDepth, now, -1, -1, 0);
+      }
       if (w.permanent) {
         halted = true;
       } else {
@@ -463,12 +591,24 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         st.records[f] = st.session->drop(f);
         ++st.res->faults.failure_drops;
         ++out->fault_conceals;
+        ++m_concealed;
+        if (trace != nullptr) {
+          trace->push(obs::EventKind::kConceal, now, st.spec->id, f, 0,
+                      static_cast<std::uint32_t>(
+                          obs::ConcealReason::kArrivalOutage));
+        }
         continue;
       }
       if (st.quarantined_until >= 0) {
         if (a.time < st.quarantined_until) {
           st.records[f] = st.session->drop(f);
           ++st.res->faults.quarantine_drops;
+          ++m_concealed;
+          if (trace != nullptr) {
+            trace->push(obs::EventKind::kConceal, now, st.spec->id, f, 0,
+                        static_cast<std::uint32_t>(
+                            obs::ConcealReason::kQuarantineDrop));
+          }
           continue;
         }
         // Quarantine over: re-admit at the qmin rung.
@@ -482,9 +622,15 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       if (st.queued >= st.spec->buffer_capacity) {
         // Input buffer full: the camera drops the frame.
         st.records[f] = st.session->skip(f);
+        ++m_camera_skips;
       } else {
         ++st.queued;
         ready.insert(FrameJob{a.time + st.latency, a.stream, f, a.time});
+        h_qdepth.record(static_cast<long long>(ready.size()));
+        if (trace != nullptr) {
+          trace->push(obs::EventKind::kQueueDepth, now, -1, -1,
+                      static_cast<std::int64_t>(ready.size()));
+        }
       }
     }
 
@@ -498,6 +644,15 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       suspended.emplace(std::make_pair(a.job.stream, a.job.frame), a);
       ready.insert(a.job);
       ++out->preemptions;
+      ++m_preemptions;
+      if (trace != nullptr) {
+        trace->push(
+            obs::EventKind::kPreempt, now,
+            streams[static_cast<std::size_t>(a.job.stream)].spec->id,
+            a.job.frame, a.remaining);
+        trace->push(obs::EventKind::kQueueDepth, now, -1, -1,
+                    static_cast<std::int64_t>(ready.size()));
+      }
       out->overhead_cycles += ctx;
       now += ctx;
       continue;
@@ -549,6 +704,21 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   FarmResult result;
   result.sched = scenario.sched;
   result.fault_spec = scenario.faults;
+  result.farm_seed = config.seed;
+
+  // Observability sinks.  The recorder exists only when tracing is
+  // requested; its control buffer serves the sequential control plane
+  // and each data-plane processor owns buffer p — merged in index
+  // order, the trace is independent of the worker count.
+  std::optional<obs::TraceRecorder> recorder;
+  if (config.trace) {
+    QC_EXPECT(config.trace_buffer_capacity > 0,
+              "trace buffer capacity must be positive");
+    recorder.emplace(config.num_processors,
+                     static_cast<std::size_t>(config.trace_buffer_capacity));
+  }
+  obs::TraceBuffer* ctrace =
+      recorder.has_value() ? recorder->control() : nullptr;
   result.streams.reserve(scenario.streams.size());
   for (const StreamSpec& spec : scenario.streams) {
     StreamOutcome so;
@@ -607,6 +777,11 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   auto apply_renegotiations = [&] {
     for (BudgetRenegotiation& r : admission.take_renegotiations()) {
       StreamOutcome* victim = by_id.at(r.stream_id);
+      if (ctrace != nullptr) {
+        ctrace->push(r.grow ? obs::EventKind::kRestore
+                            : obs::EventKind::kRenegotiate,
+                     r.effective_time, r.stream_id, -1, r.table_budget);
+      }
       if (r.grow) {
         if (!victim->restored) {
           victim->restored = true;
@@ -671,10 +846,18 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
         // halted processor, which conceals every one of them.
         ++fo.dropped;
         ++result.failover_drops;
+        if (ctrace != nullptr) {
+          ctrace->push(obs::EventKind::kFailoverDrop, ev.time, id, -1,
+                       ev.processor);
+        }
         continue;
       }
       ++fo.readmitted;
       ++result.failover_readmissions;
+      if (ctrace != nullptr) {
+        ctrace->push(obs::EventKind::kFailover, ev.time, id, -1,
+                     pl.processor);
+      }
       FailoverSegment seg;
       seg.failure_index = static_cast<int>(k);
       seg.from_time = ev.time;
@@ -722,6 +905,21 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
                       so->placement.committed_cost, so->placement.system});
       leaves.emplace(leave_time_of(so->spec), so->spec.id);
       note_peak(so->placement.processor);
+      if (ctrace != nullptr) {
+        const std::uint32_t flags =
+            (so->placement.migrated ? 1u : 0u) |
+            (so->placement.degraded ? 2u : 0u) |
+            (so->placement.via_renegotiation ? 4u : 0u);
+        ctrace->push(obs::EventKind::kAdmit, so->spec.join_time,
+                     so->spec.id, -1, so->placement.processor, flags);
+        if (so->placement.migrated) {
+          ctrace->push(obs::EventKind::kMigrate, so->spec.join_time,
+                       so->spec.id, -1, so->placement.processor);
+        }
+      }
+    } else if (ctrace != nullptr) {
+      ctrace->push(obs::EventKind::kReject, so->spec.join_time,
+                   so->spec.id, -1, -1);
     }
   }
   // Departures and failures after the last join: drain to the end —
@@ -810,6 +1008,11 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   }
 
   const int workers = std::clamp(config.workers, 1, config.num_processors);
+  // Per-processor metric registries: each worker writes only its
+  // processor's, so no locking; merged in index order afterwards, the
+  // totals are worker-count independent.
+  std::vector<obs::Registry> proc_metrics(
+      static_cast<std::size_t>(config.num_processors));
   std::atomic<int> next_processor{0};
   auto drain = [&] {
     for (int p = next_processor.fetch_add(1); p < config.num_processors;
@@ -817,7 +1020,9 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
       run_processor(config, scenario.sched, scenario.faults,
                     windows[static_cast<std::size_t>(p)],
                     per_processor[static_cast<std::size_t>(p)],
-                    &result.processors[static_cast<std::size_t>(p)]);
+                    &result.processors[static_cast<std::size_t>(p)],
+                    &proc_metrics[static_cast<std::size_t>(p)],
+                    recorder.has_value() ? recorder->processor(p) : nullptr);
     }
   };
   std::vector<std::thread> pool;
@@ -947,6 +1152,29 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
       result.encoded_frames > 0
           ? quality_sum / static_cast<double>(result.encoded_frames)
           : 0.0;
+
+  // ----- Observability finalization: merge the per-processor metric
+  // registries in index order, then the control plane's — the result
+  // is a pure function of (scenario, config).
+  for (const obs::Registry& r : proc_metrics) result.metrics.merge(r);
+  obs::Registry control;
+  control.counter("admission_accepted") = result.admitted;
+  control.counter("admission_rejected") = result.rejected;
+  control.counter("admission_migrations") = result.migrated;
+  control.counter("admission_renegotiations") = result.renegotiated_streams;
+  control.counter("admission_restores") = result.restored_streams;
+  control.counter("failover_readmissions") = result.failover_readmissions;
+  control.counter("failover_drops") = result.failover_drops;
+  const sched::EdfScanStats& scan = admission.scan_stats();
+  control.counter("admission_demand_tests") = scan.demand_tests;
+  control.counter("admission_busy_iterations") = scan.busy_iterations;
+  control.counter("admission_check_points") = scan.check_points;
+  result.metrics.merge(control);
+  if (recorder.has_value()) {
+    result.trace = recorder->merged();
+    result.trace_dropped = recorder->dropped();
+  }
+  result.metrics.counter("trace_dropped") = result.trace_dropped;
   return result;
 }
 

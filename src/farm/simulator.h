@@ -51,6 +51,8 @@
 #include "farm/admission.h"
 #include "farm/faults.h"
 #include "farm/scenario.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/simulation.h"
 
 namespace qosctrl::farm {
@@ -65,6 +67,14 @@ struct FarmConfig {
   /// Camera rate at the *default* pacing; a stream whose period is
   /// scaled by factor f runs (and accounts bitrate) at frame_rate / f.
   double frame_rate = 25.0;
+  /// Record a schedule trace (obs/trace.h).  Off by default: with
+  /// trace == false the data plane's emission sites reduce to a branch
+  /// on a null buffer pointer, so the hot loop pays nothing.
+  bool trace = false;
+  /// Events retained per per-processor ring buffer when tracing.  On
+  /// overflow the oldest events are dropped (counted in
+  /// FarmResult::trace_dropped), never silently and never unbounded.
+  int trace_buffer_capacity = 1 << 16;
 };
 
 /// Per-stream fault accounting, summed over the stream's segments
@@ -208,6 +218,18 @@ struct FarmResult {
   double fleet_mean_quality = 0.0;  ///< over encoded frames
   /// Encoded frames per quality level (frame mean quality, rounded).
   std::vector<long long> quality_histogram;
+
+  /// The seed the run was played with (provenance for reports).
+  std::uint64_t farm_seed = 0;
+  /// Always-on metrics: per-processor registries merged in processor
+  /// index order, then the control plane's — a pure function of
+  /// (scenario, config), independent of worker count.
+  obs::Registry metrics;
+  /// Merged schedule trace (empty unless FarmConfig::trace), sorted by
+  /// simulated time with per-processor order preserved on ties.
+  std::vector<obs::TraceEvent> trace;
+  /// Events lost to ring-buffer overflow across all buffers.
+  long long trace_dropped = 0;
 };
 
 /// The budget-epoch list renegotiations currently apply to: the base

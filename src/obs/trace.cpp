@@ -1,0 +1,269 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "encoder/body.h"
+#include "util/check.h"
+
+namespace qosctrl::obs {
+
+TraceBuffer::TraceBuffer(std::uint16_t cpu, std::size_t capacity)
+    : capacity_(capacity), cpu_(cpu) {
+  QC_EXPECT(capacity > 0, "trace buffer capacity must be positive");
+  ring_.reserve(capacity);
+}
+
+void TraceBuffer::push(EventKind kind, rt::Cycles time, std::int32_t stream,
+                       std::int32_t frame, std::int64_t arg,
+                       std::uint32_t aux) {
+  TraceEvent ev;
+  ev.time = time;
+  ev.arg = arg;
+  ev.stream = stream;
+  ev.frame = frame;
+  ev.kind = static_cast<std::uint16_t>(kind);
+  ev.cpu = cpu_;
+  ev.aux = aux;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[pushed_ % capacity_] = ev;  // overwrite the oldest
+  }
+  ++pushed_;
+}
+
+long long TraceBuffer::dropped() const {
+  return static_cast<long long>(pushed_) -
+         static_cast<long long>(ring_.size());
+}
+
+void TraceBuffer::drain_to(std::vector<TraceEvent>* out) const {
+  if (ring_.size() < capacity_) {
+    out->insert(out->end(), ring_.begin(), ring_.end());
+    return;
+  }
+  // Full ring: the oldest retained event sits at pushed_ % capacity_.
+  const std::size_t head = pushed_ % capacity_;
+  out->insert(out->end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+              ring_.end());
+  out->insert(out->end(), ring_.begin(),
+              ring_.begin() + static_cast<std::ptrdiff_t>(head));
+}
+
+TraceRecorder::TraceRecorder(int num_processors,
+                             std::size_t capacity_per_buffer) {
+  QC_EXPECT(num_processors >= 1, "trace recorder needs >= 1 processor");
+  buffers_.reserve(static_cast<std::size_t>(num_processors) + 1);
+  for (int p = 0; p <= num_processors; ++p) {
+    buffers_.emplace_back(static_cast<std::uint16_t>(p),
+                          capacity_per_buffer);
+  }
+}
+
+long long TraceRecorder::dropped() const {
+  long long total = 0;
+  for (const TraceBuffer& b : buffers_) total += b.dropped();
+  return total;
+}
+
+std::vector<TraceEvent> TraceRecorder::merged() const {
+  std::vector<TraceEvent> out;
+  std::size_t total = 0;
+  for (const TraceBuffer& b : buffers_) {
+    total += static_cast<std::size_t>(b.pushed() - b.dropped());
+  }
+  out.reserve(total);
+  // Buffer-major (cpu ascending, emission order within), then a stable
+  // sort by time: ties keep (cpu, sequence) order, so the merge is a
+  // pure function of the buffer contents.
+  for (const TraceBuffer& b : buffers_) b.drain_to(&out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+namespace {
+
+const char* outcome_name(std::uint32_t aux) {
+  switch (static_cast<CompleteOutcome>(aux)) {
+    case CompleteOutcome::kDelivered:
+      return "delivered";
+    case CompleteOutcome::kLost:
+      return "lost";
+    case CompleteOutcome::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+const char* conceal_reason_name(std::uint32_t aux) {
+  switch (static_cast<ConcealReason>(aux)) {
+    case ConcealReason::kQueuedOutage:
+      return "queued_outage";
+    case ConcealReason::kSuspendedOutage:
+      return "suspended_outage";
+    case ConcealReason::kArrivalOutage:
+      return "arrival_outage";
+    case ConcealReason::kQuarantineDrop:
+      return "quarantine_drop";
+  }
+  return "?";
+}
+
+/// Emits one complete Chrome trace-event object.  `frame_name` events
+/// are named "s<stream>/f<frame>" so a stream's service segments line
+/// up under one label per frame.
+void emit(std::ostringstream& os, bool* first, const TraceEvent& e,
+          const char* ph, const std::string& name,
+          const std::string& args) {
+  os << (*first ? "\n" : ",\n") << "{\"name\":\"" << name << "\",\"ph\":\""
+     << ph << "\",\"ts\":" << e.time << ",\"pid\":0,\"tid\":" << e.cpu;
+  if (ph[0] == 'i') os << ",\"s\":\"t\"";
+  if (!args.empty()) os << ",\"args\":{" << args << "}";
+  os << "}";
+  *first = false;
+}
+
+std::string frame_label(const TraceEvent& e) {
+  std::ostringstream os;
+  os << 's' << e.stream << "/f" << e.frame;
+  return os.str();
+}
+
+std::string stream_label(const char* what, const TraceEvent& e) {
+  std::ostringstream os;
+  os << what << " s" << e.stream;
+  return os.str();
+}
+
+std::string one_arg(const char* key, long long v) {
+  std::ostringstream os;
+  os << '"' << key << "\":" << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const std::vector<TraceEvent>& events,
+                                int num_processors) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Timeline row names: one per virtual processor, one control plane.
+  for (int t = 0; t <= num_processors; ++t) {
+    os << (first ? "\n" : ",\n")
+       << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+       << ",\"args\":{\"name\":\""
+       << (t < num_processors ? "cpu " + std::to_string(t)
+                              : std::string("control-plane"))
+       << "\"}}";
+    first = false;
+  }
+  for (const TraceEvent& e : events) {
+    std::ostringstream args;
+    switch (static_cast<EventKind>(e.kind)) {
+      case EventKind::kDispatch:
+        emit(os, &first, e, "B", frame_label(e),
+             one_arg("deadline", e.arg));
+        break;
+      case EventKind::kResume:
+        emit(os, &first, e, "B", frame_label(e),
+             one_arg("remaining", e.arg));
+        break;
+      case EventKind::kPreempt:
+        emit(os, &first, e, "E", frame_label(e),
+             one_arg("remaining", e.arg));
+        break;
+      case EventKind::kComplete:
+        args << one_arg("cycles", e.arg) << ",\"outcome\":\""
+             << outcome_name(e.aux) << '"';
+        emit(os, &first, e, "E", frame_label(e), args.str());
+        break;
+      case EventKind::kConcealService:
+        args << one_arg("cycles", e.arg) << ",\"outcome\":\"concealed\"";
+        emit(os, &first, e, "E", frame_label(e), args.str());
+        break;
+      case EventKind::kDeadlineMiss:
+        emit(os, &first, e, "i", "deadline_miss " + frame_label(e),
+             one_arg("lateness", e.arg));
+        break;
+      case EventKind::kEpochClose:
+        emit(os, &first, e, "i", stream_label("epoch_close", e),
+             one_arg("budget", e.arg));
+        break;
+      case EventKind::kEpochOpen:
+        emit(os, &first, e, "i", stream_label("epoch_open", e),
+             one_arg("budget", e.arg));
+        break;
+      case EventKind::kAdmit:
+        args << one_arg("budget", e.arg) << ','
+             << one_arg("processor", e.aux);
+        emit(os, &first, e, "i", stream_label("admit", e), args.str());
+        break;
+      case EventKind::kReject:
+        emit(os, &first, e, "i", stream_label("reject", e), "");
+        break;
+      case EventKind::kRenegotiate:
+        emit(os, &first, e, "i", stream_label("renegotiate", e),
+             one_arg("budget", e.arg));
+        break;
+      case EventKind::kRestore:
+        emit(os, &first, e, "i", stream_label("restore", e),
+             one_arg("budget", e.arg));
+        break;
+      case EventKind::kMigrate:
+        emit(os, &first, e, "i", stream_label("migrate", e),
+             one_arg("processor", e.aux));
+        break;
+      case EventKind::kFailover:
+        args << one_arg("processor", e.aux) << ','
+             << one_arg("budget", e.arg);
+        emit(os, &first, e, "i", stream_label("failover", e), args.str());
+        break;
+      case EventKind::kFailoverDrop:
+        emit(os, &first, e, "i", stream_label("failover_drop", e), "");
+        break;
+      case EventKind::kProcFail:
+        emit(os, &first, e, "i", "processor_fail",
+             one_arg("permanent", e.aux));
+        break;
+      case EventKind::kProcRepair:
+        emit(os, &first, e, "i", "processor_repair", "");
+        break;
+      case EventKind::kFaultInject:
+        emit(os, &first, e, "i", "overrun " + frame_label(e),
+             one_arg("demand", e.arg));
+        break;
+      case EventKind::kConceal:
+        args << "\"reason\":\"" << conceal_reason_name(e.aux) << '"';
+        emit(os, &first, e, "i", "conceal " + frame_label(e), args.str());
+        break;
+      case EventKind::kQuarantine:
+        emit(os, &first, e, "i", stream_label("quarantine", e),
+             one_arg("until", e.arg));
+        break;
+      case EventKind::kQueueDepth:
+        emit(os, &first, e, "C",
+             "queue_depth/cpu" + std::to_string(e.cpu),
+             one_arg("frames", e.arg));
+        break;
+      case EventKind::kPhaseCycles:
+        emit(os, &first, e, "C",
+             std::string("phase_") +
+                 enc::encode_phase_name(
+                     static_cast<enc::EncodePhase>(e.aux)) +
+                 "/cpu" + std::to_string(e.cpu),
+             one_arg("cycles", e.arg));
+        break;
+      case EventKind::kNone:
+        break;
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace qosctrl::obs

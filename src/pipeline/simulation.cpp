@@ -195,6 +195,7 @@ FrameRecord StreamSession::encode(int index, rt::Cycles t0) {
   rec.index = index;
   rec.scene_cut = video_.is_scene_cut(index);
   rec.encode_cycles = stats.encode_cycles;
+  rec.phase_cycles = stats.phase_cycles;
   rec.start_lag = t0;
   rec.psnr = stats.psnr;
   rec.ssim = stats.ssim;
@@ -369,6 +370,9 @@ PipelineResult aggregate_records(std::vector<FrameRecord> frames,
     ++encoded;
     psnr_enc += rec.psnr;
     cycles += static_cast<double>(rec.encode_cycles);
+    for (std::size_t ph = 0; ph < rec.phase_cycles.size(); ++ph) {
+      result.phase_cycles[ph] += static_cast<long long>(rec.phase_cycles[ph]);
+    }
     quality += rec.mean_quality;
     result.total_bits += rec.bits;
     util += static_cast<double>(rec.encode_cycles) /

@@ -91,6 +91,10 @@ struct FrameRecord {
   bool aborted = false;  ///< cut off at the committed budget
   bool lost = false;     ///< encoded output dropped before the decoder
   rt::Cycles encode_cycles = 0;  ///< 0 for skipped frames
+  /// encode_cycles split over the four EncodePhase stages.  Attributes
+  /// the honest encode work: policer cut-offs and overrun inflation
+  /// adjust encode_cycles but never the phase split.
+  std::array<rt::Cycles, enc::kNumEncodePhases> phase_cycles{};
   rt::Cycles start_lag = 0;      ///< start - arrival (buffer wait)
   double psnr = 0.0;             ///< vs displayed output
   double ssim = 0.0;             ///< vs displayed output
@@ -129,6 +133,9 @@ struct PipelineResult {
   QualitySeriesStats psnr_stats;   ///< mean/p5/min over all frames
   QualitySeriesStats ssim_stats;
   double mean_encode_cycles = 0.0;
+  /// Total cycles per EncodePhase over encoded frames — the profiling
+  /// breakdown surfaced in reports and trace counter tracks.
+  std::array<long long, enc::kNumEncodePhases> phase_cycles{};
   std::int64_t total_bits = 0;
   double achieved_bps = 0.0;
   double mean_quality = 0.0;  ///< over encoded frames

@@ -30,7 +30,8 @@ double np_utilization(const std::vector<NpTask>& tasks) {
 }
 
 bool edf_demand_schedulable(const std::vector<NpTask>& tasks,
-                            rt::Cycles max_blocking) {
+                            rt::Cycles max_blocking, EdfScanStats* stats) {
+  if (stats != nullptr) ++stats->demand_tests;
   if (tasks.empty()) return true;
   rt::Cycles total_cost = 0;
   for (const NpTask& t : tasks) {
@@ -47,6 +48,7 @@ bool edf_demand_schedulable(const std::vector<NpTask>& tasks,
   rt::Cycles busy = total_cost;
   bool converged = false;
   for (int it = 0; it < kEdfMaxBusyIterations; ++it) {
+    if (stats != nullptr) ++stats->busy_iterations;
     const rt::Cycles next = request_bound(tasks, busy);
     if (next == busy) {
       converged = true;
@@ -71,6 +73,9 @@ bool edf_demand_schedulable(const std::vector<NpTask>& tasks,
   std::sort(points.begin(), points.end());
   points.erase(std::unique(points.begin(), points.end()), points.end());
 
+  if (stats != nullptr) {
+    stats->check_points += static_cast<long long>(points.size());
+  }
   for (const rt::Cycles p : points) {
     rt::Cycles demand = 0;
     rt::Cycles blocking = 0;
@@ -90,8 +95,9 @@ bool edf_demand_schedulable(const std::vector<NpTask>& tasks,
   return true;
 }
 
-bool np_edf_schedulable(const std::vector<NpTask>& tasks) {
-  return edf_demand_schedulable(tasks, kUncappedBlocking);
+bool np_edf_schedulable(const std::vector<NpTask>& tasks,
+                        EdfScanStats* stats) {
+  return edf_demand_schedulable(tasks, kUncappedBlocking, stats);
 }
 
 }  // namespace qosctrl::sched

@@ -76,18 +76,32 @@ inline constexpr rt::Cycles kUncappedBlocking = rt::kNoDeadline;
 /// Total utilization sum(C_i / T_i).
 double np_utilization(const std::vector<NpTask>& tasks);
 
+/// Work accounting for one or more demand scans — how much the
+/// control plane actually computed to reach its admission verdicts.
+/// Accumulated (never reset) by the tests below when a non-null
+/// pointer is passed, so one instance can meter a whole admission
+/// session.
+struct EdfScanStats {
+  long long demand_tests = 0;     ///< edf_demand_schedulable calls
+  long long busy_iterations = 0;  ///< busy-period fixpoint steps
+  long long check_points = 0;     ///< deadline check points evaluated
+};
+
 /// Processor-demand criterion with the blocking term capped at
 /// `max_blocking` (see the file comment): 0 = fully preemptive EDF,
 /// kUncappedBlocking = non-preemptive EDF, a quantum length between.
 /// The empty set is schedulable.  Requires cost >= 0, period > 0 for
 /// every task; a task with cost > deadline is trivially
-/// unschedulable.  Subject to the scan caps above.
+/// unschedulable.  Subject to the scan caps above.  `stats`, when
+/// non-null, accumulates the scan work done.
 bool edf_demand_schedulable(const std::vector<NpTask>& tasks,
-                            rt::Cycles max_blocking);
+                            rt::Cycles max_blocking,
+                            EdfScanStats* stats = nullptr);
 
 /// True when the task set is schedulable by non-preemptive EDF on one
 /// processor — edf_demand_schedulable with the uncapped blocking
 /// term.  Sufficient; subject to the scan caps above.
-bool np_edf_schedulable(const std::vector<NpTask>& tasks);
+bool np_edf_schedulable(const std::vector<NpTask>& tasks,
+                        EdfScanStats* stats = nullptr);
 
 }  // namespace qosctrl::sched

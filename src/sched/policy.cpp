@@ -12,8 +12,9 @@ class NonPreemptiveEdfPolicy final : public SchedPolicy {
   explicit NonPreemptiveEdfPolicy(const PolicyParams& params)
       : SchedPolicy(params) {}
   PolicyKind kind() const override { return PolicyKind::kNonPreemptiveEdf; }
-  bool schedulable(const std::vector<NpTask>& tasks) const override {
-    return np_edf_schedulable(tasks);
+  bool schedulable(const std::vector<NpTask>& tasks,
+                   EdfScanStats* stats) const override {
+    return np_edf_schedulable(tasks, stats);
   }
   rt::Cycles preemption_point(rt::Cycles, rt::Cycles) const override {
     return kNeverPreempts;
@@ -25,8 +26,10 @@ class PreemptiveEdfPolicy final : public SchedPolicy {
   explicit PreemptiveEdfPolicy(const PolicyParams& params)
       : SchedPolicy(params) {}
   PolicyKind kind() const override { return PolicyKind::kPreemptiveEdf; }
-  bool schedulable(const std::vector<NpTask>& tasks) const override {
-    return preemptive_edf_schedulable(tasks, params_.context_switch_cost);
+  bool schedulable(const std::vector<NpTask>& tasks,
+                   EdfScanStats* stats) const override {
+    return preemptive_edf_schedulable(tasks, params_.context_switch_cost,
+                                      stats);
   }
   rt::Cycles preemption_point(rt::Cycles, rt::Cycles now) const override {
     return now;
@@ -38,9 +41,10 @@ class QuantumEdfPolicy final : public SchedPolicy {
   explicit QuantumEdfPolicy(const PolicyParams& params)
       : SchedPolicy(params) {}
   PolicyKind kind() const override { return PolicyKind::kQuantumEdf; }
-  bool schedulable(const std::vector<NpTask>& tasks) const override {
+  bool schedulable(const std::vector<NpTask>& tasks,
+                   EdfScanStats* stats) const override {
     return quantum_edf_schedulable(tasks, params_.quantum,
-                                   params_.context_switch_cost);
+                                   params_.context_switch_cost, stats);
   }
   rt::Cycles preemption_point(rt::Cycles dispatched_at,
                               rt::Cycles now) const override {

@@ -71,8 +71,11 @@ class SchedPolicy {
 
   /// Admission test: the committed task set is schedulable on one
   /// processor under this discipline (context-switch overhead
-  /// included).  Sufficient, never optimistic.
-  virtual bool schedulable(const std::vector<NpTask>& tasks) const = 0;
+  /// included).  Sufficient, never optimistic.  `stats`, when
+  /// non-null, accumulates the demand-scan work performed — the
+  /// control-plane profiling hook behind the admission_* counters.
+  virtual bool schedulable(const std::vector<NpTask>& tasks,
+                           EdfScanStats* stats = nullptr) const = 0;
 
   /// Run-queue semantics: the earliest instant >= `now` at which the
   /// job whose current service segment started at `dispatched_at` may

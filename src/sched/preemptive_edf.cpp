@@ -19,15 +19,17 @@ std::vector<NpTask> inflate(const std::vector<NpTask>& tasks,
 }  // namespace
 
 bool preemptive_edf_schedulable(const std::vector<NpTask>& tasks,
-                                rt::Cycles context_switch) {
-  return edf_demand_schedulable(inflate(tasks, context_switch), 0);
+                                rt::Cycles context_switch,
+                                EdfScanStats* stats) {
+  return edf_demand_schedulable(inflate(tasks, context_switch), 0, stats);
 }
 
 bool quantum_edf_schedulable(const std::vector<NpTask>& tasks,
-                             rt::Cycles quantum,
-                             rt::Cycles context_switch) {
+                             rt::Cycles quantum, rt::Cycles context_switch,
+                             EdfScanStats* stats) {
   QC_EXPECT(quantum > 0, "quantum must be positive");
-  return edf_demand_schedulable(inflate(tasks, context_switch), quantum);
+  return edf_demand_schedulable(inflate(tasks, context_switch), quantum,
+                                stats);
 }
 
 }  // namespace qosctrl::sched

@@ -45,7 +45,8 @@ namespace qosctrl::sched {
 /// 2 * context_switch (see the file comment).  Sufficient (exact when
 /// context_switch == 0); subject to the np_edf scan caps.
 bool preemptive_edf_schedulable(const std::vector<NpTask>& tasks,
-                                rt::Cycles context_switch = 0);
+                                rt::Cycles context_switch = 0,
+                                EdfScanStats* stats = nullptr);
 
 /// Quantum-sliced EDF: preemption only at quantum boundaries, so the
 /// blocking term is capped at `quantum` (> 0 required).  Converges to
@@ -54,6 +55,7 @@ bool preemptive_edf_schedulable(const std::vector<NpTask>& tasks,
 /// the np_edf scan caps.
 bool quantum_edf_schedulable(const std::vector<NpTask>& tasks,
                              rt::Cycles quantum,
-                             rt::Cycles context_switch = 0);
+                             rt::Cycles context_switch = 0,
+                             EdfScanStats* stats = nullptr);
 
 }  // namespace qosctrl::sched

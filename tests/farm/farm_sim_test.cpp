@@ -187,8 +187,19 @@ TEST(FarmSim, ExportsMentionKeyFields) {
   EXPECT_NE(json.find("\"quality_histogram\""), std::string::npos);
   const std::string csv = to_csv(r);
   EXPECT_NE(csv.find("id,mode,"), std::string::npos);
-  // Header plus one row per stream.
-  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  // The stream table: header plus one row per stream, terminated by
+  // the blank line that separates it from the metrics table.
+  const std::size_t stream_table_end = csv.find("\n\n");
+  ASSERT_NE(stream_table_end, std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(),
+                       csv.begin() + static_cast<std::ptrdiff_t>(
+                                         stream_table_end + 1),
+            '\n'),
+            3);
+  EXPECT_NE(csv.find("metric,kind,count,sum,min,max,p50,p95,p99"),
+            std::string::npos);
+  EXPECT_NE(csv.find("frames_completed,counter,"), std::string::npos);
+  EXPECT_NE(csv.find("frame_latency_cycles,histogram,"), std::string::npos);
   const std::string sum = summarize(r);
   EXPECT_NE(sum.find("admitted="), std::string::npos);
   EXPECT_NE(sum.find("proc 0:"), std::string::npos);

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace qosctrl::obs {
+namespace {
+
+TEST(TraceBuffer, EventLayoutIsPinned) {
+  // The 32-byte POD layout is the unit of the byte-identity contract.
+  static_assert(sizeof(TraceEvent) == 32);
+  EXPECT_EQ(sizeof(TraceEvent), 32u);
+}
+
+TEST(TraceBuffer, RetainsEmissionOrderBelowCapacity) {
+  TraceBuffer b(0, 8);
+  for (int i = 0; i < 5; ++i) {
+    b.push(EventKind::kDispatch, static_cast<rt::Cycles>(i * 10), i, 0, 0);
+  }
+  EXPECT_EQ(b.pushed(), 5);
+  EXPECT_EQ(b.dropped(), 0);
+  std::vector<TraceEvent> out;
+  b.drain_to(&out);
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)].stream, i);
+}
+
+TEST(TraceBuffer, OverflowDropsOldestAndCounts) {
+  TraceBuffer b(0, 4);
+  for (int i = 0; i < 10; ++i) {
+    b.push(EventKind::kDispatch, static_cast<rt::Cycles>(i), i, 0, 0);
+  }
+  EXPECT_EQ(b.pushed(), 10);
+  EXPECT_EQ(b.dropped(), 6);  // never silent
+  std::vector<TraceEvent> out;
+  b.drain_to(&out);
+  ASSERT_EQ(out.size(), 4u);
+  // The four *newest* events survive, oldest-first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].stream, 6 + i);
+  }
+}
+
+TEST(TraceRecorder, MergeOrdersByTimeThenBufferId) {
+  TraceRecorder rec(2, 16);
+  // Same timestamp on both processors and the control plane: the
+  // stable merge must break the tie by buffer id (cpu 0, cpu 1,
+  // control), independent of push interleaving across buffers.
+  rec.processor(1)->push(EventKind::kDispatch, 100, 11, 0, 0);
+  rec.control()->push(EventKind::kAdmit, 100, 22, -1, 0);
+  rec.processor(0)->push(EventKind::kDispatch, 100, 33, 0, 0);
+  rec.processor(0)->push(EventKind::kComplete, 50, 44, 0, 0);
+
+  const std::vector<TraceEvent> merged = rec.merged();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].stream, 44);  // earliest time first
+  EXPECT_EQ(merged[1].stream, 33);  // then cpu 0 at t=100
+  EXPECT_EQ(merged[2].stream, 11);  // then cpu 1
+  EXPECT_EQ(merged[3].stream, 22);  // control plane last
+  EXPECT_EQ(rec.dropped(), 0);
+}
+
+TEST(ChromeExport, NamesEveryTimelineAndPairsBWithE) {
+  TraceRecorder rec(1, 16);
+  TraceBuffer* cpu = rec.processor(0);
+  cpu->push(EventKind::kDispatch, 10, 3, 0, /*deadline=*/500);
+  cpu->push(EventKind::kPreempt, 40, 3, 0, /*remaining=*/20);
+  cpu->push(EventKind::kResume, 60, 3, 0, /*remaining=*/20);
+  cpu->push(EventKind::kComplete, 80, 3, 0, /*cycles=*/50,
+            static_cast<std::uint32_t>(CompleteOutcome::kDelivered));
+  rec.control()->push(EventKind::kAdmit, 5, 3, -1, /*budget=*/1000, 0);
+
+  const std::string json = export_chrome_trace(rec.merged(), 1);
+  // Metadata rows for cpu 0 and the control plane.
+  EXPECT_NE(json.find("\"name\":\"cpu 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"control-plane\""), std::string::npos);
+  // The service segment: B at dispatch and resume, E at preempt and
+  // complete, all under the same frame label on tid 0.
+  EXPECT_NE(json.find("{\"name\":\"s3/f0\",\"ph\":\"B\",\"ts\":10"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"s3/f0\",\"ph\":\"E\",\"ts\":40"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"s3/f0\",\"ph\":\"B\",\"ts\":60"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"s3/f0\",\"ph\":\"E\",\"ts\":80"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"delivered\""), std::string::npos);
+  // The admission instant lands on the control-plane row (tid 1).
+  EXPECT_NE(json.find("{\"name\":\"admit s3\",\"ph\":\"i\",\"ts\":5,"
+                      "\"pid\":0,\"tid\":1,\"s\":\"t\""),
+            std::string::npos);
+  // Exactly as many B as E events: the timeline nests.
+  std::size_t bs = 0, es = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos) {
+    ++bs;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos) {
+    ++es;
+    ++pos;
+  }
+  EXPECT_EQ(bs, 2u);
+  EXPECT_EQ(es, 2u);
+}
+
+TEST(ChromeExport, EmptyTraceIsStillWellFormed) {
+  const std::string json = export_chrome_trace({}, 2);
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("]}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"cpu 1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qosctrl::obs

@@ -50,12 +50,25 @@ def load_means(path):
     return means
 
 
-def write_step_summary(rows, scale, max_slowdown, failures):
+def write_step_summary(rows, scale, max_slowdown, failures, missing,
+                       added):
     """Append the per-kernel delta table to $GITHUB_STEP_SUMMARY."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
         return
     lines = ["## Bench regression check", ""]
+    if missing:
+        lines.append(
+            f":x: **{len(missing)} tracked benchmark(s) disappeared "
+            f"from the current run:** {', '.join(missing)}"
+        )
+        lines.append("")
+    if added:
+        lines.append(
+            f"New benchmarks not in the baseline (untracked until the "
+            f"baseline is refreshed): {', '.join(added)}"
+        )
+        lines.append("")
     if scale != 1.0:
         lines.append(
             f"Machine-speed normalization: median ratio **{scale:.3f}** "
@@ -113,7 +126,20 @@ def main():
 
     base = load_means(args.baseline)
     cur = load_means(args.current)
+    pattern = re.compile(args.benchmarks)
     shared = sorted(set(base) & set(cur))
+
+    # A tracked benchmark that vanished from the current run is a
+    # regression in its own right (renamed, deleted, or silently not
+    # built) — it must not pass just because there is nothing left to
+    # compare.  New benchmarks are fine but called out: they are
+    # invisible to the gate until the baseline is refreshed.
+    missing = sorted(n for n in base if pattern.search(n) and n not in cur)
+    added = sorted(n for n in cur if n not in base)
+    if added:
+        print(f"note: {len(added)} benchmark(s) not in the baseline "
+              f"(untracked): {', '.join(added)}")
+
     if not shared:
         print("error: no shared benchmark aggregates between the files")
         return 2
@@ -130,7 +156,6 @@ def main():
         print(f"machine-speed normalization: median ratio {scale:.3f} "
               f"over {len(ordered)} shared benchmarks")
 
-    pattern = re.compile(args.benchmarks)
     tracked = [n for n in shared if n in ratios and pattern.search(n)]
     if not tracked:
         print(f"error: no shared benchmarks match /{args.benchmarks}/")
@@ -153,8 +178,13 @@ def main():
         if norm > args.max_slowdown:
             failures.append(name)
 
-    write_step_summary(rows, scale, args.max_slowdown, failures)
+    write_step_summary(rows, scale, args.max_slowdown, failures, missing,
+                       added)
 
+    if missing:
+        print(f"\nerror: {len(missing)} tracked benchmark(s) missing "
+              f"from the current run: {', '.join(missing)}")
+        return 1
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed beyond "
               f"x{args.max_slowdown}: {', '.join(failures)}")

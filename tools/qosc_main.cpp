@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/buildinfo.h"
 #include "qos/slack_tables.h"
 #include "sched/edf.h"
 #include "toolgen/codegen.h"
@@ -96,6 +97,10 @@ int main(int argc, char** argv) {
   // subcommand or a missing spec argument prints usage and exits
   // nonzero instead of half-working.
   if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", obs::version_line("qosc").c_str());
+    return 0;
+  }
   const char* command = argv[1];
   const bool known = std::strcmp(command, "check") == 0 ||
                      std::strcmp(command, "report") == 0 ||

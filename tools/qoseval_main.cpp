@@ -46,6 +46,7 @@
 
 #include "cli_util.h"
 #include "farm/faults.h"
+#include "obs/buildinfo.h"
 #include "quality/qoseval.h"
 
 namespace {
@@ -96,6 +97,10 @@ bool parse_policy_list(const char* s, std::vector<sched::PolicyKind>* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", obs::version_line("qoseval").c_str());
+    return 0;
+  }
   if (argc < 2 || std::strcmp(argv[1], "sweep") != 0) return usage();
 
   quality::SweepConfig sweep;

@@ -29,7 +29,14 @@
 //                     (default: platform::kMigrationCycles)
 //   --json PATH       write the JSON report
 //   --csv PATH        write the per-stream CSV
+//   --trace PATH      record a deterministic schedule trace and write
+//                     it as Chrome trace-event JSON (open in Perfetto)
+//   --trace-buf N     trace ring-buffer capacity per processor
+//                     (default 65536 events; oldest dropped on overflow)
 //   --quiet           suppress the human-readable report
+//
+//   qosfarm --version prints build provenance (git describe, compiler,
+//   active SIMD backend) and exits.
 //
 // Fault injection (see src/farm/faults.h for the fault model):
 //   --faults LIST     enable fault classes with their defaults; LIST is
@@ -60,6 +67,8 @@
 #include "farm/load_gen.h"
 #include "farm/metrics.h"
 #include "farm/simulator.h"
+#include "obs/buildinfo.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -84,7 +93,9 @@ int usage() {
       "                   [--overrun-policy abort|downgrade|quarantine]\n"
       "                   [--overrun-strikes N] [--loss-prob F]\n"
       "                   [--fail P@T[+R]] [--fault-seed S]\n"
-      "                   [--json PATH] [--csv PATH] [--quiet]\n");
+      "                   [--json PATH] [--csv PATH]\n"
+      "                   [--trace PATH] [--trace-buf N] [--quiet]\n"
+      "       qosfarm --version\n");
   return 2;
 }
 
@@ -137,6 +148,10 @@ bool enable_fault_classes(const char* s, farm::FaultSpec* faults) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", obs::version_line("qosfarm").c_str());
+    return 0;
+  }
   if (argc < 2 || std::strcmp(argv[1], "run") != 0) return usage();
 
   farm::LoadGenConfig load;
@@ -148,6 +163,7 @@ int main(int argc, char** argv) {
   farm::FaultSpec faults;
   const char* json_path = nullptr;
   const char* csv_path = nullptr;
+  const char* trace_path = nullptr;
   bool quiet = false;
 
   for (int i = 2; i < argc; ++i) {
@@ -249,6 +265,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--csv") == 0) {
       csv_path = value();
       if (!csv_path) return usage();
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace_path = value();
+      if (!trace_path) return usage();
+      cfg.trace = true;
+    } else if (std::strcmp(arg, "--trace-buf") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &cfg.trace_buffer_capacity) ||
+          cfg.trace_buffer_capacity < 1) {
+        return usage();
+      }
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
     } else {
@@ -292,5 +318,10 @@ int main(int argc, char** argv) {
   }
   if (json_path && !write_file(json_path, farm::to_json(result))) return 1;
   if (csv_path && !write_file(csv_path, farm::to_csv(result))) return 1;
+  if (trace_path &&
+      !write_file(trace_path, obs::export_chrome_trace(
+                                  result.trace, cfg.num_processors))) {
+    return 1;
+  }
   return 0;
 }

@@ -5,7 +5,8 @@
 # inverse DCT, motion search, the table-driven controller decision,
 # and the encoder-farm throughput (BM_FarmThroughput* items_per_second
 # = simulated stream-frames per wall-second; the Preemptive / Quantum
-# suffixes run the same load under those scheduling policies) — is
+# suffixes run the same load under those scheduling policies, Faults
+# adds the injection chain, Traced turns the schedule trace on) — is
 # tracked across PRs.
 #
 # Usage: tools/run_bench.sh [build-dir] [output.json]
@@ -20,7 +21,7 @@ cmake -B "$BUILD_DIR" -S "$ROOT" -DQOSCTRL_BUILD_BENCHES=ON \
 cmake --build "$BUILD_DIR" --target bench_micro -j "$(nproc)" >/dev/null
 
 "$BUILD_DIR/bench_micro" \
-    --benchmark_filter='BM_(SadMacroblock|HalfpelInterp|ForwardDct8|InverseDct8|MotionSearch|TableControllerDecision|PsnrFrame|SsimFrame|FarmThroughput(Preemptive|Quantum|Faults)?)' \
+    --benchmark_filter='BM_(SadMacroblock|HalfpelInterp|ForwardDct8|InverseDct8|MotionSearch|TableControllerDecision|PsnrFrame|SsimFrame|FarmThroughput(Preemptive|Quantum|Faults|Traced)?)' \
     --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=true \
     --benchmark_out_format=json \

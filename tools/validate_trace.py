@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a qosfarm Chrome trace-event JSON file.
+
+Checks that the file is loadable JSON in the trace-event "JSON object
+format" and that the schedule timeline obeys the simulator's
+invariants, so a regression in the trace emitter fails CI instead of
+producing a file Perfetto renders as garbage:
+
+  * every event has name/ph/pid/tid, and a numeric ts unless it is
+    "M" metadata;
+  * per tid, timestamps never decrease (the merge is stable-sorted);
+  * per tid, "B"/"E" strictly alternate — each virtual processor runs
+    one job at a time, so slice depth is at most 1, every "E" closes
+    the "B" of the same frame label, and no slice is left open at the
+    end of the trace (a completed run terminates every service
+    segment);
+  * instant events carry the scope field "s".
+
+Usage: validate_trace.py TRACE.json
+Exits 0 and prints a one-line summary when the trace is valid,
+otherwise prints the violation and exits 1.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: validate_trace.py TRACE.json", file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing top-level traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not an array")
+
+    last_ts = {}   # tid -> last timestamp seen
+    open_b = {}    # tid -> name of the open "B" slice, if any
+    counts = {"B": 0, "E": 0, "i": 0, "C": 0, "M": 0}
+
+    for idx, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {idx}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {idx}: missing required key '{key}'")
+        ph = ev["ph"]
+        if ph not in counts:
+            fail(f"event {idx}: unexpected phase {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            continue  # metadata rows carry no timestamp
+
+        if "ts" not in ev or not isinstance(ev["ts"], int):
+            fail(f"event {idx} ({ev['name']}): missing integer ts")
+        tid, ts = ev["tid"], ev["ts"]
+        if ts < last_ts.get(tid, 0):
+            fail(
+                f"event {idx} ({ev['name']}): ts {ts} < {last_ts[tid]} "
+                f"on tid {tid} — merge order broken"
+            )
+        last_ts[tid] = ts
+
+        if ph == "i" and ev.get("s") != "t":
+            fail(f"event {idx} ({ev['name']}): instant without scope s=t")
+        elif ph == "B":
+            if tid in open_b:
+                fail(
+                    f"event {idx} ({ev['name']}): B while "
+                    f"{open_b[tid]!r} still open on tid {tid} — a "
+                    f"processor runs one job at a time"
+                )
+            open_b[tid] = ev["name"]
+        elif ph == "E":
+            if tid not in open_b:
+                fail(f"event {idx} ({ev['name']}): E with no open B on tid {tid}")
+            if open_b[tid] != ev["name"]:
+                fail(
+                    f"event {idx}: E for {ev['name']!r} but open slice "
+                    f"is {open_b[tid]!r} on tid {tid}"
+                )
+            del open_b[tid]
+
+    if open_b:
+        leftovers = ", ".join(
+            f"{name!r} on tid {tid}" for tid, name in sorted(open_b.items())
+        )
+        fail(f"unterminated service segments at end of trace: {leftovers}")
+
+    print(
+        f"validate_trace: OK: {len(events)} events "
+        f"(B={counts['B']} E={counts['E']} i={counts['i']} "
+        f"C={counts['C']} M={counts['M']}) across {len(last_ts)} timelines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
