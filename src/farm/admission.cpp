@@ -56,6 +56,45 @@ AdmissionController::AdmissionController(int num_processors,
             "max stream share must be in (0, 1]");
   committed_.resize(static_cast<std::size_t>(num_processors));
   failed_.resize(static_cast<std::size_t>(num_processors), false);
+  demand_.resize(static_cast<std::size_t>(num_processors));
+}
+
+AdmissionController::CachedDemand& AdmissionController::demand(
+    int p) const {
+  CachedDemand& d = demand_[static_cast<std::size_t>(p)];
+  if (d.dirty) {
+    const auto& cs = committed_[static_cast<std::size_t>(p)];
+    d.tasks.clear();
+    d.tasks.reserve(cs.size() + 1);
+    d.util = 0.0;
+    for (const Commitment& c : cs) {
+      d.tasks.push_back(c.task);
+      // Same left-fold addition order as a fresh np_utilization scan
+      // over the same task order: cap comparisons stay bit-identical.
+      d.util += static_cast<double>(c.task.cost) /
+                static_cast<double>(c.task.period);
+    }
+    d.busy_hint = 0;
+    d.dirty = false;
+  }
+  return d;
+}
+
+void AdmissionController::demand_invalidate(int p) {
+  demand_[static_cast<std::size_t>(p)].dirty = true;
+}
+
+void AdmissionController::demand_append(int p,
+                                        const sched::NpTask& task) {
+  CachedDemand& d = demand_[static_cast<std::size_t>(p)];
+  if (!d.dirty) {
+    d.tasks.push_back(task);
+    d.util += static_cast<double>(task.cost) /
+              static_cast<double>(task.period);
+  }
+  // The admitting test ran over exactly the new committed set, so its
+  // busy length is this set's true busy length — the best warm seed.
+  d.busy_hint = last_test_busy_;
 }
 
 void AdmissionController::fail_processor(int processor) {
@@ -120,13 +159,19 @@ int AdmissionController::least_loaded() const {
 
 bool AdmissionController::fits(int p, const sched::NpTask& candidate) const {
   if (failed_[static_cast<std::size_t>(p)]) return false;
-  std::vector<sched::NpTask> tasks;
-  const auto& cs = committed_.at(static_cast<std::size_t>(p));
-  tasks.reserve(cs.size() + 1);
-  for (const Commitment& c : cs) tasks.push_back(c.task);
-  tasks.push_back(candidate);
-  if (sched::np_utilization(tasks) > config_.utilization_cap) return false;
-  return policy_->schedulable(tasks, &scan_stats_);
+  CachedDemand& d = demand(p);
+  // Candidate last, exactly where the old full rebuild put it.
+  const double util =
+      d.util + static_cast<double>(candidate.cost) /
+                   static_cast<double>(candidate.period);
+  if (util > config_.utilization_cap) return false;
+  d.tasks.push_back(candidate);
+  last_test_busy_ = 0;
+  const sched::DemandQuery query{&scan_stats_, d.busy_hint,
+                                 &last_test_busy_};
+  const bool ok = policy_->schedulable(d.tasks, query);
+  d.tasks.pop_back();
+  return ok;
 }
 
 std::vector<rt::Cycles> AdmissionController::controlled_candidates(
@@ -174,6 +219,8 @@ void AdmissionController::commit_and_fill(
   c.desired_budget = table_budget;
   c.migration_surcharge = p != preferred ? config_.migration_cost : 0;
   committed_[static_cast<std::size_t>(p)].push_back(std::move(c));
+  host_of_[spec.id].push_back(p);
+  demand_append(p, task);
   out->admitted = true;
   out->processor = p;
   out->committed_cost = task.cost;
@@ -262,10 +309,12 @@ bool AdmissionController::try_place_renegotiating(const StreamSpec& spec,
       }
       victim->table_budget = next;
       victim->task.cost = next + victim->migration_surcharge;
+      demand_invalidate(p);
       ok = fits(p, task);
     }
     if (!ok) {
       cs = saved;  // roll back this processor's shrinks
+      demand_invalidate(p);
       continue;
     }
 
@@ -289,6 +338,87 @@ bool AdmissionController::try_place_renegotiating(const StreamSpec& spec,
   return false;
 }
 
+bool AdmissionController::try_place_split(const StreamSpec& spec,
+                                          rt::Cycles table_budget,
+                                          rt::Cycles cost, Placement* out) {
+  if (!sched_.split || num_processors() < 2 || cost < 2) return false;
+  const int mb = macroblocks_of(spec);
+  auto system = tables_->get(mb, table_budget);
+  if (system->tables->max_initial_delay() < 0) return false;
+
+  const rt::Cycles latency = latency_of(spec);
+  const rt::Cycles period = period_of(spec);
+  for (int a = 0; a + 1 < num_processors(); ++a) {
+    if (failed_[static_cast<std::size_t>(a)]) continue;
+    // Largest zero-slack head piece processor `a` admits.  The
+    // schedulability of (C1, D = C1, T = P) is not monotone in C1 in
+    // general, so the binary search is a heuristic for picking C1 —
+    // but every kept midpoint passed the real demand test, so the
+    // chosen head is always genuinely admissible.
+    rt::Cycles lo = 1;
+    rt::Cycles hi = cost - 1;  // head < cost: a genuine split
+    rt::Cycles head = 0;
+    while (lo <= hi) {
+      const rt::Cycles mid = lo + (hi - lo) / 2;
+      if (fits(a, sched::NpTask{mid, mid, period})) {
+        head = mid;
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    if (head <= 0) continue;
+
+    // Shrinking the head moves cost and deadline of the tail by the
+    // same amount (its slack is the constant K*P - C - migration), so
+    // there is nothing to search on the tail side: try the remainder
+    // on every higher-indexed processor.  The index order — head
+    // below tail — is what lets the data plane simulate handoff
+    // sources before sinks.
+    const sched::NpTask tail{cost - head + config_.migration_cost,
+                             latency - head, period};
+    for (int b = a + 1; b < num_processors(); ++b) {
+      if (failed_[static_cast<std::size_t>(b)]) continue;
+      if (!fits(b, tail)) continue;
+
+      const sched::NpTask head_task{head, head, period};
+      Commitment piece;
+      piece.stream_id = spec.id;
+      piece.task = head_task;
+      piece.controlled = false;  // split pieces never renegotiate
+      piece.macroblocks = mb;
+      piece.table_budget = table_budget;
+      piece.min_budget = tables_->min_budget(mb);
+      piece.desired_budget = table_budget;
+      piece.migration_surcharge = 0;
+      committed_[static_cast<std::size_t>(a)].push_back(piece);
+      demand_invalidate(a);
+      piece.task = tail;
+      piece.migration_surcharge = config_.migration_cost;
+      committed_[static_cast<std::size_t>(b)].push_back(piece);
+      demand_invalidate(b);
+      auto& hosts = host_of_[spec.id];
+      hosts.push_back(a);
+      hosts.push_back(b);
+      ++split_count_;
+
+      out->admitted = true;
+      out->processor = a;
+      out->tail_processor = b;
+      out->split = true;
+      out->head_cost = head;
+      out->tail_cost = tail.cost;
+      out->committed_cost = head + tail.cost;
+      out->table_budget = table_budget;
+      out->migrated = true;  // the frame crosses processors each period
+      out->initial_quality = system->tables->initial_quality();
+      out->system = std::move(system);
+      return true;
+    }
+  }
+  return false;
+}
+
 Placement AdmissionController::admit(const StreamSpec& spec,
                                      int preferred_processor) {
   QC_EXPECT(preferred_processor >= 0 &&
@@ -308,6 +438,14 @@ Placement AdmissionController::admit(const StreamSpec& spec,
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (try_place(spec, candidates[i], candidates[i], preferred_processor,
                     &out)) {
+        out.degraded = i > 0;
+        return out;
+      }
+      // C=D semi-partitioning before degradation: a budget no single
+      // processor can host whole may still fit as head + tail pieces,
+      // keeping the stream at this quality instead of dropping to the
+      // next candidate.
+      if (try_place_split(spec, candidates[i], candidates[i], &out)) {
         out.degraded = i > 0;
         return out;
       }
@@ -352,6 +490,7 @@ Placement AdmissionController::admit(const StreamSpec& spec,
     return out;
   }
   if (try_place(spec, table_budget, cost, preferred_processor, &out) ||
+      try_place_split(spec, table_budget, cost, &out) ||
       (sched_.renegotiate &&
        try_place_renegotiating(spec, table_budget, cost,
                                preferred_processor, &out))) {
@@ -370,25 +509,36 @@ std::vector<BudgetRenegotiation> AdmissionController::take_renegotiations() {
 }
 
 void AdmissionController::release(int stream_id, rt::Cycles now) {
-  for (std::size_t p = 0; p < committed_.size(); ++p) {
-    auto& cs = committed_[p];
+  // The host index narrows the sweep to the 1-2 processors actually
+  // holding the stream; processing them in ascending index order keeps
+  // restore_pass's renegotiation records in the same order the old
+  // whole-fleet sweep produced.
+  const auto hit = host_of_.find(stream_id);
+  if (hit == host_of_.end()) return;  // unknown stream: no-op
+  std::vector<int> procs = std::move(hit->second);
+  host_of_.erase(hit);
+  std::sort(procs.begin(), procs.end());
+  procs.erase(std::unique(procs.begin(), procs.end()), procs.end());
+  for (const int p : procs) {
+    auto& cs = committed_[static_cast<std::size_t>(p)];
     const auto it = std::remove_if(cs.begin(), cs.end(),
                                    [stream_id](const Commitment& c) {
                                      return c.stream_id == stream_id;
                                    });
     if (it == cs.end()) continue;
     cs.erase(it, cs.end());
-    if (sched_.restore) restore_pass(static_cast<int>(p), now);
+    demand_invalidate(p);
+    if (sched_.restore) restore_pass(p, now);
   }
 }
 
 bool AdmissionController::set_schedulable(int p) const {
-  std::vector<sched::NpTask> tasks;
-  const auto& cs = committed_.at(static_cast<std::size_t>(p));
-  tasks.reserve(cs.size());
-  for (const Commitment& c : cs) tasks.push_back(c.task);
-  if (sched::np_utilization(tasks) > config_.utilization_cap) return false;
-  return policy_->schedulable(tasks, &scan_stats_);
+  CachedDemand& d = demand(p);
+  if (d.util > config_.utilization_cap) return false;
+  last_test_busy_ = 0;
+  const sched::DemandQuery query{&scan_stats_, d.busy_hint,
+                                 &last_test_busy_};
+  return policy_->schedulable(d.tasks, query);
 }
 
 void AdmissionController::restore_pass(int p, rt::Cycles now) {
@@ -445,9 +595,11 @@ void AdmissionController::restore_pass(int p, rt::Cycles now) {
     const rt::Cycles saved_cost = c.task.cost;
     c.table_budget = next;
     c.task.cost = next + c.migration_surcharge;
+    demand_invalidate(p);
     if (!set_schedulable(p)) {
       c.table_budget = saved_budget;
       c.task.cost = saved_cost;
+      demand_invalidate(p);
       retired[victim] = true;
       continue;
     }

@@ -24,9 +24,12 @@
 // preemptive or quantum-sliced EDF when the scenario selects them)
 // plus a utilization cap.  An arriving stream is tried at its richest
 // budget on its preferred processor first, then *migrated* (other
-// processors, same budget), then *degraded* (smaller budgets, all
-// processors) — quality before locality.  When even that fails and
-// the scenario enables *renegotiation*, admission shrinks running
+// processors, same budget), then *split* (SchedulingSpec::split: the
+// C=D semi-partitioning heuristic divides the budget into a
+// zero-slack head piece on one processor and the remainder on
+// another — see try_place_split), then *degraded* (smaller budgets,
+// all processors) — quality before locality.  When even that fails
+// and the scenario enables *renegotiation*, admission shrinks running
 // controlled streams' reserved budgets toward their qmin worst case
 // (recompiling slack tables from the per-budget cache) to make room:
 // the newcomer enters at its cheapest certifiable budget and
@@ -45,6 +48,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -126,6 +130,18 @@ struct Placement {
   bool degraded = false;  ///< below the richest candidate budget
   /// Admitted only because running streams' budgets were shrunk.
   bool via_renegotiation = false;
+  /// C=D semi-partitioned placement (SchedulingSpec::split): the
+  /// per-frame service is divided into a zero-slack head piece
+  /// (C = D = head_cost, T = P) on `processor` and the remainder
+  /// (tail_cost, deadline K*P - head_cost, T = P) on
+  /// `tail_processor`, which always pays the migration surcharge —
+  /// the frame's working set moves between the processors every
+  /// period.  The head processor index is always below the tail's
+  /// (the data plane simulates handoff sources before sinks).
+  bool split = false;
+  int tail_processor = -1;
+  rt::Cycles head_cost = 0;  ///< C1: the zero-slack head piece
+  rt::Cycles tail_cost = 0;  ///< committed tail incl. migration
   /// Quality index the slack tables grant an on-time frame at its
   /// first quality-sensitive decision (later decisions may exceed it).
   std::size_t initial_quality = 0;
@@ -207,6 +223,10 @@ class AdmissionController {
   /// control-plane profiling counters of the observability layer.
   const sched::EdfScanStats& scan_stats() const { return scan_stats_; }
 
+  /// Total number of C=D split placements ever committed (the
+  /// admission_splits counter).
+  long long split_count() const { return split_count_; }
+
   /// The processor a newcomer should prefer: least committed
   /// utilization over the surviving processors, ties to the lowest
   /// index (0 when every processor has failed).
@@ -250,6 +270,38 @@ class AdmissionController {
     rt::Cycles migration_surcharge = 0;
   };
 
+  /// Incrementally maintained mirror of one processor's committed
+  /// task set — what makes admission churn cheap.  `tasks` and `util`
+  /// duplicate committed_[p] (same order, utilization accumulated by
+  /// the exact same left-fold addition sequence a fresh scan would
+  /// perform, so cap comparisons are bit-identical to rebuilding);
+  /// `busy_hint` is a lower bound on the set's synchronous busy-period
+  /// length, used to warm-start QPA's fixpoint (sound per the
+  /// DemandQuery contract: it is refreshed from the demand test that
+  /// admitted the latest commitment, and reset whenever a commitment
+  /// shrinks or leaves).  A candidate is tested by push_back /
+  /// pop_back on `tasks` — no per-test rebuild of the whole set.
+  struct CachedDemand {
+    bool dirty = true;
+    std::vector<sched::NpTask> tasks;
+    double util = 0.0;
+    rt::Cycles busy_hint = 0;
+  };
+
+  /// The refreshed cache for processor `p` (rebuilds from
+  /// committed_[p] when a mutation marked it dirty).
+  CachedDemand& demand(int p) const;
+
+  /// Marks `p`'s cache stale after any commitment mutation other than
+  /// a plain append (release, shrink, rollback, restore): the next
+  /// demand(p) rebuilds tasks + util and resets the busy hint.
+  void demand_invalidate(int p);
+
+  /// Appends the just-committed task to `p`'s cache and promotes the
+  /// busy length computed by the admitting demand test into the warm
+  /// hint (that test ran over exactly the new committed set).
+  void demand_append(int p, const sched::NpTask& task);
+
   /// True when `candidate` fits processor `p` on top of its current
   /// commitments (policy demand test + utilization cap).
   bool fits(int p, const sched::NpTask& candidate) const;
@@ -282,6 +334,16 @@ class AdmissionController {
                                rt::Cycles table_budget, rt::Cycles cost,
                                int preferred, Placement* out);
 
+  /// C=D semi-partitioning (SchedulingSpec::split): places the stream
+  /// as a zero-slack head piece (C1, D = C1, T = P) on one processor
+  /// plus the remainder (cost - C1 + migration surcharge,
+  /// D = K*P - C1, T = P) on a higher-indexed one.  C1 is the largest
+  /// head the first processor admits (binary search over the demand
+  /// test).  Commits both pieces and fills `out` on success.  Split
+  /// pieces are never renegotiated, restored, or ladder-downgraded.
+  bool try_place_split(const StreamSpec& spec, rt::Cycles table_budget,
+                       rt::Cycles cost, Placement* out);
+
   /// The committed set of processor `p` is schedulable as-is (policy
   /// demand test + utilization cap, no candidate).
   bool set_schedulable(int p) const;
@@ -303,6 +365,20 @@ class AdmissionController {
   /// Accumulated by the const demand tests (fits / set_schedulable);
   /// the control plane is sequential, so plain mutable is safe.
   mutable sched::EdfScanStats scan_stats_;
+  /// Per-processor incremental demand caches (lazily refreshed by the
+  /// const test paths, hence mutable — control plane is sequential).
+  mutable std::vector<CachedDemand> demand_;
+  /// Busy length reported by the most recent QPA test (0 under the
+  /// exact scan, which neither needs nor feeds warm hints).
+  mutable rt::Cycles last_test_busy_ = 0;
+  /// stream id -> processors holding one of its commitments (one
+  /// entry per commit, so a C=D split records two).  Pure accelerator
+  /// for release(): a leave touches only the hosting processors
+  /// instead of sweeping the fleet — the other half of what keeps
+  /// steady-state churn O(residents of one processor) at 10k+
+  /// resident streams (BM_AdmissionThroughput).
+  std::unordered_map<int, std::vector<int>> host_of_;
+  long long split_count_ = 0;
 };
 
 }  // namespace qosctrl::farm

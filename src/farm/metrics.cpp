@@ -48,6 +48,7 @@ std::string summarize(const FarmResult& r) {
   os << " ctx_switch=" << r.sched.policy.context_switch_cost
      << " renegotiation=" << (r.sched.renegotiate ? "on" : "off")
      << " restore=" << (r.sched.restore ? "on" : "off")
+     << " split=" << (r.sched.split ? "on" : "off")
      << " preemptions=" << r.total_preemptions
      << " overhead_Mcycles="
      << static_cast<double>(r.total_overhead_cycles) / 1e6 << "\n"
@@ -55,6 +56,7 @@ std::string summarize(const FarmResult& r) {
      << " rejected=" << r.rejected << " (rate=" << std::fixed
      << std::setprecision(2) << r.rejection_rate << ")"
      << " migrated=" << r.migrated << " degraded=" << r.degraded
+     << " split=" << r.split_streams
      << " via_renegotiation=" << r.admitted_via_renegotiation
      << " renegotiated=" << r.renegotiated_streams
      << " restored=" << r.restored_streams << "\n"
@@ -135,6 +137,11 @@ std::string summarize(const FarmResult& r) {
        << (so.placement.migrated ? " migrated" : "")
        << (so.placement.degraded ? " degraded" : "")
        << (so.placement.via_renegotiation ? " via_renegotiation" : "");
+    if (so.placement.split) {
+      os << " split tail_proc=" << so.placement.tail_processor
+         << " head_Mcycles="
+         << static_cast<double>(so.placement.head_cost) / 1e6;
+    }
     if (so.renegotiated || so.restored) {
       // Label by where the budget ended up, not by which events ever
       // happened: a stream shrunk again after a restore is reported
@@ -195,7 +202,8 @@ std::string to_json(const FarmResult& r) {
   json_kv(os, "context_switch_cost",
           static_cast<long long>(r.sched.policy.context_switch_cost));
   os << "\"renegotiate\":" << (r.sched.renegotiate ? "true" : "false")
-     << ",\"restore\":" << (r.sched.restore ? "true" : "false") << ',';
+     << ",\"restore\":" << (r.sched.restore ? "true" : "false")
+     << ",\"split\":" << (r.sched.split ? "true" : "false") << ',';
   json_kv(os, "preemptions", r.total_preemptions);
   json_kv(os, "overhead_cycles",
           static_cast<long long>(r.total_overhead_cycles));
@@ -204,6 +212,7 @@ std::string to_json(const FarmResult& r) {
   json_kv(os, "rejected", static_cast<long long>(r.rejected));
   json_kv(os, "migrated", static_cast<long long>(r.migrated));
   json_kv(os, "degraded", static_cast<long long>(r.degraded));
+  json_kv(os, "split_streams", static_cast<long long>(r.split_streams));
   json_kv(os, "admitted_via_renegotiation",
           static_cast<long long>(r.admitted_via_renegotiation));
   json_kv(os, "renegotiated_streams",
@@ -319,6 +328,8 @@ std::string to_json(const FarmResult& r) {
             static_cast<long long>(so.placement.committed_cost));
     os << "\"migrated\":" << (so.placement.migrated ? "true" : "false")
        << ",\"degraded\":" << (so.placement.degraded ? "true" : "false")
+       << ",\"split\":" << (so.placement.split ? "true" : "false")
+       << ",\"tail_processor\":" << so.placement.tail_processor
        << ",\"via_renegotiation\":"
        << (so.placement.via_renegotiation ? "true" : "false")
        << ",\"renegotiated\":" << (so.renegotiated ? "true" : "false")
@@ -386,7 +397,7 @@ std::string to_csv(const FarmResult& r) {
   os << std::setprecision(17);
   os << "id,mode,width,height,buffer_capacity,frame_period,join_time,"
         "num_frames,admitted,processor,table_budget,committed_cost,"
-        "migrated,degraded,via_renegotiation,renegotiated,restored,"
+        "migrated,degraded,split,via_renegotiation,renegotiated,restored,"
         "final_budget,"
         "initial_quality,skips,display_misses,"
         "internal_misses,max_start_lag,mean_start_lag,mean_psnr,"
@@ -402,7 +413,7 @@ std::string to_csv(const FarmResult& r) {
        << so.spec.join_time << ',' << so.spec.num_frames << ','
        << (so.placement.admitted ? 1 : 0) << ',';
     if (!so.placement.admitted) {
-      os << "-1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,"
+      os << "-1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,"
             "0,0,0,0,0,0,0,0,0,0,0,0\n";
       continue;
     }
@@ -410,6 +421,7 @@ std::string to_csv(const FarmResult& r) {
        << so.placement.committed_cost << ','
        << (so.placement.migrated ? 1 : 0) << ','
        << (so.placement.degraded ? 1 : 0) << ','
+       << (so.placement.split ? 1 : 0) << ','
        << (so.placement.via_renegotiation ? 1 : 0) << ','
        << (so.renegotiated ? 1 : 0) << ',' << (so.restored ? 1 : 0) << ','
        << (active_epochs(so).empty()

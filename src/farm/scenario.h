@@ -84,6 +84,13 @@ struct SchedulingSpec {
   /// but an independent knob so churn experiments can separate the
   /// two effects.
   bool restore = false;
+  /// C=D semi-partitioning: a candidate budget no single processor
+  /// can host whole may be split into a zero-slack head piece on one
+  /// processor and the remainder (paying the migration surcharge) on
+  /// a higher-indexed one, instead of degrading or rejecting the
+  /// stream.  See farm/admission.h (Placement::split) and the
+  /// handoff data plane in farm/simulator.cpp.
+  bool split = false;
 };
 
 /// A full offered load: streams sorted by (join_time, id) when played.

@@ -77,10 +77,34 @@ struct SegmentResult {
   bool quarantined = false;
 };
 
+/// One frame a C=D split stream's head piece finished and handed to
+/// its tail piece on the (always higher-indexed) tail processor.  The
+/// head owns the encode — the record is final when the entry is
+/// written — and the tail piece is a pure service relay: it burns the
+/// remaining demand and does the display-deadline accounting.
+struct HandoffEntry {
+  int frame = 0;
+  rt::Cycles arrival = 0;  ///< camera arrival (latency measured from it)
+  /// When the tail job becomes ready.  The C=D analysis releases the
+  /// tail at arrival + C1 (head deadline), which keeps tail releases
+  /// exactly periodic as the admission test assumed; when the head
+  /// finishes late (policed overload), the actual completion wins so
+  /// the handoff stays causal.
+  rt::Cycles release = 0;
+  rt::Cycles deadline = 0;  ///< display deadline (tail's EDF key)
+  rt::Cycles demand = 0;    ///< service cycles still owed by the tail
+  pipe::FrameRecord rec{};  ///< the final record the head produced
+};
+
 /// One stream *segment* (base placement, or a failover re-admission)
 /// assigned to a processor's run queue.  Records and tallies point
 /// into per-stream storage owned by run_farm; segments of one stream
-/// cover disjoint frame ranges, so workers never race.
+/// cover disjoint frame ranges, so workers never race.  A C=D split
+/// segment contributes *two* assignments — the head (split_head > 0,
+/// handoff_out set) and the tail relay (handoff_in set) — sharing
+/// records and res; the level-ordered worker pool runs the head's
+/// processor to completion before the tail's starts, so the sharing
+/// is sequential.
 struct Assignment {
   StreamOutcome* so = nullptr;
   int segment = 0;  ///< 0 = base placement, k > 0 = failover[k - 1]
@@ -89,6 +113,11 @@ struct Assignment {
   pipe::FrameRecord* records = nullptr;  ///< the stream's full array
   SegmentResult* res = nullptr;
   const std::vector<CertifiedRung>* ladder = nullptr;  ///< null: none
+  /// C=D head piece: the committed zero-slack budget C1 (the head's
+  /// EDF deadline is arrival + C1, not the display deadline).
+  rt::Cycles split_head = 0;
+  std::vector<HandoffEntry>* handoff_out = nullptr;    ///< head side
+  const std::vector<HandoffEntry>* handoff_in = nullptr;  ///< tail side
 };
 
 /// A frame queued on a processor.
@@ -138,6 +167,17 @@ struct StreamState {
   rt::Cycles enforce_cost = 0;
   pipe::FrameRecord* records = nullptr;
   SegmentResult* res = nullptr;
+  /// C=D split roles.  A head piece (split_head > 0) encodes as usual
+  /// but serves at most split_head cycles per frame under the tight
+  /// head deadline, handing the remainder off.  A tail relay
+  /// (relay == true) has *no session* — its frames' records are final
+  /// when they arrive — and every session-touching path must be
+  /// guarded on it.
+  rt::Cycles split_head = 0;
+  std::vector<HandoffEntry>* handoff_out = nullptr;
+  bool relay = false;
+  const std::vector<HandoffEntry>* handoff_in = nullptr;
+  std::size_t next_handoff = 0;  ///< next handoff entry to release
 };
 
 /// A frame in service (or suspended mid-service by a preemption).
@@ -152,6 +192,10 @@ struct ActiveJob {
   bool aborted = false;          ///< cut off by the budget policer
   rt::Cycles remaining = 0;      ///< service cycles still owed
   rt::Cycles dispatched_at = 0;  ///< start of the current segment
+  /// Cycles this processor does *not* serve: on a split head, the
+  /// share handed to the tail; on a tail relay, the full relayed
+  /// demand (so outage accounting knows what was consumed locally).
+  rt::Cycles tail_demand = 0;
 };
 
 /// Simulates one processor's run queue to completion under the
@@ -212,14 +256,20 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
     st.first_frame = asg.first_frame;
     st.end_frame = asg.end_frame;
     st.next_arrival = asg.first_frame;
-    const BudgetEpoch& initial = st.epochs->front();
-    st.session = std::make_unique<pipe::StreamSession>(
-        stream_pipeline_config(*st.spec, config.seed, config.frame_rate),
-        initial.table_budget, initial.system);
-    if (fault_spec.any()) st.session->track_delivery();
-    st.plan.emplace(fault_spec, config.seed, st.spec->id);
-    st.enforce_budget = initial.table_budget;
-    st.enforce_cost = initial.committed_cost;
+    st.split_head = asg.split_head;
+    st.handoff_out = asg.handoff_out;
+    st.handoff_in = asg.handoff_in;
+    st.relay = asg.handoff_in != nullptr;
+    if (!st.relay) {
+      const BudgetEpoch& initial = st.epochs->front();
+      st.session = std::make_unique<pipe::StreamSession>(
+          stream_pipeline_config(*st.spec, config.seed, config.frame_rate),
+          initial.table_budget, initial.system);
+      if (fault_spec.any()) st.session->track_delivery();
+      st.plan.emplace(fault_spec, config.seed, st.spec->id);
+      st.enforce_budget = initial.table_budget;
+      st.enforce_cost = initial.committed_cost;
+    }
     st.records = asg.records;
     st.res = asg.res;
     streams.push_back(std::move(st));
@@ -232,7 +282,15 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       arrivals;
   for (std::size_t s = 0; s < streams.size(); ++s) {
     const StreamState& st = streams[s];
-    if (st.first_frame < st.end_frame) {
+    if (st.relay) {
+      // A tail relay's "arrivals" are the handoff entries its head
+      // piece wrote — complete before this processor's level ran.
+      if (!st.handoff_in->empty()) {
+        arrivals.push(
+            PendingArrival{st.handoff_in->front().release,
+                           static_cast<int>(s)});
+      }
+    } else if (st.first_frame < st.end_frame) {
       arrivals.push(PendingArrival{
           st.spec->join_time +
               static_cast<rt::Cycles>(st.first_frame) * st.period,
@@ -316,6 +374,23 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         trace->push(obs::EventKind::kResume, now, sid, job.frame,
                     a.remaining);
       }
+    } else if (streams[static_cast<std::size_t>(job.stream)].relay) {
+      // Tail relay: the record is final; just serve the remaining
+      // demand.  Dispatch/lag metrics were taken at the head.
+      StreamState& st = streams[static_cast<std::size_t>(job.stream)];
+      --st.queued;
+      const auto& entries = *st.handoff_in;
+      const auto eit = std::lower_bound(
+          entries.begin(), entries.end(), job.frame,
+          [](const HandoffEntry& h, int f) { return h.frame < f; });
+      a.job = job;
+      a.rec = eit->rec;
+      a.remaining = eit->demand;
+      a.tail_demand = eit->demand;
+      if (trace != nullptr) {
+        trace->push(obs::EventKind::kDispatch, now, sid, job.frame,
+                    job.deadline);
+      }
     } else {
       StreamState& st = streams[static_cast<std::size_t>(job.stream)];
       --st.queued;
@@ -345,7 +420,12 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         }
         a.rec.encode_cycles = demand;
       }
-      a.remaining = demand;
+      // C=D head: serve at most the committed head piece here; the
+      // remainder crosses to the tail processor at completion.
+      if (st.split_head > 0 && demand > st.split_head) {
+        a.tail_demand = demand - st.split_head;
+      }
+      a.remaining = demand - a.tail_demand;
       st.res->lags.push_back(a.rec.start_lag);
       ++m_dispatched;
       h_lag.record(a.rec.start_lag);
@@ -424,6 +504,36 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
   auto complete = [&] {
     StreamState& st =
         streams[static_cast<std::size_t>(running->job.stream)];
+    if (st.relay) {
+      // Tail relay completion: the display-deadline verdict and the
+      // end-to-end latency are decided here, where the frame actually
+      // finishes; the encode itself was accounted at the head.
+      const pipe::FrameRecord& rec = running->rec;
+      if (now > running->job.deadline) {
+        ++st.res->display_misses;
+        ++m_display_misses;
+        if (trace != nullptr) {
+          trace->push(obs::EventKind::kDeadlineMiss, now, st.spec->id,
+                      running->job.frame, now - running->job.deadline);
+        }
+      } else if (st.res->first_ontime < 0) {
+        st.res->first_ontime = now;
+      }
+      ++m_completed;
+      h_latency.record(now - running->job.arrival);
+      h_encode.record(rec.encode_cycles);
+      if (trace != nullptr) {
+        trace->push(obs::EventKind::kComplete, now, st.spec->id,
+                    running->job.frame, rec.encode_cycles,
+                    static_cast<std::uint32_t>(
+                        obs::CompleteOutcome::kDelivered));
+      }
+      out->busy_cycles += running->tail_demand;
+      ++out->frames_encoded;
+      span = now;
+      running.reset();
+      return;
+    }
     pipe::FrameRecord rec = running->rec;
     if (running->aborted) {
       rec = st.session->lose(rec);
@@ -435,6 +545,35 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       ++st.res->faults.lost_frames;
     } else {
       rec = st.session->deliver(rec);
+    }
+    if (st.split_head > 0 && !rec.concealed) {
+      // C=D handoff: the head's service is done and the record is
+      // final; the tail piece finishes the remaining demand and does
+      // the display accounting.  The head charges only its own share
+      // of the service to this processor.
+      for (std::size_t ph = 0; ph < rec.phase_cycles.size(); ++ph) {
+        h_phase[ph]->record(rec.phase_cycles[ph]);
+        phase_total[ph] += static_cast<long long>(rec.phase_cycles[ph]);
+      }
+      if (trace != nullptr) {
+        trace->push(obs::EventKind::kComplete, now, st.spec->id,
+                    running->job.frame, rec.encode_cycles,
+                    static_cast<std::uint32_t>(
+                        obs::CompleteOutcome::kDelivered));
+        for (std::size_t ph = 0; ph < phase_total.size(); ++ph) {
+          trace->push(obs::EventKind::kPhaseCycles, now, -1, -1,
+                      phase_total[ph], static_cast<std::uint32_t>(ph));
+        }
+      }
+      out->busy_cycles += rec.encode_cycles - running->tail_demand;
+      st.records[running->job.frame] = rec;
+      st.handoff_out->push_back(HandoffEntry{
+          running->job.frame, running->job.arrival,
+          std::max(running->job.arrival + st.split_head, now),
+          running->job.arrival + st.latency, running->tail_demand, rec});
+      span = now;
+      running.reset();
+      return;
     }
     if (!rec.concealed) {
       if (now > running->job.deadline) {
@@ -469,7 +608,9 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
                     phase_total[ph], static_cast<std::uint32_t>(ph));
       }
     }
-    out->busy_cycles += rec.encode_cycles;
+    // A concealed split-head frame's tail share was never served
+    // anywhere; only the locally-served cycles are busy time.
+    out->busy_cycles += rec.encode_cycles - running->tail_demand;
     ++out->frames_encoded;
     st.records[running->job.frame] = rec;
     span = now;
@@ -484,8 +625,30 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
   /// preemption event).
   auto conceal_in_service = [&](const ActiveJob& a, bool was_running) {
     StreamState& st = streams[static_cast<std::size_t>(a.job.stream)];
+    if (st.relay) {
+      // Relay frame caught by an outage: the head's record stands but
+      // the viewer never sees the frame.  No session to run the
+      // concealment chain through — mark the loss in place.
+      st.records[a.job.frame].lost = true;
+      st.records[a.job.frame].concealed = true;
+      ++st.res->faults.failure_drops;
+      ++out->fault_conceals;
+      ++m_concealed;
+      if (trace != nullptr) {
+        trace->push(was_running ? obs::EventKind::kConcealService
+                                : obs::EventKind::kConceal,
+                    now, st.spec->id, a.job.frame,
+                    a.tail_demand - a.remaining,
+                    static_cast<std::uint32_t>(
+                        obs::ConcealReason::kSuspendedOutage));
+      }
+      out->busy_cycles += a.tail_demand - a.remaining;
+      return;
+    }
     pipe::FrameRecord rec = a.rec;
-    rec.encode_cycles -= a.remaining;  // cycles actually consumed
+    // Cycles actually consumed on this processor (a split head never
+    // held its tail share).
+    rec.encode_cycles -= a.remaining + a.tail_demand;
     rec = st.session->lose(rec);
     st.records[a.job.frame] = rec;
     ++st.res->faults.failure_drops;
@@ -529,7 +692,9 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
     // forced intra frame.
     if (!halted && blackout_until >= 0 && now >= blackout_until) {
       blackout_until = -1;
-      for (StreamState& st : streams) st.session->reset_reference();
+      for (StreamState& st : streams) {
+        if (st.session != nullptr) st.session->reset_reference();
+      }
       if (trace != nullptr) {
         trace->push(obs::EventKind::kProcRepair, now, -1, -1, 0);
       }
@@ -553,7 +718,13 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       suspended.clear();
       for (const FrameJob& job : ready) {
         StreamState& st = streams[static_cast<std::size_t>(job.stream)];
-        st.records[job.frame] = st.session->drop(job.frame);
+        if (st.session != nullptr) {
+          st.records[job.frame] = st.session->drop(job.frame);
+        } else {
+          // Queued relay frame: the head's record stands, concealed.
+          st.records[job.frame].lost = true;
+          st.records[job.frame].concealed = true;
+        }
         ++st.res->faults.failure_drops;
         ++out->fault_conceals;
         ++m_concealed;
@@ -582,6 +753,42 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       const PendingArrival a = arrivals.top();
       arrivals.pop();
       StreamState& st = streams[static_cast<std::size_t>(a.stream)];
+      if (st.relay) {
+        // A handed-off tail job becomes ready.  No camera-buffer or
+        // quarantine logic — the head already applied both; only an
+        // outage on *this* processor can still lose the frame.
+        const HandoffEntry& e = (*st.handoff_in)[st.next_handoff++];
+        if (st.next_handoff < st.handoff_in->size()) {
+          arrivals.push(PendingArrival{
+              (*st.handoff_in)[st.next_handoff].release, a.stream});
+        }
+        if (in_blackout(a.time)) {
+          // The head's delivered record stands, but the viewer never
+          // sees the frame: mark it concealed in place (the encoder
+          // reference lives with the head, which has already moved
+          // on — a documented approximation of a mid-chain loss).
+          st.records[e.frame].lost = true;
+          st.records[e.frame].concealed = true;
+          ++st.res->faults.failure_drops;
+          ++out->fault_conceals;
+          ++m_concealed;
+          if (trace != nullptr) {
+            trace->push(obs::EventKind::kConceal, now, st.spec->id,
+                        e.frame, 0,
+                        static_cast<std::uint32_t>(
+                            obs::ConcealReason::kArrivalOutage));
+          }
+          continue;
+        }
+        ++st.queued;
+        ready.insert(FrameJob{e.deadline, a.stream, e.frame, e.arrival});
+        h_qdepth.record(static_cast<long long>(ready.size()));
+        if (trace != nullptr) {
+          trace->push(obs::EventKind::kQueueDepth, now, -1, -1,
+                      static_cast<std::int64_t>(ready.size()));
+        }
+        continue;
+      }
       const int f = st.next_arrival++;
       if (st.next_arrival < st.end_frame) {
         arrivals.push(PendingArrival{a.time + st.period, a.stream});
@@ -625,7 +832,13 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         ++m_camera_skips;
       } else {
         ++st.queued;
-        ready.insert(FrameJob{a.time + st.latency, a.stream, f, a.time});
+        // A C=D head piece runs under its zero-slack head deadline
+        // arrival + C1 (what the admission test certified), not the
+        // display deadline — the tail's slack lives downstream.
+        const rt::Cycles edf_deadline =
+            st.split_head > 0 ? a.time + st.split_head
+                              : a.time + st.latency;
+        ready.insert(FrameJob{edf_deadline, a.stream, f, a.time});
         h_qdepth.record(static_cast<long long>(ready.size()));
         if (trace != nullptr) {
           trace->push(obs::EventKind::kQueueDepth, now, -1, -1,
@@ -936,8 +1149,11 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   if (need_ladders) {
     for (std::size_t i = 0; i < result.streams.size(); ++i) {
       const StreamOutcome& so = result.streams[i];
-      if (!so.placement.admitted ||
+      if (!so.placement.admitted || so.placement.split ||
           so.spec.mode != pipe::ControlMode::kControlled) {
+        // Split placements get no ladder: their two pieces are priced
+        // as one immutable commitment, so the policer's downgrade and
+        // quarantine re-entry rungs would not match what was admitted.
         continue;
       }
       ladders[i] = admission.certified_ladder(
@@ -967,6 +1183,11 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   // shared per-stream record array.
   std::vector<std::vector<pipe::FrameRecord>> records(result.streams.size());
   std::vector<std::vector<SegmentResult>> seg_results(result.streams.size());
+  // Handoff buffers for C=D split segments, one per (stream, segment):
+  // written by the head piece's processor, read by the tail's — which
+  // the level-ordered worker pool below runs strictly later.
+  std::vector<std::vector<std::vector<HandoffEntry>>> handoffs(
+      result.streams.size());
   std::vector<std::vector<Assignment>> per_processor(
       static_cast<std::size_t>(config.num_processors));
   for (StreamOutcome* so : join_order) {
@@ -975,6 +1196,7 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
         static_cast<std::size_t>(so - result.streams.data());
     records[i].resize(static_cast<std::size_t>(so->spec.num_frames));
     seg_results[i].resize(1 + so->failover.size());
+    handoffs[i].resize(1 + so->failover.size());
     const std::vector<CertifiedRung>* ladder =
         ladders[i].empty() ? nullptr : &ladders[i];
     auto segment_end = [&](std::size_t seg) {
@@ -982,28 +1204,37 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
                  ? so->failover[seg].first_frame
                  : so->spec.num_frames;
     };
-    Assignment base;
-    base.so = so;
-    base.segment = 0;
-    base.first_frame = 0;
-    base.end_frame = segment_end(0);
-    base.records = records[i].data();
-    base.res = &seg_results[i][0];
-    base.ladder = ladder;
-    per_processor[static_cast<std::size_t>(so->placement.processor)]
-        .push_back(base);
-    for (std::size_t k = 0; k < so->failover.size(); ++k) {
+    // A split segment contributes two assignments (head + tail relay)
+    // sharing records and tallies; a whole segment contributes one.
+    auto add_segment = [&](int seg, const Placement& pl, int first) {
       Assignment asg;
       asg.so = so;
-      asg.segment = static_cast<int>(k) + 1;
-      asg.first_frame = so->failover[k].first_frame;
-      asg.end_frame = segment_end(k + 1);
+      asg.segment = seg;
+      asg.first_frame = first;
+      asg.end_frame = segment_end(static_cast<std::size_t>(seg));
       asg.records = records[i].data();
-      asg.res = &seg_results[i][k + 1];
+      asg.res = &seg_results[i][static_cast<std::size_t>(seg)];
       asg.ladder = ladder;
-      per_processor[static_cast<std::size_t>(
-                        so->failover[k].placement.processor)]
-          .push_back(asg);
+      if (pl.split) {
+        asg.split_head = pl.head_cost;
+        asg.handoff_out = &handoffs[i][static_cast<std::size_t>(seg)];
+        per_processor[static_cast<std::size_t>(pl.processor)].push_back(
+            asg);
+        Assignment tail = asg;
+        tail.split_head = 0;
+        tail.handoff_out = nullptr;
+        tail.handoff_in = &handoffs[i][static_cast<std::size_t>(seg)];
+        per_processor[static_cast<std::size_t>(pl.tail_processor)]
+            .push_back(tail);
+      } else {
+        per_processor[static_cast<std::size_t>(pl.processor)].push_back(
+            asg);
+      }
+    };
+    add_segment(0, so->placement, 0);
+    for (std::size_t k = 0; k < so->failover.size(); ++k) {
+      add_segment(static_cast<int>(k) + 1, so->failover[k].placement,
+                  so->failover[k].first_frame);
     }
   }
 
@@ -1013,23 +1244,71 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   // totals are worker-count independent.
   std::vector<obs::Registry> proc_metrics(
       static_cast<std::size_t>(config.num_processors));
-  std::atomic<int> next_processor{0};
-  auto drain = [&] {
-    for (int p = next_processor.fetch_add(1); p < config.num_processors;
-         p = next_processor.fetch_add(1)) {
-      run_processor(config, scenario.sched, scenario.faults,
-                    windows[static_cast<std::size_t>(p)],
-                    per_processor[static_cast<std::size_t>(p)],
-                    &result.processors[static_cast<std::size_t>(p)],
-                    &proc_metrics[static_cast<std::size_t>(p)],
-                    recorder.has_value() ? recorder->processor(p) : nullptr);
+
+  // C=D handoff dependencies: a tail processor may only run once every
+  // head processor feeding it has finished (the relay reads the head's
+  // completed handoff buffer).  Heads always carry the lower index
+  // (admission guarantees it), so one ascending pass computes final
+  // levels; without splits every processor sits at level 0 and the
+  // pool degenerates to the old single fully-parallel drain.
+  std::vector<int> level(static_cast<std::size_t>(config.num_processors),
+                         0);
+  {
+    std::vector<std::vector<int>> feeders(
+        static_cast<std::size_t>(config.num_processors));
+    auto note_split = [&](const Placement& pl) {
+      if (pl.split) {
+        feeders[static_cast<std::size_t>(pl.tail_processor)].push_back(
+            pl.processor);
+      }
+    };
+    for (const StreamOutcome& so : result.streams) {
+      if (!so.placement.admitted) continue;
+      note_split(so.placement);
+      for (const FailoverSegment& seg : so.failover) {
+        note_split(seg.placement);
+      }
     }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers - 1));
-  for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
-  drain();
-  for (std::thread& t : pool) t.join();
+    for (int p = 0; p < config.num_processors; ++p) {
+      for (const int a : feeders[static_cast<std::size_t>(p)]) {
+        level[static_cast<std::size_t>(p)] =
+            std::max(level[static_cast<std::size_t>(p)],
+                     level[static_cast<std::size_t>(a)] + 1);
+      }
+    }
+  }
+  std::vector<std::vector<int>> by_level(
+      static_cast<std::size_t>(
+          *std::max_element(level.begin(), level.end())) +
+      1);
+  for (int p = 0; p < config.num_processors; ++p) {
+    by_level[static_cast<std::size_t>(
+                 level[static_cast<std::size_t>(p)])]
+        .push_back(p);
+  }
+  for (const std::vector<int>& procs : by_level) {
+    std::atomic<std::size_t> next_slot{0};
+    auto drain = [&] {
+      for (std::size_t s = next_slot.fetch_add(1); s < procs.size();
+           s = next_slot.fetch_add(1)) {
+        const int p = procs[s];
+        run_processor(config, scenario.sched, scenario.faults,
+                      windows[static_cast<std::size_t>(p)],
+                      per_processor[static_cast<std::size_t>(p)],
+                      &result.processors[static_cast<std::size_t>(p)],
+                      &proc_metrics[static_cast<std::size_t>(p)],
+                      recorder.has_value() ? recorder->processor(p)
+                                           : nullptr);
+      }
+    };
+    const int nthreads =
+        std::min(workers, static_cast<int>(procs.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nthreads - 1));
+    for (int w = 1; w < nthreads; ++w) pool.emplace_back(drain);
+    drain();
+    for (std::thread& t : pool) t.join();
+  }
 
   // ----- Stitch segments back into per-stream outcomes.
   for (std::size_t i = 0; i < result.streams.size(); ++i) {
@@ -1106,6 +1385,7 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
     ++result.admitted;
     result.migrated += so.placement.migrated ? 1 : 0;
     result.degraded += so.placement.degraded ? 1 : 0;
+    result.split_streams += so.placement.split ? 1 : 0;
     result.admitted_via_renegotiation +=
         so.placement.via_renegotiation ? 1 : 0;
     result.total_frames += static_cast<long long>(so.result.frames.size());
@@ -1169,6 +1449,8 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   control.counter("admission_demand_tests") = scan.demand_tests;
   control.counter("admission_busy_iterations") = scan.busy_iterations;
   control.counter("admission_check_points") = scan.check_points;
+  control.counter("admission_qpa_points") = scan.qpa_points;
+  control.counter("admission_splits") = admission.split_count();
   result.metrics.merge(control);
   if (recorder.has_value()) {
     result.trace = recorder->merged();

@@ -30,6 +30,18 @@
 //    farm seed by stream id, results are bit-identical for any worker
 //    count and any policy.
 //
+//    C=D split streams (SchedulingSpec::split) are served by *two*
+//    cooperating run queues: the head piece encodes the frame and
+//    serves at most C1 cycles under its zero-slack head deadline,
+//    then hands the remaining demand to a session-less relay on the
+//    (always higher-indexed) tail processor, which finishes the
+//    service and decides the display-deadline verdict.  The worker
+//    pool runs processors in dependency levels — every head processor
+//    completes before any tail processor reading its handoff buffer
+//    starts — so the handoff is deterministic and lock-free; with no
+//    splits there is a single level and the pool behaves exactly as
+//    before.
+//
 //    With a FaultSpec (farm/faults.h) the data plane additionally
 //    runs a *budget policer*: a frame whose injected demand exceeds
 //    the stream's committed worst case is cut off at the commitment
@@ -189,6 +201,9 @@ struct FarmResult {
   int rejected = 0;
   int migrated = 0;
   int degraded = 0;
+  /// Streams admitted as C=D head + tail pieces on two processors
+  /// (SchedulingSpec::split), counting the base placement only.
+  int split_streams = 0;
   /// Streams admitted only by shrinking incumbents' budgets.
   int admitted_via_renegotiation = 0;
   /// Running streams whose budget a later newcomer shrank.

@@ -176,6 +176,7 @@ SweepResult run_sweep(const SweepConfig& config) {
       scenario.sched.policy = config.sched_policies[pi];
       scenario.sched.renegotiate = config.renegotiate[ri];
       scenario.sched.restore = config.renegotiate[ri];
+      scenario.sched.split = config.split;
       if (config.fault_axis[fi]) scenario.faults = config.faults;
 
       farm::FarmConfig fc;

@@ -64,6 +64,9 @@ struct SweepConfig {
   /// Renegotiation axis (admission-time budget shrinking; the restore
   /// pass follows the same flag).
   std::vector<bool> renegotiate = {false, true};
+  /// C=D semi-partitioned splitting (farm/scenario.h), applied to
+  /// every cell — a knob, not an axis, so grids stay comparable.
+  bool split = false;
   /// Quality-policy axis.
   std::vector<QualityPolicy> quality_policies = {QualityPolicy::kControlled,
                                                  QualityPolicy::kConstant};

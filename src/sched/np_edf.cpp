@@ -5,11 +5,9 @@
 #include "util/check.h"
 
 namespace qosctrl::sched {
-namespace {
 
-// Work that can be demanded by jobs of all tasks released in a window
-// of length w starting at a synchronous release (request bound).
-rt::Cycles request_bound(const std::vector<NpTask>& tasks, rt::Cycles w) {
+rt::Cycles edf_request_bound(const std::vector<NpTask>& tasks,
+                             rt::Cycles w) {
   rt::Cycles sum = 0;
   for (const NpTask& t : tasks) {
     const rt::Cycles jobs = (w + t.period - 1) / t.period;  // ceil
@@ -17,8 +15,6 @@ rt::Cycles request_bound(const std::vector<NpTask>& tasks, rt::Cycles w) {
   }
   return sum;
 }
-
-}  // namespace
 
 double np_utilization(const std::vector<NpTask>& tasks) {
   double u = 0.0;
@@ -49,7 +45,7 @@ bool edf_demand_schedulable(const std::vector<NpTask>& tasks,
   bool converged = false;
   for (int it = 0; it < kEdfMaxBusyIterations; ++it) {
     if (stats != nullptr) ++stats->busy_iterations;
-    const rt::Cycles next = request_bound(tasks, busy);
+    const rt::Cycles next = edf_request_bound(tasks, busy);
     if (next == busy) {
       converged = true;
       break;

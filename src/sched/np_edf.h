@@ -76,15 +76,48 @@ inline constexpr rt::Cycles kUncappedBlocking = rt::kNoDeadline;
 /// Total utilization sum(C_i / T_i).
 double np_utilization(const std::vector<NpTask>& tasks);
 
+/// Request-bound function: work demanded by jobs of all tasks
+/// released in a window of length w after a synchronous release.
+/// Shared by the exact scan's and QPA's busy-period fixpoints.
+rt::Cycles edf_request_bound(const std::vector<NpTask>& tasks,
+                             rt::Cycles w);
+
+/// Which algorithm evaluates the processor-demand criterion.  Both
+/// return identical accept/reject decisions (pinned by
+/// tests/sched/qpa_property_test.cpp) up to the conservative scan
+/// caps; they differ only in how many points they touch.
+enum class DemandAlgo {
+  kExactScan,  ///< enumerate every deadline check point (this file)
+  kQpa,        ///< Quick Processor-demand Analysis (sched/qpa.h)
+};
+
 /// Work accounting for one or more demand scans — how much the
 /// control plane actually computed to reach its admission verdicts.
 /// Accumulated (never reset) by the tests below when a non-null
 /// pointer is passed, so one instance can meter a whole admission
 /// session.
 struct EdfScanStats {
-  long long demand_tests = 0;     ///< edf_demand_schedulable calls
+  long long demand_tests = 0;     ///< demand tests run (either algo)
   long long busy_iterations = 0;  ///< busy-period fixpoint steps
-  long long check_points = 0;     ///< deadline check points evaluated
+  long long check_points = 0;     ///< exact-scan check points evaluated
+  long long qpa_points = 0;       ///< QPA demand evaluations h(t)
+};
+
+/// Per-call knobs for a demand test, shared by both algorithms.
+///
+/// `busy_seed` warm-starts the busy-period fixpoint (QPA only; the
+/// exact scan ignores it so the `--admission exact` baseline stays
+/// byte-for-byte the original test).  Contract: the seed must be a
+/// lower bound on the set's true synchronous busy-period length —
+/// any previously computed busy length of a SUBSET of the tasks
+/// qualifies (adding tasks or growing costs only lengthens the busy
+/// period), 0 always does.  `busy_out`, when non-null, receives the
+/// converged busy length (QPA only) so callers can cache it as a
+/// future seed.
+struct DemandQuery {
+  EdfScanStats* stats = nullptr;
+  rt::Cycles busy_seed = 0;
+  rt::Cycles* busy_out = nullptr;
 };
 
 /// Processor-demand criterion with the blocking term capped at

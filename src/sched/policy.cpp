@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sched/qpa.h"
 #include "util/check.h"
 
 namespace qosctrl::sched {
@@ -13,8 +14,9 @@ class NonPreemptiveEdfPolicy final : public SchedPolicy {
       : SchedPolicy(params) {}
   PolicyKind kind() const override { return PolicyKind::kNonPreemptiveEdf; }
   bool schedulable(const std::vector<NpTask>& tasks,
-                   EdfScanStats* stats) const override {
-    return np_edf_schedulable(tasks, stats);
+                   const DemandQuery& query) const override {
+    return demand_schedulable(tasks, kUncappedBlocking,
+                              params_.demand_algo, query);
   }
   rt::Cycles preemption_point(rt::Cycles, rt::Cycles) const override {
     return kNeverPreempts;
@@ -27,9 +29,10 @@ class PreemptiveEdfPolicy final : public SchedPolicy {
       : SchedPolicy(params) {}
   PolicyKind kind() const override { return PolicyKind::kPreemptiveEdf; }
   bool schedulable(const std::vector<NpTask>& tasks,
-                   EdfScanStats* stats) const override {
-    return preemptive_edf_schedulable(tasks, params_.context_switch_cost,
-                                      stats);
+                   const DemandQuery& query) const override {
+    return demand_schedulable(
+        inflate_context_switch(tasks, params_.context_switch_cost), 0,
+        params_.demand_algo, query);
   }
   rt::Cycles preemption_point(rt::Cycles, rt::Cycles now) const override {
     return now;
@@ -42,9 +45,10 @@ class QuantumEdfPolicy final : public SchedPolicy {
       : SchedPolicy(params) {}
   PolicyKind kind() const override { return PolicyKind::kQuantumEdf; }
   bool schedulable(const std::vector<NpTask>& tasks,
-                   EdfScanStats* stats) const override {
-    return quantum_edf_schedulable(tasks, params_.quantum,
-                                   params_.context_switch_cost, stats);
+                   const DemandQuery& query) const override {
+    return demand_schedulable(
+        inflate_context_switch(tasks, params_.context_switch_cost),
+        params_.quantum, params_.demand_algo, query);
   }
   rt::Cycles preemption_point(rt::Cycles dispatched_at,
                               rt::Cycles now) const override {
@@ -67,6 +71,27 @@ const char* policy_name(PolicyKind kind) {
       return "quantum";
   }
   return "?";
+}
+
+const char* demand_algo_name(DemandAlgo algo) {
+  switch (algo) {
+    case DemandAlgo::kExactScan:
+      return "exact";
+    case DemandAlgo::kQpa:
+      return "qpa";
+  }
+  return "?";
+}
+
+bool parse_demand_algo_name(const char* name, DemandAlgo* out) {
+  for (const DemandAlgo algo :
+       {DemandAlgo::kExactScan, DemandAlgo::kQpa}) {
+    if (std::strcmp(name, demand_algo_name(algo)) == 0) {
+      *out = algo;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool parse_policy_name(const char* name, PolicyKind* out) {

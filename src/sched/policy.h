@@ -48,15 +48,28 @@ const char* policy_name(PolicyKind kind);
 /// Inverse of policy_name; false (out untouched) on unknown names.
 bool parse_policy_name(const char* name, PolicyKind* out);
 
+/// Short stable name ("exact", "qpa") for the demand algorithm — the
+/// CLIs' --admission flag values.
+const char* demand_algo_name(DemandAlgo algo);
+
+/// Inverse of demand_algo_name; false (out untouched) on unknown.
+bool parse_demand_algo_name(const char* name, DemandAlgo* out);
+
 struct PolicyParams {
   PolicyKind kind = PolicyKind::kNonPreemptiveEdf;
   /// Cycles one context switch costs.  The data plane charges it on
-  /// every switch-out and switch-in; the admission test inflates every
-  /// committed cost by 2x it (sched/preemptive_edf.h).  Ignored by
-  /// kNonPreemptiveEdf, which never switches mid-job.
+  /// every switch-out and switch-in; the admission test inflates the
+  /// committed costs of preemption-capable tasks by 2x it
+  /// (sched/preemptive_edf.h).  Ignored by kNonPreemptiveEdf, which
+  /// never switches mid-job.
   rt::Cycles context_switch_cost = 0;
   /// kQuantumEdf only: preemption boundary spacing (> 0).
   rt::Cycles quantum = 0;
+  /// How schedulable() evaluates the demand criterion.  kQpa is the
+  /// production fast path; kExactScan (`--admission exact`) keeps the
+  /// original enumeration as the measured baseline.  Decisions are
+  /// identical (sched/qpa.h).
+  DemandAlgo demand_algo = DemandAlgo::kQpa;
 };
 
 /// preemption_point result meaning "this discipline never preempts".
@@ -71,11 +84,18 @@ class SchedPolicy {
 
   /// Admission test: the committed task set is schedulable on one
   /// processor under this discipline (context-switch overhead
-  /// included).  Sufficient, never optimistic.  `stats`, when
-  /// non-null, accumulates the demand-scan work performed — the
-  /// control-plane profiling hook behind the admission_* counters.
+  /// included).  Sufficient, never optimistic.  The query carries the
+  /// stats sink (the control-plane profiling hook behind the
+  /// admission_* counters) and the QPA warm-start fields — see
+  /// DemandQuery in sched/np_edf.h for the busy_seed contract.
   virtual bool schedulable(const std::vector<NpTask>& tasks,
-                           EdfScanStats* stats = nullptr) const = 0;
+                           const DemandQuery& query) const = 0;
+
+  /// Convenience overload for callers without warm-start state.
+  bool schedulable(const std::vector<NpTask>& tasks,
+                   EdfScanStats* stats = nullptr) const {
+    return schedulable(tasks, DemandQuery{stats, 0, nullptr});
+  }
 
   /// Run-queue semantics: the earliest instant >= `now` at which the
   /// job whose current service segment started at `dispatched_at` may

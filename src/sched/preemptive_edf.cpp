@@ -1,35 +1,43 @@
 #include "sched/preemptive_edf.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace qosctrl::sched {
-namespace {
 
-// Charge every job the worst-case scheduling overhead it can inflict:
-// one preemption = switch-out + switch-in of the job it displaces.
-std::vector<NpTask> inflate(const std::vector<NpTask>& tasks,
-                            rt::Cycles context_switch) {
+std::vector<NpTask> inflate_context_switch(const std::vector<NpTask>& tasks,
+                                           rt::Cycles context_switch) {
   QC_EXPECT(context_switch >= 0, "context switch cost must be >= 0");
-  if (context_switch == 0) return tasks;
+  if (context_switch == 0 || tasks.empty()) return tasks;
+  rt::Cycles max_deadline = tasks.front().deadline;
+  for (const NpTask& t : tasks) {
+    max_deadline = std::max(max_deadline, t.deadline);
+  }
   std::vector<NpTask> inflated = tasks;
-  for (NpTask& t : inflated) t.cost += 2 * context_switch;
+  for (NpTask& t : inflated) {
+    // Only a strictly-earlier-relative-deadline job can cause a
+    // preemption (switch-out + switch-in of the job it displaces);
+    // max-deadline tasks never do, and an all-equal-deadline set
+    // never preempts at all.
+    if (t.deadline < max_deadline) t.cost += 2 * context_switch;
+  }
   return inflated;
 }
-
-}  // namespace
 
 bool preemptive_edf_schedulable(const std::vector<NpTask>& tasks,
                                 rt::Cycles context_switch,
                                 EdfScanStats* stats) {
-  return edf_demand_schedulable(inflate(tasks, context_switch), 0, stats);
+  return edf_demand_schedulable(
+      inflate_context_switch(tasks, context_switch), 0, stats);
 }
 
 bool quantum_edf_schedulable(const std::vector<NpTask>& tasks,
                              rt::Cycles quantum, rt::Cycles context_switch,
                              EdfScanStats* stats) {
   QC_EXPECT(quantum > 0, "quantum must be positive");
-  return edf_demand_schedulable(inflate(tasks, context_switch), quantum,
-                                stats);
+  return edf_demand_schedulable(
+      inflate_context_switch(tasks, context_switch), quantum, stats);
 }
 
 }  // namespace qosctrl::sched

@@ -16,11 +16,21 @@
 // Preemption is not free.  Each preemption costs two context
 // switches — switching the preempted job out and, later, back in —
 // and every preemption is caused by exactly one arriving
-// higher-priority job, so charging every task 2 * context_switch
-// extra cycles per job upper-bounds the overhead any job inflicts.
-// The admission tests below inflate costs that way; the farm's data
-// plane charges the same per-switch cost on its virtual processors
-// (platform/cost_model.h calibrates the default).
+// higher-priority job.  The charge is preemption-count aware: a job
+// can preempt (or, under quantum slicing, trigger a deferred
+// preemption of) a running job only if it arrived after that job's
+// release with a strictly earlier absolute deadline, which forces
+// D_preemptor < D_preempted <= max_i D_i.  Jobs of the tasks whose
+// relative deadline equals the set's maximum therefore never cause a
+// preemption, and a set of equal-deadline streams never preempts at
+// all — so only tasks with D_i < max_j D_j are inflated by
+// 2 * context_switch per job.  (This replaced a flat charge on every
+// task; it admits strictly more mixes while still upper-bounding the
+// overhead, because every data-plane preemption — see
+// preemption_at() in farm/simulator.cpp, which requires a strictly
+// earlier deadline — is paid for by its inflated trigger.)  The
+// farm's data plane charges the same per-switch cost on its virtual
+// processors (platform/cost_model.h calibrates the default).
 //
 // Both tests inherit the scan caps (kEdfMaxBusyIterations,
 // kEdfMaxCheckPoints) and their conservative-fail contract from
@@ -40,9 +50,17 @@
 
 namespace qosctrl::sched {
 
+/// The preemption-count-aware overhead charge (file comment): tasks
+/// whose relative deadline is strictly below the set's maximum gain
+/// 2 * context_switch cycles of cost; the max-deadline tasks — which
+/// can never trigger a preemption — ride free.  Identity when
+/// context_switch == 0 or fewer than two distinct deadlines exist.
+std::vector<NpTask> inflate_context_switch(const std::vector<NpTask>& tasks,
+                                           rt::Cycles context_switch);
+
 /// Fully preemptive EDF: processor-demand test without a blocking
-/// term.  `context_switch` > 0 inflates every task's cost by
-/// 2 * context_switch (see the file comment).  Sufficient (exact when
+/// term.  `context_switch` > 0 applies inflate_context_switch (see
+/// the file comment).  Sufficient (exact when
 /// context_switch == 0); subject to the np_edf scan caps.
 bool preemptive_edf_schedulable(const std::vector<NpTask>& tasks,
                                 rt::Cycles context_switch = 0,

@@ -1,0 +1,185 @@
+// Pinned scenarios for C=D semi-partitioned admission
+// (SchedulingSpec::split) end to end through the farm: a concrete mix
+// where splitting converts a rejection into a miss-free admission,
+// bit-identical results across worker counts with a split stream in
+// play, and decision-identity of the QPA fast path against the exact
+// scan over a generated churn load.
+//
+// The mixes are built from the qmin worst case m = 176000 cycles/MB
+// (pinned in admission_test.cpp), so the arithmetic below is exact.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "farm/load_gen.h"
+#include "farm/metrics.h"
+#include "farm/simulator.h"
+
+namespace qosctrl::farm {
+namespace {
+
+constexpr rt::Cycles kM = 176000;  ///< qmin worst case per macroblock
+
+void expect_all_admitted_miss_free(const FarmResult& r) {
+  for (const StreamOutcome& so : r.streams) {
+    if (!so.placement.admitted) continue;
+    EXPECT_EQ(so.display_misses, 0)
+        << "stream " << so.spec.id << " missed its display deadline";
+    EXPECT_EQ(so.internal_misses, 0)
+        << "stream " << so.spec.id << " missed a paced deadline";
+    EXPECT_EQ(so.result.total_skips, 0)
+        << "stream " << so.spec.id << " dropped a camera frame";
+  }
+}
+
+FarmConfig two_proc_config() {
+  FarmConfig cfg;
+  cfg.num_processors = 2;
+  // The pinned mix's arithmetic is exact in m; keep the migration
+  // surcharge out of it (admission_test.cpp pins the surcharge).
+  cfg.admission.migration_cost = 0;
+  return cfg;
+}
+
+/// The split-limited mix: one controlled incumbent per processor
+/// (16x16, T = D = 4m; the 0.25 share cap makes the qmin minimum m
+/// its only candidate, so each processor carries utilization 0.25),
+/// then a constant-quality newcomer (32x32 at qmin, worst case
+/// C = 4m, T = D = 5m, utilization 0.8).  Whole, the newcomer
+/// overflows the utilization cap on both processors (0.25 + 0.8 > 1);
+/// split, the largest zero-slack head the preemptive demand test
+/// admits next to (m, 4m, 4m) is exactly 3m — at t = 4m demand is
+/// m + C1, so C1 <= 3m — leaving a tail (4m - 3m, 5m - 3m, 5m) =
+/// (m, 2m, 5m) that trivially fits the other processor.
+FarmScenario split_limited_mix() {
+  FarmScenario sc;
+  sc.sched.policy.kind = sched::PolicyKind::kPreemptiveEdf;
+  for (int i = 0; i < 2; ++i) {
+    StreamSpec inc;
+    inc.id = i;
+    inc.width = 16;
+    inc.height = 16;
+    inc.num_frames = 4;
+    inc.num_scenes = 1;
+    inc.frame_period = 4 * kM;
+    inc.buffer_capacity = 1;
+    sc.streams.push_back(inc);
+  }
+  StreamSpec n;
+  n.id = 2;
+  n.width = 32;
+  n.height = 32;
+  n.num_frames = 4;
+  n.num_scenes = 1;
+  n.frame_period = 5 * kM;
+  n.buffer_capacity = 1;
+  n.mode = pipe::ControlMode::kConstantQuality;
+  n.constant_quality = 0;
+  sc.streams.push_back(n);
+  return sc;
+}
+
+TEST(SplitAdmission, UnsplitFarmRejectsTheSplitLimitedMix) {
+  const FarmResult r = run_farm(split_limited_mix(), two_proc_config());
+  EXPECT_EQ(r.admitted, 2) << summarize(r);
+  EXPECT_EQ(r.rejected, 1);
+  EXPECT_EQ(r.split_streams, 0);
+  expect_all_admitted_miss_free(r);
+}
+
+TEST(SplitAdmission, SplitConvertsTheRejectionIntoMissFreeAdmission) {
+  FarmScenario sc = split_limited_mix();
+  sc.sched.split = true;
+  const FarmResult r = run_farm(sc, two_proc_config());
+  EXPECT_EQ(r.admitted, 3) << summarize(r);
+  EXPECT_EQ(r.rejected, 0);
+  EXPECT_EQ(r.split_streams, 1);
+  EXPECT_EQ(r.total_display_misses, 0);
+  EXPECT_EQ(r.total_internal_misses, 0);
+  EXPECT_EQ(r.total_skips, 0);
+  expect_all_admitted_miss_free(r);
+
+  const StreamOutcome& so = r.streams.at(2);
+  ASSERT_EQ(so.spec.id, 2);
+  ASSERT_TRUE(so.placement.admitted);
+  EXPECT_TRUE(so.placement.split);
+  // Head below tail: the handoff source processor has the lower index.
+  EXPECT_EQ(so.placement.processor, 0);
+  EXPECT_EQ(so.placement.tail_processor, 1);
+  // The binary search lands on the largest admissible zero-slack head.
+  EXPECT_EQ(so.placement.head_cost, 3 * kM);
+  EXPECT_EQ(so.placement.tail_cost, kM);  // migration_cost = 0
+  EXPECT_EQ(so.placement.committed_cost,
+            so.placement.head_cost + so.placement.tail_cost);
+  EXPECT_TRUE(so.placement.migrated);  // frames cross processors
+
+  // The split is visible in the metrics registry.
+  const auto& counters = r.metrics.counters();
+  const auto it = counters.find("admission_splits");
+  ASSERT_NE(it, counters.end());
+  EXPECT_EQ(it->second, 1);
+}
+
+TEST(SplitAdmission, ResultsAreBitIdenticalAcrossWorkerCountsWithASplit) {
+  // The handoff data plane orders split pieces source-before-sink
+  // (simulator.h): that must keep the whole report byte-stable no
+  // matter how the processors are sharded over workers.
+  FarmScenario sc = split_limited_mix();
+  sc.sched.split = true;
+  FarmConfig one = two_proc_config();
+  one.workers = 1;
+  FarmConfig two = two_proc_config();
+  two.workers = 2;
+  EXPECT_EQ(to_json(run_farm(sc, one)), to_json(run_farm(sc, two)));
+}
+
+/// Drops the scan-effort counters — the one part of the report that
+/// legitimately differs between the exact scan and QPA (they count
+/// different things: enumerated check points vs QPA iterations).
+std::string strip_scan_counters(std::string json) {
+  static const std::regex kScanCounter(
+      "\"admission_(demand_tests|busy_iterations|check_points|"
+      "qpa_points)\":[0-9]+,?");
+  return std::regex_replace(json, kScanCounter, "");
+}
+
+TEST(SplitAdmission, QpaAndExactScanProduceIdenticalReportsUnderChurn) {
+  // End-to-end decision identity: a generated churn load (joins,
+  // bursts, leaves, mixed geometries and control modes) played with
+  // every admission feature on — split, renegotiation, restore —
+  // must yield the same placements, the same misses, the same
+  // quality, the same everything, whichever demand algorithm runs
+  // underneath.  Only the scan-effort counters may differ.
+  LoadGenConfig load;
+  load.num_streams = 14;
+  load.seed = 20260807;
+  FarmScenario sc = generate_scenario(load);
+  sc.sched.split = true;
+  sc.sched.renegotiate = true;
+  sc.sched.restore = true;
+
+  FarmConfig cfg;
+  cfg.num_processors = 3;
+
+  sc.sched.policy.demand_algo = sched::DemandAlgo::kExactScan;
+  const FarmResult exact = run_farm(sc, cfg);
+  sc.sched.policy.demand_algo = sched::DemandAlgo::kQpa;
+  const FarmResult qpa = run_farm(sc, cfg);
+
+  EXPECT_EQ(exact.admitted, qpa.admitted);
+  EXPECT_EQ(exact.rejected, qpa.rejected);
+  EXPECT_EQ(exact.split_streams, qpa.split_streams);
+  EXPECT_EQ(strip_scan_counters(to_json(exact)),
+            strip_scan_counters(to_json(qpa)));
+
+  // Each algorithm did its own kind of work — the scenario actually
+  // exercised both paths, and admission ran a real demand test load.
+  EXPECT_GT(exact.metrics.counters().at("admission_check_points"), 0);
+  EXPECT_EQ(exact.metrics.counters().at("admission_qpa_points"), 0);
+  EXPECT_GT(qpa.metrics.counters().at("admission_qpa_points"), 0);
+  EXPECT_GT(exact.admitted, 0) << summarize(exact);
+}
+
+}  // namespace
+}  // namespace qosctrl::farm

@@ -44,12 +44,29 @@ TEST(PreemptiveEdf, ConstrainedDeadlineDemand) {
 }
 
 TEST(PreemptiveEdf, ContextSwitchOverheadInflatesCosts) {
-  // 10 tasks of C = 9, T = D = 100: U = 0.9 fits exactly; charging
-  // 2 * 1 cycles per job pushes demand at t = 100 to 110 -> reject.
-  const std::vector<NpTask> tight(10, NpTask{9, 100, 100});
+  // 10 tasks of C = 9, T = D = 100 plus one slack task with a longer
+  // deadline: charging 2 * 1 cycles per preemption-capable job pushes
+  // demand at t = 100 to 10 * (9 + 2) = 110 -> reject.  Only tasks
+  // with D < Dmax pay (a preemptor needs a strictly earlier absolute
+  // deadline), so the max-deadline task rides free.
+  std::vector<NpTask> tight(10, NpTask{9, 100, 100});
+  tight.push_back(NpTask{1, 1000, 1000});
   EXPECT_TRUE(preemptive_edf_schedulable(tight, 0));
   EXPECT_FALSE(preemptive_edf_schedulable(tight, 1));
   EXPECT_FALSE(quantum_edf_schedulable(tight, 50, 1));
+}
+
+TEST(PreemptiveEdf, EqualDeadlineSetsPayNoSwitchCharge) {
+  // All absolute deadlines tie, so no job can ever preempt another
+  // (preemption requires a strictly earlier deadline) — the inflation
+  // is provably zero and the exact-fit set stays admitted even with a
+  // context-switch cost.  The flat 2-switch charge used to reject it.
+  const std::vector<NpTask> tight(10, NpTask{9, 100, 100});
+  EXPECT_TRUE(preemptive_edf_schedulable(tight, 1));
+  EXPECT_TRUE(quantum_edf_schedulable(tight, 50, 1));
+  const std::vector<NpTask> inflated =
+      inflate_context_switch(tight, 7);
+  for (const NpTask& t : inflated) EXPECT_EQ(t.cost, 9);
 }
 
 TEST(PreemptiveEdf, QuantumInterpolatesBetweenNpAndPreemptive) {

@@ -32,8 +32,12 @@ import sys
 # BM_PsnrFrameScalarKernel, ...).  The farm throughput is tracked per
 # scheduling policy: np (bare), preemptive, and quantum-sliced run
 # queues; PsnrFrame/SsimFrame track the distortion kernels.
+# AdmissionThroughput tracks steady-state admission churn (the QPA
+# fast path at 1k/10k/100k resident streams plus the exact-scan
+# baseline it must stay >= 10x ahead of — see docs/admission.md).
 DEFAULT_BENCHMARKS = (
     r"^BM_(SadMacroblock|ForwardDct8|PsnrFrame|SsimFrame"
+    r"|AdmissionThroughput(Exact)?/\d+"
     r"|FarmThroughput(Preemptive|Quantum|Faults)?/\d+)$"
 )
 

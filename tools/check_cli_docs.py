@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""CI gate keeping docs/cli.md and the markdown tree honest.
+
+Two checks, both dependency-free:
+
+ 1. Flag sync: for each binary (qosfarm, qoseval, qosc), every
+    `--flag` its `--help` prints must appear in the first column of a
+    table in that binary's `## <binary>` section of docs/cli.md, and
+    every flag documented there must still exist in the help — so a
+    flag cannot be added, renamed, or removed without the reference
+    page following.  `--help`/`--version` are documented once for all
+    three binaries and exempt from the per-binary tables.
+
+ 2. Link check: every relative markdown link in README.md and
+    docs/*.md must resolve to an existing file (external http(s) and
+    mailto links are skipped; anchors are stripped).
+
+Usage:
+  tools/check_cli_docs.py [BUILD_DIR]     # default: build
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BINARIES = ("qosfarm", "qoseval", "qosc")
+EXEMPT = {"--help", "--version"}
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def help_flags(binary):
+    """Flags the binary's --help mentions (stdout or stderr)."""
+    proc = subprocess.run([str(binary), "--help"], capture_output=True,
+                          text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(f"{binary} --help exited {proc.returncode}")
+    return set(FLAG_RE.findall(proc.stdout + proc.stderr)) - EXEMPT
+
+
+def doc_sections(text):
+    """Map '## heading' -> section body in docs/cli.md."""
+    sections = {}
+    name = None
+    for line in text.splitlines():
+        m = re.match(r"^## (\S+)", line)
+        if m:
+            name = m.group(1)
+            sections[name] = []
+        elif name is not None:
+            sections[name].append(line)
+    return {k: "\n".join(v) for k, v in sections.items()}
+
+
+def table_flags(section):
+    """Flags in the first column of the section's markdown tables."""
+    flags = set()
+    for line in section.splitlines():
+        if not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        flags.update(FLAG_RE.findall(first_cell))
+    return flags - EXEMPT
+
+
+def check_flag_sync(build_dir, errors):
+    cli_md = REPO / "docs" / "cli.md"
+    sections = doc_sections(cli_md.read_text())
+    for name in BINARIES:
+        binary = build_dir / name
+        if not binary.exists():
+            errors.append(f"{binary}: binary not found (build first)")
+            continue
+        if name not in sections:
+            errors.append(f"docs/cli.md: missing '## {name}' section")
+            continue
+        in_help = help_flags(binary)
+        in_docs = table_flags(sections[name])
+        for flag in sorted(in_help - in_docs):
+            errors.append(
+                f"docs/cli.md [{name}]: {flag} is in `{name} --help` "
+                f"but not in the section's flag tables")
+        for flag in sorted(in_docs - in_help):
+            errors.append(
+                f"docs/cli.md [{name}]: {flag} is documented but "
+                f"`{name} --help` no longer mentions it")
+        if not errors:
+            print(f"ok: {name}: {len(in_help)} flags in sync")
+
+
+def check_links(errors):
+    pages = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    checked = 0
+    for page in pages:
+        for target in LINK_RE.findall(page.read_text()):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # same-page anchor
+                continue
+            resolved = (page.parent / path).resolve()
+            checked += 1
+            if not resolved.exists():
+                rel = page.relative_to(REPO)
+                errors.append(f"{rel}: broken link -> {target}")
+    print(f"ok: {checked} relative links resolved over {len(pages)} pages")
+
+
+def main():
+    build_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "build")
+    if not build_dir.is_absolute():
+        build_dir = REPO / build_dir
+    errors = []
+    check_flag_sync(build_dir, errors)
+    check_links(errors)
+    if errors:
+        print(f"\n{len(errors)} doc-sync error(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print("\ndocs in sync with the binaries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

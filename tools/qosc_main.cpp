@@ -22,11 +22,14 @@ namespace {
 
 using namespace qosctrl;
 
+const char kUsage[] =
+    "usage: qosc check <spec>\n"
+    "       qosc report <spec>\n"
+    "       qosc emit-c <spec> <out.c> [symbol-prefix]\n"
+    "       qosc --help | --version\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: qosc check <spec>\n"
-               "       qosc report <spec>\n"
-               "       qosc emit-c <spec> <out.c> [symbol-prefix]\n");
+  std::fputs(kUsage, stderr);
   return 2;
 }
 
@@ -99,6 +102,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   if (std::strcmp(argv[1], "--version") == 0) {
     std::printf("%s\n", obs::version_line("qosc").c_str());
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::fputs(kUsage, stdout);
     return 0;
   }
   const char* command = argv[1];

@@ -36,6 +36,11 @@
 //                        farm seed)
 //   --latency-discount F weight of the start-lag-p95 tail discount in
 //                        the fused score (default 0.25)
+//   --admission A        demand-scan algorithm for admission tests:
+//                        exact (full check-point scan) or qpa
+//                        (decision-identical fast path; default)
+//   --split              enable C=D semi-partitioned splitting in
+//                        every cell (docs/admission.md)
 //   --seed S             farm seed shared by every cell (default 2026)
 //   --csv PATH           write the per-cell CSV
 //   --quiet              suppress the human-readable report
@@ -57,20 +62,23 @@ using cli::parse_int_range;
 using cli::parse_u64;
 using cli::split_commas;
 
+const char kUsage[] =
+    "usage: qoseval sweep [--procs N] [--workers N] [--streams N]\n"
+    "                     [--frames LO[:HI]] [--scenario-seeds A,B,...]\n"
+    "                     [--constant-q L] [--policies np,preemptive,"
+    "quantum]\n"
+    "                     [--quantum C] [--ctx-switch C]\n"
+    "                     [--reneg off|on|both] [--faults off|on|both]\n"
+    "                     [--overrun-prob F]\n"
+    "                     [--overrun-policy abort|downgrade|quarantine]\n"
+    "                     [--loss-prob F] [--fault-seed S]\n"
+    "                     [--latency-discount F]\n"
+    "                     [--admission exact|qpa] [--split]\n"
+    "                     [--seed S] [--csv PATH] [--quiet]\n"
+    "       qoseval --help | --version\n";
+
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: qoseval sweep [--procs N] [--workers N] [--streams N]\n"
-      "                     [--frames LO[:HI]] [--scenario-seeds A,B,...]\n"
-      "                     [--constant-q L] [--policies np,preemptive,"
-      "quantum]\n"
-      "                     [--quantum C] [--ctx-switch C]\n"
-      "                     [--reneg off|on|both] [--faults off|on|both]\n"
-      "                     [--overrun-prob F]\n"
-      "                     [--overrun-policy abort|downgrade|quarantine]\n"
-      "                     [--loss-prob F] [--fault-seed S]\n"
-      "                     [--latency-discount F] [--seed S]\n"
-      "                     [--csv PATH] [--quiet]\n");
+  std::fputs(kUsage, stderr);
   return 2;
 }
 
@@ -101,6 +109,11 @@ int main(int argc, char** argv) {
     std::printf("%s\n", obs::version_line("qoseval").c_str());
     return 0;
   }
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   if (argc < 2 || std::strcmp(argv[1], "sweep") != 0) return usage();
 
   quality::SweepConfig sweep;
@@ -112,6 +125,7 @@ int main(int argc, char** argv) {
                                           sched::PolicyKind::kQuantumEdf};
   rt::Cycles quantum = 1000000;
   rt::Cycles ctx_switch = platform::kContextSwitchCycles;
+  sched::DemandAlgo admission = sched::DemandAlgo::kQpa;
   const char* csv_path = nullptr;
   bool quiet = false;
   int constant_q = 3;
@@ -204,6 +218,11 @@ int main(int argc, char** argv) {
       if (!v || !cli::parse_fraction(v, &sweep.latency_discount)) {
         return usage();
       }
+    } else if (std::strcmp(arg, "--admission") == 0) {
+      const char* v = value();
+      if (!v || !sched::parse_demand_algo_name(v, &admission)) return usage();
+    } else if (std::strcmp(arg, "--split") == 0) {
+      sweep.split = true;
     } else if (std::strcmp(arg, "--seed") == 0) {
       const char* v = value();
       if (!v || !parse_u64(v, &sweep.farm_seed)) return usage();
@@ -242,6 +261,7 @@ int main(int argc, char** argv) {
     p.kind = k;
     p.context_switch_cost = ctx_switch;
     p.quantum = quantum;
+    p.demand_algo = admission;
     sweep.sched_policies.push_back(p);
   }
 

@@ -16,6 +16,12 @@
 //   --seed S          scenario + farm seed (default 7)
 //   --policy P        per-processor scheduling class: np (default),
 //                     preemptive, or quantum
+//   --admission A     demand-test algorithm behind admission: qpa
+//                     (default, the QPA fast path) or exact (the full
+//                     check-point enumeration; same decisions, slower)
+//   --split           C=D semi-partitioning: a stream no single
+//                     processor can host whole may be split into a
+//                     zero-slack head piece and a migrated tail piece
 //   --quantum C       preemption boundary spacing in cycles for
 //                     --policy quantum (default 1000000)
 //   --ctx-switch C    context-switch cost in cycles charged per switch
@@ -79,23 +85,26 @@ using cli::parse_int;
 using cli::parse_int_range;
 using cli::parse_u64;
 
+const char kUsage[] =
+    "usage: qosfarm run [--procs N] [--workers N] [--streams N]\n"
+    "                   [--frames LO[:HI]] [--period-factors A,B,...]\n"
+    "                   [--constant-frac F] [--seed S]\n"
+    "                   [--policy np|preemptive|quantum] [--quantum C]\n"
+    "                   [--admission exact|qpa] [--split]\n"
+    "                   [--ctx-switch C] [--renegotiate] [--restore]\n"
+    "                   [--migration-cost C]\n"
+    "                   [--faults overrun,loss] [--overrun-prob F]\n"
+    "                   [--overrun-factor X]\n"
+    "                   [--overrun-policy abort|downgrade|quarantine]\n"
+    "                   [--overrun-strikes N] [--loss-prob F]\n"
+    "                   [--fail P@T[+R]] [--fault-seed S]\n"
+    "                   [--json PATH] [--csv PATH]\n"
+    "                   [--trace PATH] [--trace-buf N] [--quiet]\n"
+    "       qosfarm --version\n"
+    "       qosfarm --help\n";
+
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: qosfarm run [--procs N] [--workers N] [--streams N]\n"
-      "                   [--frames LO[:HI]] [--period-factors A,B,...]\n"
-      "                   [--constant-frac F] [--seed S]\n"
-      "                   [--policy np|preemptive|quantum] [--quantum C]\n"
-      "                   [--ctx-switch C] [--renegotiate] [--restore]\n"
-      "                   [--migration-cost C]\n"
-      "                   [--faults overrun,loss] [--overrun-prob F]\n"
-      "                   [--overrun-factor X]\n"
-      "                   [--overrun-policy abort|downgrade|quarantine]\n"
-      "                   [--overrun-strikes N] [--loss-prob F]\n"
-      "                   [--fail P@T[+R]] [--fault-seed S]\n"
-      "                   [--json PATH] [--csv PATH]\n"
-      "                   [--trace PATH] [--trace-buf N] [--quiet]\n"
-      "       qosfarm --version\n");
+  std::fputs(kUsage, stderr);
   return 2;
 }
 
@@ -152,6 +161,11 @@ int main(int argc, char** argv) {
     std::printf("%s\n", obs::version_line("qosfarm").c_str());
     return 0;
   }
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   if (argc < 2 || std::strcmp(argv[1], "run") != 0) return usage();
 
   farm::LoadGenConfig load;
@@ -204,6 +218,13 @@ int main(int argc, char** argv) {
       if (!v || !sched::parse_policy_name(v, &sched.policy.kind)) {
         return usage();
       }
+    } else if (std::strcmp(arg, "--admission") == 0) {
+      const char* v = value();
+      if (!v || !sched::parse_demand_algo_name(v, &sched.policy.demand_algo)) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--split") == 0) {
+      sched.split = true;
     } else if (std::strcmp(arg, "--quantum") == 0) {
       const char* v = value();
       std::uint64_t q = 0;

@@ -3,6 +3,10 @@
 # BENCH_micro.json (google-benchmark JSON: ns/op per benchmark) so the
 # perf trajectory of the hot kernels — SAD per macroblock, forward /
 # inverse DCT, motion search, the table-driven controller decision,
+# the steady-state admission churn (BM_AdmissionThroughput* at 1k /
+# 10k / 100k resident streams, items_per_second = admit+release
+# cycles per wall-second; the Exact suffix forces the full
+# check-point scan the QPA fast path replaces),
 # and the encoder-farm throughput (BM_FarmThroughput* items_per_second
 # = simulated stream-frames per wall-second; the Preemptive / Quantum
 # suffixes run the same load under those scheduling policies, Faults
@@ -21,7 +25,7 @@ cmake -B "$BUILD_DIR" -S "$ROOT" -DQOSCTRL_BUILD_BENCHES=ON \
 cmake --build "$BUILD_DIR" --target bench_micro -j "$(nproc)" >/dev/null
 
 "$BUILD_DIR/bench_micro" \
-    --benchmark_filter='BM_(SadMacroblock|HalfpelInterp|ForwardDct8|InverseDct8|MotionSearch|TableControllerDecision|PsnrFrame|SsimFrame|FarmThroughput(Preemptive|Quantum|Faults|Traced)?)' \
+    --benchmark_filter='BM_(SadMacroblock|HalfpelInterp|ForwardDct8|InverseDct8|MotionSearch|TableControllerDecision|PsnrFrame|SsimFrame|AdmissionThroughput(Exact)?|FarmThroughput(Preemptive|Quantum|Faults|Traced)?)' \
     --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=true \
     --benchmark_out_format=json \
