@@ -14,6 +14,8 @@
 
 #include "encoder/system_builder.h"
 #include "farm/load_gen.h"
+#include "farm/presets.h"
+#include "farm/shard.h"
 #include "farm/simulator.h"
 #include "media/dct.h"
 #include "media/entropy.h"
@@ -384,7 +386,9 @@ void run_farm_throughput(benchmark::State& state, sched::PolicyKind policy,
     scenario.faults.loss.probability = 0.1;
   }
   farm::FarmConfig cfg;
-  cfg.num_processors = 2;
+  // 4 processors so the worker sweep below has real parallelism to
+  // scale into (workers clamp to the processor count).
+  cfg.num_processors = 4;
   cfg.workers = static_cast<int>(state.range(0));
   cfg.trace = trace;
   long long frames = 0;
@@ -399,7 +403,11 @@ void run_farm_throughput(benchmark::State& state, sched::PolicyKind policy,
 void BM_FarmThroughput(benchmark::State& state) {
   run_farm_throughput(state, sched::PolicyKind::kNonPreemptiveEdf);
 }
-BENCHMARK(BM_FarmThroughput)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FarmThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 // The preemptive scheduling classes pay per-switch accounting in the
 // data plane; these variants keep that overhead pinned alongside the
@@ -534,6 +542,47 @@ void BM_AdmissionThroughputExact(benchmark::State& state) {
   run_admission_churn(state, sched::DemandAlgo::kExactScan);
 }
 BENCHMARK(BM_AdmissionThroughputExact)->Arg(1000)->Arg(10000);
+
+// ---------------------------------------------------------------------------
+// Join-storm rate through the control-plane router: a pinned
+// 10k-stream flash-crowd preset offered to a 1024-processor fleet,
+// with the shard count as the argument.  The storm saturates the
+// fleet, so most joins are rejections — the regime where a single
+// controller sweeps every processor's candidate ladder per verdict,
+// while the sharded router's per-join work is bounded by the shard
+// size: floor-cached O(1) routing plus verdicts from the preferred
+// shard and one probe.  items_per_second is joins routed per
+// wall-second; the S=64 / S=1 ratio backs the >= 10x
+// sharded-join-rate claim in docs/scenarios.md
+// (tools/check_bench_regression.py tracks both).
+
+const farm::FarmScenario& flash_crowd_10k() {
+  static const farm::FarmScenario scenario = [] {
+    farm::PresetParams pp;
+    pp.num_streams = 10000;
+    return farm::compile_preset(farm::PresetKind::kFlashCrowd, pp);
+  }();
+  return scenario;
+}
+
+void BM_ShardedJoinRate(benchmark::State& state) {
+  static farm::TableCache tables(platform::figure5_cost_table());
+  const farm::FarmScenario& scenario = flash_crowd_10k();
+  farm::ShardPlaneConfig plane_cfg;
+  plane_cfg.shards = static_cast<int>(state.range(0));
+  long long joins = 0;
+  for (auto _ : state) {
+    farm::ShardedControlPlane plane(1024, plane_cfg, farm::AdmissionConfig{},
+                                    &tables, scenario.sched);
+    for (const farm::StreamSpec& spec : scenario.streams) {
+      const farm::Placement pl = plane.admit(spec);
+      benchmark::DoNotOptimize(pl.admitted);
+    }
+    joins += static_cast<long long>(scenario.streams.size());
+  }
+  state.SetItemsProcessed(joins);
+}
+BENCHMARK(BM_ShardedJoinRate)->Arg(1)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

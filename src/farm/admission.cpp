@@ -18,15 +18,16 @@ TableCache::TableCache(platform::CostTable costs) : costs_(std::move(costs)) {
   }
 }
 
-std::shared_ptr<const enc::EncoderSystem> TableCache::get(int macroblocks,
-                                                          rt::Cycles budget) {
+const std::shared_ptr<const enc::EncoderSystem>& TableCache::get(
+    int macroblocks, rt::Cycles budget) {
   const auto key = std::make_pair(macroblocks, budget);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   auto sys = std::make_shared<const enc::EncoderSystem>(
       enc::build_encoder_system(macroblocks, budget, costs_));
-  cache_.emplace(key, sys);
-  return sys;
+  // Map nodes are stable, so the returned reference outlives later
+  // insertions; callers that keep a system copy the shared_ptr.
+  return cache_.emplace(key, std::move(sys)).first->second;
 }
 
 rt::Cycles TableCache::min_budget(int macroblocks) const {
@@ -82,6 +83,7 @@ AdmissionController::CachedDemand& AdmissionController::demand(
 
 void AdmissionController::demand_invalidate(int p) {
   demand_[static_cast<std::size_t>(p)].dirty = true;
+  unpreferred_dirty_ = true;
 }
 
 void AdmissionController::demand_append(int p,
@@ -95,6 +97,7 @@ void AdmissionController::demand_append(int p,
   // The admitting test ran over exactly the new committed set, so its
   // busy length is this set's true busy length — the best warm seed.
   d.busy_hint = last_test_busy_;
+  unpreferred_dirty_ = true;
 }
 
 void AdmissionController::fail_processor(int processor) {
@@ -174,8 +177,12 @@ bool AdmissionController::fits(int p, const sched::NpTask& candidate) const {
   return ok;
 }
 
-std::vector<rt::Cycles> AdmissionController::controlled_candidates(
+const std::vector<rt::Cycles>& AdmissionController::controlled_candidates(
     int macroblocks, rt::Cycles latency, rt::Cycles period) const {
+  if (macroblocks == cand_mb_ && latency == cand_latency_ &&
+      period == cand_period_) {
+    return cand_cache_;
+  }
   // Candidate service budgets, richest first; rounded down to a
   // multiple of the macroblock count so the evenly paced deadlines
   // divide exactly, with the qmin-minimal budget as last resort.
@@ -202,7 +209,11 @@ std::vector<rt::Cycles> AdmissionController::controlled_candidates(
             std::greater<rt::Cycles>());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
-  return candidates;
+  cand_mb_ = macroblocks;
+  cand_latency_ = latency;
+  cand_period_ = period;
+  cand_cache_ = std::move(candidates);
+  return cand_cache_;
 }
 
 void AdmissionController::commit_and_fill(
@@ -230,6 +241,21 @@ void AdmissionController::commit_and_fill(
   out->system = std::move(system);
 }
 
+const std::vector<int>& AdmissionController::unpreferred_order() const {
+  if (!unpreferred_dirty_) return unpreferred_cache_;
+  std::vector<std::pair<double, int>> keyed;
+  keyed.reserve(static_cast<std::size_t>(num_processors()));
+  for (int p = 0; p < num_processors(); ++p) {
+    keyed.emplace_back(committed_utilization(p), p);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  unpreferred_cache_.clear();
+  unpreferred_cache_.reserve(keyed.size());
+  for (const auto& [u, p] : keyed) unpreferred_cache_.push_back(p);
+  unpreferred_dirty_ = false;
+  return unpreferred_cache_;
+}
+
 bool AdmissionController::try_place(const StreamSpec& spec,
                                     rt::Cycles table_budget, rt::Cycles cost,
                                     int preferred, Placement* out) {
@@ -237,21 +263,26 @@ bool AdmissionController::try_place(const StreamSpec& spec,
   // paced over table_budget from service start, the qmin worst case
   // must be schedulable (max_initial_delay >= 0).  Processor-
   // independent, so check it once before any demand test.
-  auto system = tables_->get(macroblocks_of(spec), table_budget);
+  const auto& system = tables_->get(macroblocks_of(spec), table_budget);
   if (system->tables->max_initial_delay() < 0) return false;
 
+  static const std::vector<int> kNoOrder;
+  const std::vector<int>& unpreferred =
+      preferred < 0 ? unpreferred_order() : kNoOrder;
   for (int k = 0; k < num_processors(); ++k) {
     // Preferred processor first, then the rest in index order; an
     // off-preferred host charges the migration surcharge on top of
-    // the stream's own worst case.
-    const int p = k == 0 ? preferred
-                         : (k - 1 < preferred ? k - 1 : k);
+    // the stream's own worst case.  With no preference (-1) the sweep
+    // runs least-loaded first and every host charges the surcharge.
+    const int p = preferred < 0
+                      ? unpreferred[static_cast<std::size_t>(k)]
+                      : (k == 0 ? preferred
+                                : (k - 1 < preferred ? k - 1 : k));
     const sched::NpTask task{
         cost + (p != preferred ? config_.migration_cost : 0),
         latency_of(spec), period_of(spec)};
     if (!fits(p, task)) continue;
-    commit_and_fill(spec, task, table_budget, p, preferred,
-                    std::move(system), out);
+    commit_and_fill(spec, task, table_budget, p, preferred, system, out);
     return true;
   }
   return false;
@@ -262,12 +293,19 @@ bool AdmissionController::try_place_renegotiating(const StreamSpec& spec,
                                                   rt::Cycles cost,
                                                   int preferred,
                                                   Placement* out) {
-  auto system = tables_->get(macroblocks_of(spec), table_budget);
+  const auto& system = tables_->get(macroblocks_of(spec), table_budget);
   if (system->tables->max_initial_delay() < 0) return false;
 
+  static const std::vector<int> kNoOrder;
+  // Bound once, like the old per-call snapshot: shrinks inside the
+  // loop dirty the cache but nothing re-reads it until the next admit.
+  const std::vector<int>& unpreferred =
+      preferred < 0 ? unpreferred_order() : kNoOrder;
   for (int k = 0; k < num_processors(); ++k) {
-    const int p = k == 0 ? preferred
-                         : (k - 1 < preferred ? k - 1 : k);
+    const int p = preferred < 0
+                      ? unpreferred[static_cast<std::size_t>(k)]
+                      : (k == 0 ? preferred
+                                : (k - 1 < preferred ? k - 1 : k));
     const sched::NpTask task{
         cost + (p != preferred ? config_.migration_cost : 0),
         latency_of(spec), period_of(spec)};
@@ -330,8 +368,7 @@ bool AdmissionController::try_place_renegotiating(const StreamSpec& spec,
       pending_renegotiations_.push_back(std::move(r));
     }
 
-    commit_and_fill(spec, task, table_budget, p, preferred,
-                    std::move(system), out);
+    commit_and_fill(spec, task, table_budget, p, preferred, system, out);
     out->via_renegotiation = true;
     return true;
   }
@@ -343,7 +380,7 @@ bool AdmissionController::try_place_split(const StreamSpec& spec,
                                           rt::Cycles cost, Placement* out) {
   if (!sched_.split || num_processors() < 2 || cost < 2) return false;
   const int mb = macroblocks_of(spec);
-  auto system = tables_->get(mb, table_budget);
+  const auto& system = tables_->get(mb, table_budget);
   if (system->tables->max_initial_delay() < 0) return false;
 
   const rt::Cycles latency = latency_of(spec);
@@ -412,7 +449,7 @@ bool AdmissionController::try_place_split(const StreamSpec& spec,
       out->table_budget = table_budget;
       out->migrated = true;  // the frame crosses processors each period
       out->initial_quality = system->tables->initial_quality();
-      out->system = std::move(system);
+      out->system = system;
       return true;
     }
   }
@@ -421,7 +458,7 @@ bool AdmissionController::try_place_split(const StreamSpec& spec,
 
 Placement AdmissionController::admit(const StreamSpec& spec,
                                      int preferred_processor) {
-  QC_EXPECT(preferred_processor >= 0 &&
+  QC_EXPECT(preferred_processor >= -1 &&
                 preferred_processor < num_processors(),
             "preferred processor out of range");
   QC_EXPECT(macroblocks_of(spec) >= 1,

@@ -94,9 +94,12 @@ class TableCache {
  public:
   explicit TableCache(platform::CostTable costs);
 
-  /// The compiled system for (macroblocks, budget); built on first use.
-  std::shared_ptr<const enc::EncoderSystem> get(int macroblocks,
-                                                rt::Cycles budget);
+  /// The compiled system for (macroblocks, budget); built on first
+  /// use.  Returned by reference into the cache (stable across later
+  /// insertions) so certification probes on the admission hot path
+  /// skip the shared_ptr refcount round trip; copy it to keep it.
+  const std::shared_ptr<const enc::EncoderSystem>& get(int macroblocks,
+                                                       rt::Cycles budget);
 
   /// Smallest evenly-paced budget that is worst-case schedulable at
   /// qmin: macroblocks * sum of qmin worst cases over the body.
@@ -196,6 +199,12 @@ class AdmissionController {
   /// On success the stream's load is committed until release().  May
   /// shrink running streams when the scenario enables renegotiation;
   /// collect the shrinks with take_renegotiations().
+  ///
+  /// `preferred_processor` may be -1: *no* processor is local to the
+  /// stream, so placements are tried least-loaded first and every one
+  /// pays the migration surcharge — the contract a sharded control
+  /// plane uses when it probes a foreign shard or rebalances a stream
+  /// across shards (farm/shard.h).
   Placement admit(const StreamSpec& spec, int preferred_processor);
 
   /// Budget changes imposed since the last call (admit() appends
@@ -308,10 +317,13 @@ class AdmissionController {
 
   /// Candidate service budgets for a controlled stream, richest first
   /// (fractions of the latency window and multiples of the qmin
-  /// minimum, share-capped; the qmin minimum always last).
-  std::vector<rt::Cycles> controlled_candidates(int macroblocks,
-                                                rt::Cycles latency,
-                                                rt::Cycles period) const;
+  /// minimum, share-capped; the qmin minimum always last).  A pure
+  /// function of the config and the cost tables, memoized on the last
+  /// (macroblocks, latency, period) key: join storms share geometry,
+  /// so the ladder is built once per run, not once per verdict.  The
+  /// reference is invalidated by the next call with a different key.
+  const std::vector<rt::Cycles>& controlled_candidates(
+      int macroblocks, rt::Cycles latency, rt::Cycles period) const;
 
   /// Records the commitment of an accepted (budget, cost) candidate
   /// on processor `p` and fills `out` (shared tail of the placement
@@ -323,8 +335,16 @@ class AdmissionController {
 
   /// Tries one (budget, cost) candidate on the preferred processor
   /// first, then the others; commits and fills `out` on success.
+  /// With preferred = -1 the sweep runs least-loaded first and every
+  /// processor charges the migration surcharge.
   bool try_place(const StreamSpec& spec, rt::Cycles table_budget,
                  rt::Cycles cost, int preferred, Placement* out);
+
+  /// Probe order for a stream with no preferred processor: ascending
+  /// (committed utilization, index).  Cached between commitment
+  /// mutations — a rejection sweep re-reads the same order per
+  /// candidate, so rebuilding it each time would be pure waste.
+  const std::vector<int>& unpreferred_order() const;
 
   /// Like try_place, but allowed to shrink running controlled
   /// commitments (largest budget headroom first, one ladder step at a
@@ -371,6 +391,16 @@ class AdmissionController {
   /// Busy length reported by the most recent QPA test (0 under the
   /// exact scan, which neither needs nor feeds warm hints).
   mutable rt::Cycles last_test_busy_ = 0;
+  /// controlled_candidates memo (see its doc comment).
+  mutable int cand_mb_ = -1;
+  mutable rt::Cycles cand_latency_ = 0;
+  mutable rt::Cycles cand_period_ = 0;
+  mutable std::vector<rt::Cycles> cand_cache_;
+  /// unpreferred_order cache, marked stale by demand_append /
+  /// demand_invalidate — the same hooks every commitment mutation
+  /// already goes through.
+  mutable std::vector<int> unpreferred_cache_;
+  mutable bool unpreferred_dirty_ = true;
   /// stream id -> processors holding one of its commitments (one
   /// entry per commit, so a C=D split records two).  Pure accelerator
   /// for release(): a leave touches only the hosting processors

@@ -123,6 +123,25 @@ std::string summarize(const FarmResult& r) {
     if (po.fault_conceals > 0) os << " fault_conceals=" << po.fault_conceals;
     os << "\n";
   }
+  // Per-shard lines only when the control plane is actually sharded:
+  // the single-shard summary stays byte-stable.
+  if (r.shards > 1) {
+    os << "shards=" << r.shards << " join_batches=" << r.join_batches
+       << " max_join_batch=" << r.max_join_batch
+       << " rebalance_migrations=" << r.rebalance_migrations << "\n";
+    for (std::size_t s = 0; s < r.shard_outcomes.size(); ++s) {
+      const ShardOutcome& sh = r.shard_outcomes[s];
+      os << "shard " << s << ": procs=[" << sh.first_processor << ","
+         << sh.first_processor + sh.num_processors << ")"
+         << " admitted=" << sh.admitted
+         << " probe_admits=" << sh.probe_admits
+         << " rejected=" << sh.rejected
+         << " migrations_in=" << sh.migrations_in
+         << " migrations_out=" << sh.migrations_out
+         << " demand_tests=" << sh.demand_tests
+         << " peak_committed=" << sh.peak_committed_utilization << "\n";
+    }
+  }
   for (const StreamOutcome& so : r.streams) {
     os << "stream " << so.spec.id << " [" << mode_name(so.spec.mode) << " "
        << so.spec.width << "x" << so.spec.height << " K="
@@ -385,7 +404,37 @@ std::string to_json(const FarmResult& r) {
     }
     os << "}}";
   }
-  os << "],\"metrics\":" << r.metrics.to_json() << ',';
+  os << "],";
+  // Shard block only when sharded, so single-shard JSON is unchanged.
+  if (r.shards > 1) {
+    os << "\"shards\":{";
+    json_kv(os, "count", static_cast<long long>(r.shards));
+    json_kv(os, "join_batches", r.join_batches);
+    json_kv(os, "max_join_batch", static_cast<long long>(r.max_join_batch));
+    json_kv(os, "rebalance_migrations",
+            static_cast<long long>(r.rebalance_migrations));
+    os << "\"per_shard\":[";
+    for (std::size_t s = 0; s < r.shard_outcomes.size(); ++s) {
+      const ShardOutcome& sh = r.shard_outcomes[s];
+      os << (s ? "," : "") << "{";
+      json_kv(os, "shard", static_cast<long long>(s));
+      json_kv(os, "first_processor",
+              static_cast<long long>(sh.first_processor));
+      json_kv(os, "num_processors",
+              static_cast<long long>(sh.num_processors));
+      json_kv(os, "admitted", sh.admitted);
+      json_kv(os, "probe_admits", sh.probe_admits);
+      json_kv(os, "rejected", sh.rejected);
+      json_kv(os, "migrations_in", sh.migrations_in);
+      json_kv(os, "migrations_out", sh.migrations_out);
+      json_kv(os, "demand_tests", sh.demand_tests);
+      json_kv(os, "peak_committed_utilization",
+              sh.peak_committed_utilization, false);
+      os << "}";
+    }
+    os << "]},";
+  }
+  os << "\"metrics\":" << r.metrics.to_json() << ',';
   json_kv(os, "trace_events", static_cast<long long>(r.trace.size()));
   json_kv(os, "trace_dropped", r.trace_dropped, false);
   os << "}";

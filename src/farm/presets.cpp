@@ -1,0 +1,287 @@
+#include "farm/presets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace qosctrl::farm {
+namespace {
+
+/// One decision-stream layout shared by every stochastic preset, the
+/// same split load_gen uses: arrivals, shapes, and modes fork
+/// independently so tweaking one axis does not reshuffle the others.
+struct PresetRngs {
+  util::Rng arrival;
+  util::Rng shape;
+  util::Rng mode;
+  explicit PresetRngs(std::uint64_t seed)
+      : arrival(util::Rng(seed).fork(1)),
+        shape(util::Rng(seed).fork(2)),
+        mode(util::Rng(seed).fork(3)) {}
+};
+
+rt::Cycles scaled_period(int width, int height, double factor) {
+  const int mb = (width / 16) * (height / 16);
+  return static_cast<rt::Cycles>(
+      std::llround(static_cast<double>(default_frame_period(mb)) * factor));
+}
+
+/// An exponential inter-arrival gap of `mean_periods` camera periods.
+rt::Cycles exp_gap(util::Rng& rng, double mean_periods, rt::Cycles period) {
+  const double gap = -std::log(1.0 - rng.uniform_01()) * mean_periods;
+  return static_cast<rt::Cycles>(
+      std::llround(gap * static_cast<double>(period)));
+}
+
+FarmScenario compile_diurnal(int n, std::uint64_t seed) {
+  // A day curve in three phases: a sparse ramp-up (25% of streams at
+  // 4-period mean gaps), a dense peak (50% at 0.5), and a sparse
+  // ramp-down (25% at 4 again).
+  PresetRngs rngs(seed);
+  const rt::Cycles base = scaled_period(64, 48, 4.0);
+  const int ramp = n / 4;
+  FarmScenario scenario;
+  scenario.streams.reserve(static_cast<std::size_t>(n));
+  rt::Cycles now = 0;
+  for (int id = 0; id < n; ++id) {
+    const bool peak = id >= ramp && id < n - ramp;
+    now += exp_gap(rngs.arrival, peak ? 0.5 : 4.0, base);
+    StreamSpec s;
+    s.id = id;
+    s.join_time = now;
+    if (rngs.shape.chance(0.35)) {
+      s.width = 80;
+      s.height = 64;
+    }
+    const double pf = (id % 2 == 0) ? 4.0 : (rngs.shape.chance(0.5) ? 3.0 : 6.0);
+    s.frame_period = scaled_period(s.width, s.height, pf);
+    s.buffer_capacity = rngs.shape.chance(0.3) ? 2 : 1;
+    s.num_frames = static_cast<int>(rngs.shape.uniform_i64(16, 32));
+    s.num_scenes = 2;
+    if (rngs.mode.chance(0.1)) {
+      s.mode = pipe::ControlMode::kConstantQuality;
+      s.constant_quality =
+          static_cast<rt::QualityLevel>(rngs.mode.uniform_i64(1, 4));
+    }
+    scenario.streams.push_back(s);
+  }
+  return scenario;
+}
+
+FarmScenario compile_flash_crowd(int n) {
+  // Fully deterministic and fully homogeneous: a 20% trickle at a
+  // relaxed cadence, then the remaining 80% storm in at most a
+  // quarter-period window.  One geometry, one period, one contract —
+  // so the globally least-loaded processor decides every placement
+  // and the trace is invariant to how the fleet is sharded.
+  const rt::Cycles period = scaled_period(64, 48, 4.0);
+  const int trickle = n / 5;
+  const int storm = n - trickle;
+  FarmScenario scenario;
+  scenario.streams.reserve(static_cast<std::size_t>(n));
+  auto push = [&](int id, rt::Cycles join) {
+    StreamSpec s;
+    s.id = id;
+    s.join_time = join;
+    s.frame_period = period;
+    s.num_frames = 12;
+    s.num_scenes = 2;
+    scenario.streams.push_back(s);
+  };
+  for (int id = 0; id < trickle; ++id) {
+    push(id, static_cast<rt::Cycles>(id) * 2 * period);
+  }
+  const rt::Cycles storm_start =
+      static_cast<rt::Cycles>(trickle) * 2 * period + period;
+  const rt::Cycles spacing =
+      std::max<rt::Cycles>(1, period / 4 / std::max(1, storm));
+  for (int k = 0; k < storm; ++k) {
+    push(trickle + k, storm_start + static_cast<rt::Cycles>(k) * spacing);
+  }
+  return scenario;
+}
+
+FarmScenario compile_churn_heavy(int n, std::uint64_t seed) {
+  // Rapid join/leave churn: quarter-period mean gaps and 3-6 frame
+  // lifetimes, so commitments turn over constantly and the restore
+  // pass / rebalancer have departures to react to.
+  PresetRngs rngs(seed);
+  const rt::Cycles base = scaled_period(64, 48, 3.0);
+  FarmScenario scenario;
+  scenario.streams.reserve(static_cast<std::size_t>(n));
+  rt::Cycles now = 0;
+  for (int id = 0; id < n; ++id) {
+    now += exp_gap(rngs.arrival, 0.25, base);
+    StreamSpec s;
+    s.id = id;
+    s.join_time = now;
+    if (rngs.shape.chance(0.3)) {
+      s.width = 80;
+      s.height = 64;
+    }
+    s.frame_period =
+        scaled_period(s.width, s.height, rngs.shape.chance(0.5) ? 3.0 : 4.0);
+    s.num_frames = static_cast<int>(rngs.shape.uniform_i64(3, 6));
+    s.num_scenes = 1;
+    if (rngs.mode.chance(0.2)) {
+      s.mode = pipe::ControlMode::kConstantQuality;
+      s.constant_quality =
+          static_cast<rt::QualityLevel>(rngs.mode.uniform_i64(1, 4));
+    }
+    scenario.streams.push_back(s);
+  }
+  return scenario;
+}
+
+FarmScenario compile_mixed_geometry(int n, std::uint64_t seed) {
+  // The widest shape spread: four geometries from 4 to 48
+  // macroblocks, period factors from 2 to 8, and contracts up to
+  // K = 3 — the admission cost model's whole operating envelope in
+  // one offered load.
+  static constexpr int kGeometry[][2] = {
+      {32, 32}, {64, 48}, {96, 80}, {128, 96}};
+  static constexpr double kFactors[] = {2.0, 3.0, 6.0, 8.0};
+  PresetRngs rngs(seed);
+  const rt::Cycles base = scaled_period(64, 48, 3.0);
+  FarmScenario scenario;
+  scenario.streams.reserve(static_cast<std::size_t>(n));
+  rt::Cycles now = 0;
+  for (int id = 0; id < n; ++id) {
+    now += exp_gap(rngs.arrival, 1.0, base);
+    StreamSpec s;
+    s.id = id;
+    s.join_time = now;
+    // Round-robin geometry so every size shows up even in tiny runs;
+    // the period factor and contract stay stochastic.
+    s.width = kGeometry[id % 4][0];
+    s.height = kGeometry[id % 4][1];
+    const double pf =
+        kFactors[static_cast<std::size_t>(rngs.shape.uniform_i64(0, 3))];
+    s.frame_period = scaled_period(s.width, s.height, pf);
+    s.buffer_capacity = static_cast<int>(rngs.shape.uniform_i64(1, 3));
+    s.num_frames = static_cast<int>(rngs.shape.uniform_i64(8, 24));
+    s.num_scenes = 2;
+    if (rngs.mode.chance(0.15)) {
+      s.mode = pipe::ControlMode::kConstantQuality;
+      s.constant_quality =
+          static_cast<rt::QualityLevel>(rngs.mode.uniform_i64(1, 4));
+    }
+    scenario.streams.push_back(s);
+  }
+  return scenario;
+}
+
+}  // namespace
+
+bool parse_preset_name(const char* name, PresetKind* out) {
+  if (std::strcmp(name, "diurnal") == 0) {
+    *out = PresetKind::kDiurnal;
+  } else if (std::strcmp(name, "flash-crowd") == 0) {
+    *out = PresetKind::kFlashCrowd;
+  } else if (std::strcmp(name, "churn-heavy") == 0) {
+    *out = PresetKind::kChurnHeavy;
+  } else if (std::strcmp(name, "mixed-geometry") == 0) {
+    *out = PresetKind::kMixedGeometry;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* preset_name(PresetKind kind) {
+  switch (kind) {
+    case PresetKind::kDiurnal:
+      return "diurnal";
+    case PresetKind::kFlashCrowd:
+      return "flash-crowd";
+    case PresetKind::kChurnHeavy:
+      return "churn-heavy";
+    case PresetKind::kMixedGeometry:
+      return "mixed-geometry";
+  }
+  return "?";
+}
+
+std::vector<PresetKind> all_presets() {
+  return {PresetKind::kDiurnal, PresetKind::kFlashCrowd,
+          PresetKind::kChurnHeavy, PresetKind::kMixedGeometry};
+}
+
+int default_preset_streams(PresetKind kind) {
+  switch (kind) {
+    case PresetKind::kDiurnal:
+      return 48;
+    case PresetKind::kFlashCrowd:
+      return 64;
+    case PresetKind::kChurnHeavy:
+      return 80;
+    case PresetKind::kMixedGeometry:
+      return 40;
+  }
+  return 0;
+}
+
+FarmScenario compile_preset(PresetKind kind, const PresetParams& params) {
+  QC_EXPECT(params.num_streams >= 0, "preset stream count must be >= 0");
+  const int n = params.num_streams > 0 ? params.num_streams
+                                       : default_preset_streams(kind);
+  const std::uint64_t seed = params.seed != 0 ? params.seed : 7;
+  FarmScenario scenario;
+  switch (kind) {
+    case PresetKind::kDiurnal:
+      scenario = compile_diurnal(n, seed);
+      break;
+    case PresetKind::kFlashCrowd:
+      scenario = compile_flash_crowd(n);
+      break;
+    case PresetKind::kChurnHeavy:
+      scenario = compile_churn_heavy(n, seed);
+      break;
+    case PresetKind::kMixedGeometry:
+      scenario = compile_mixed_geometry(n, seed);
+      break;
+  }
+  std::stable_sort(scenario.streams.begin(), scenario.streams.end(),
+                   [](const StreamSpec& a, const StreamSpec& b) {
+                     return a.join_time != b.join_time
+                                ? a.join_time < b.join_time
+                                : a.id < b.id;
+                   });
+  return scenario;
+}
+
+PresetFingerprint fingerprint(const FarmScenario& scenario) {
+  PresetFingerprint fp;
+  fp.num_streams = static_cast<int>(scenario.streams.size());
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  for (std::size_t i = 0; i < scenario.streams.size(); ++i) {
+    const StreamSpec& s = scenario.streams[i];
+    if (s.mode == pipe::ControlMode::kConstantQuality) ++fp.constant_streams;
+    fp.total_frames += s.num_frames;
+    fp.macroblock_sum += macroblocks_of(s);
+    if (i == 0) fp.first_join = s.join_time;
+    fp.last_join = std::max(fp.last_join, s.join_time);
+    mix(static_cast<std::uint64_t>(s.join_time));
+    mix((static_cast<std::uint64_t>(s.width) << 32) |
+        static_cast<std::uint32_t>(s.height));
+    mix(static_cast<std::uint64_t>(period_of(s)));
+    mix((static_cast<std::uint64_t>(s.num_frames) << 32) |
+        static_cast<std::uint32_t>(s.buffer_capacity));
+    mix(static_cast<std::uint64_t>(s.mode == pipe::ControlMode::kControlled
+                                       ? 0
+                                       : 16 + s.constant_quality));
+  }
+  fp.arrival_hash = h;
+  return fp;
+}
+
+}  // namespace qosctrl::farm

@@ -1,0 +1,69 @@
+// Named scenario presets: deterministic arrival traces compiled into
+// a FarmScenario, so CLIs, qoseval, and CI sweep *named* workloads
+// ("flash-crowd") instead of bare load-generator seeds, and reports
+// stay comparable across PRs.
+//
+// Each preset is a pure function of (kind, params): the same name and
+// seed always compile to the same offered load, byte for byte.  The
+// scheduling contract and fault spec stay the caller's business —
+// presets only shape arrivals, geometry, and lifetimes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "farm/scenario.h"
+
+namespace qosctrl::farm {
+
+/// The named workload shapes.  `flash-crowd` is deliberately fully
+/// homogeneous (one geometry, one period, one contract): it is the
+/// scenario the shard-invariance tests and BM_ShardedJoinRate pin,
+/// and homogeneity is what makes placements independent of the shard
+/// count (see docs/scenarios.md).
+enum class PresetKind {
+  kDiurnal,        ///< ramp-up / peak / ramp-down arrival intensity
+  kFlashCrowd,     ///< a trickle, then a storm in a tiny join window
+  kChurnHeavy,     ///< short lifetimes, rapid join/leave churn
+  kMixedGeometry,  ///< wide spread of geometries, periods, contracts
+};
+
+struct PresetParams {
+  /// Offered streams; 0 picks the preset's own default size.
+  int num_streams = 0;
+  /// Root of the preset's stochastic draws (arrival jitter, shape
+  /// mix).  flash-crowd ignores it: its trace is fully determined.
+  std::uint64_t seed = 7;
+};
+
+/// "diurnal" | "flash-crowd" | "churn-heavy" | "mixed-geometry".
+bool parse_preset_name(const char* name, PresetKind* out);
+const char* preset_name(PresetKind kind);
+std::vector<PresetKind> all_presets();
+
+/// Default stream count of a preset (what num_streams = 0 means).
+int default_preset_streams(PresetKind kind);
+
+/// Compiles the named arrival trace.  Streams come out sorted by
+/// (join_time, id); sched and faults are left at their defaults.
+FarmScenario compile_preset(PresetKind kind, const PresetParams& params = {});
+
+/// Compact, order-sensitive digest of an offered load, for golden
+/// tests that pin a preset's arrival-count / geometry fingerprint
+/// without storing the whole scenario.
+struct PresetFingerprint {
+  int num_streams = 0;
+  int constant_streams = 0;     ///< kConstantQuality (uncontrolled) specs
+  long long total_frames = 0;   ///< sum of per-stream lifetimes
+  long long macroblock_sum = 0; ///< sum of per-stream geometry sizes
+  rt::Cycles first_join = 0;
+  rt::Cycles last_join = 0;
+  /// FNV-1a over every spec's (join, geometry, period, frames, K,
+  /// mode) in stream order — any reshuffle or reshape changes it.
+  std::uint64_t arrival_hash = 0;
+};
+
+PresetFingerprint fingerprint(const FarmScenario& scenario);
+
+}  // namespace qosctrl::farm

@@ -1,6 +1,8 @@
 #include "farm/simulator.h"
 
 #include <algorithm>
+
+#include "farm/shard.h"
 #include <array>
 #include <atomic>
 #include <cmath>
@@ -907,6 +909,8 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
 
 FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   QC_EXPECT(config.num_processors >= 1, "farm needs >= 1 processor");
+  QC_EXPECT(config.control_epoch >= 0,
+            "control epoch must be non-negative");
   for (const FailureEvent& ev : scenario.faults.failures) {
     QC_EXPECT(ev.processor >= 0 && ev.processor < config.num_processors,
               "failure event targets a processor outside the farm");
@@ -964,8 +968,12 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   for (StreamOutcome& so : result.streams) by_id[so.spec.id] = &so;
 
   TableCache tables(platform::figure5_cost_table());
-  AdmissionController admission(config.num_processors, config.admission,
-                                &tables, scenario.sched);
+  ShardPlaneConfig shard_cfg;
+  shard_cfg.shards = config.shards;
+  shard_cfg.probe_shards = config.probe_shards;
+  shard_cfg.rebalance_watermark = config.rebalance_watermark;
+  ShardedControlPlane plane(config.num_processors, shard_cfg,
+                            config.admission, &tables, scenario.sched);
   using Leave = std::pair<rt::Cycles, int>;  // (leave time, stream id)
   std::priority_queue<Leave, std::vector<Leave>, std::greater<Leave>> leaves;
 
@@ -988,7 +996,7 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   // on their stream at the change's effective time (on the stream's
   // currently-running segment: the latest failover one, if any).
   auto apply_renegotiations = [&] {
-    for (BudgetRenegotiation& r : admission.take_renegotiations()) {
+    for (BudgetRenegotiation& r : plane.take_renegotiations()) {
       StreamOutcome* victim = by_id.at(r.stream_id);
       if (ctrace != nullptr) {
         ctrace->push(r.grow ? obs::EventKind::kRestore
@@ -1012,11 +1020,15 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
     }
   };
 
+  std::vector<double> shard_peaks(static_cast<std::size_t>(config.shards),
+                                  0.0);
   auto note_peak = [&](int processor) {
     auto& proc = result.processors[static_cast<std::size_t>(processor)];
+    const double u = plane.committed_utilization(processor);
     proc.peak_committed_utilization =
-        std::max(proc.peak_committed_utilization,
-                 admission.committed_utilization(processor));
+        std::max(proc.peak_committed_utilization, u);
+    auto& sp = shard_peaks[static_cast<std::size_t>(plane.shard_of(processor))];
+    sp = std::max(sp, u);
   };
 
   /// A permanent processor failure: mark it dead, then release and
@@ -1028,14 +1040,14 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   auto handle_failure = [&](std::size_t k) {
     const FailureEvent& ev = scenario.faults.failures[k];
     FailureOutcome& fo = result.failures[k];
-    if (admission.processor_failed(ev.processor)) return;  // already dead
-    admission.fail_processor(ev.processor);
+    if (plane.processor_failed(ev.processor)) return;  // already dead
+    plane.fail_processor(ev.processor);
     auto& po = result.processors[static_cast<std::size_t>(ev.processor)];
     po.failed = true;
     po.failed_at = ev.time;
-    for (int id : admission.resident_stream_ids(ev.processor)) {
+    for (int id : plane.resident_stream_ids(ev.processor)) {
       StreamOutcome* so = by_id.at(id);
-      admission.release(id, ev.time);
+      plane.release(id, ev.time);
       apply_renegotiations();
       ++fo.displaced;
       const rt::Cycles period = period_of(so->spec);
@@ -1051,8 +1063,7 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
       resume.join_time =
           so->spec.join_time + static_cast<rt::Cycles>(ff) * period;
       resume.num_frames = so->spec.num_frames - ff;
-      const Placement pl =
-          admission.admit(resume, admission.least_loaded());
+      const Placement pl = plane.admit(resume);
       apply_renegotiations();
       if (!pl.admitted) {
         // No survivor can host it: the remaining frames stay with the
@@ -1097,7 +1108,7 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
       if (t_leave == kNever && t_fail == kNever) break;
       if (t_leave > t_limit && t_fail > t_limit) break;
       if (t_leave <= t_fail) {
-        admission.release(leaves.top().second, leaves.top().first);
+        plane.release(leaves.top().second, leaves.top().first);
         leaves.pop();
         apply_renegotiations();
       } else {
@@ -1106,34 +1117,101 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
     }
   };
 
-  for (StreamOutcome* so : join_order) {
-    drain_until(so->spec.join_time);
-    const int preferred = admission.least_loaded();
-    so->placement = admission.admit(so->spec, preferred);
-    apply_renegotiations();
-    if (so->placement.admitted) {
-      so->epochs.insert(
-          so->epochs.begin(),
-          BudgetEpoch{so->spec.join_time, so->placement.table_budget,
-                      so->placement.committed_cost, so->placement.system});
-      leaves.emplace(leave_time_of(so->spec), so->spec.id);
-      note_peak(so->placement.processor);
+  /// Cross-shard rebalancing, run after each control batch: migrate
+  /// residents off the hottest shard while its pressure exceeds the
+  /// watermark.  Each migration opens a failover segment with
+  /// failure_index -1 — the data plane treats it exactly like a
+  /// failover hand-off, minus the blackout.  The per-batch cap bounds
+  /// churn even under adversarial load.
+  auto run_rebalancer = [&](rt::Cycles now) {
+    if (config.rebalance_watermark <= 0.0) return;
+    const int cap = 4 * plane.num_shards();
+    int moved = 0;
+    ShardMigration mg;
+    while (moved < cap && plane.rebalance_step(now, &mg)) {
+      ++moved;
+      ++result.rebalance_migrations;
+      StreamOutcome* so = by_id.at(mg.stream_id);
+      FailoverSegment seg;
+      seg.failure_index = -1;
+      seg.from_time = now;
+      // mg.from_time is the first arrival the new placement serves;
+      // against the stream's original join it names the absolute frame
+      // index even after repeated migrations.
+      seg.first_frame = static_cast<int>((mg.from_time - so->spec.join_time) /
+                                         period_of(so->spec));
+      seg.placement = mg.placement;
+      seg.epochs.push_back(BudgetEpoch{mg.from_time,
+                                       mg.placement.table_budget,
+                                       mg.placement.committed_cost,
+                                       mg.placement.system});
+      so->failover.push_back(std::move(seg));
+      note_peak(mg.placement.processor);
       if (ctrace != nullptr) {
-        const std::uint32_t flags =
-            (so->placement.migrated ? 1u : 0u) |
-            (so->placement.degraded ? 2u : 0u) |
-            (so->placement.via_renegotiation ? 4u : 0u);
-        ctrace->push(obs::EventKind::kAdmit, so->spec.join_time,
-                     so->spec.id, -1, so->placement.processor, flags);
-        if (so->placement.migrated) {
-          ctrace->push(obs::EventKind::kMigrate, so->spec.join_time,
-                       so->spec.id, -1, so->placement.processor);
-        }
+        ctrace->push(obs::EventKind::kRebalance, now, mg.stream_id, -1,
+                     mg.placement.processor,
+                     static_cast<std::uint32_t>(mg.to_shard));
       }
-    } else if (ctrace != nullptr) {
-      ctrace->push(obs::EventKind::kReject, so->spec.join_time,
-                   so->spec.id, -1, -1);
+      apply_renegotiations();
     }
+  };
+
+  // Joins, grouped into control batches: all joins in the same control
+  // epoch window form one batch (every join is its own batch when no
+  // epoch is configured).  Each join is still processed one at a time
+  // in (time, id) order — batching sets the rebalance cadence and the
+  // storm accounting, never the admission decisions.
+  const rt::Cycles epoch = config.control_epoch;
+  for (std::size_t b = 0; b < join_order.size();) {
+    std::size_t e = b + 1;
+    if (epoch > 0) {
+      const rt::Cycles window = join_order[b]->spec.join_time / epoch;
+      while (e < join_order.size() &&
+             join_order[e]->spec.join_time / epoch == window) {
+        ++e;
+      }
+    }
+    for (std::size_t j = b; j < e; ++j) {
+      StreamOutcome* so = join_order[j];
+      drain_until(so->spec.join_time);
+      so->placement = plane.admit(so->spec);
+      apply_renegotiations();
+      if (so->placement.admitted) {
+        so->epochs.insert(
+            so->epochs.begin(),
+            BudgetEpoch{so->spec.join_time, so->placement.table_budget,
+                        so->placement.committed_cost, so->placement.system});
+        leaves.emplace(leave_time_of(so->spec), so->spec.id);
+        note_peak(so->placement.processor);
+        if (ctrace != nullptr) {
+          const std::uint32_t flags =
+              (so->placement.migrated ? 1u : 0u) |
+              (so->placement.degraded ? 2u : 0u) |
+              (so->placement.via_renegotiation ? 4u : 0u);
+          ctrace->push(obs::EventKind::kAdmit, so->spec.join_time,
+                       so->spec.id, -1, so->placement.processor, flags);
+          if (so->placement.migrated) {
+            ctrace->push(obs::EventKind::kMigrate, so->spec.join_time,
+                         so->spec.id, -1, so->placement.processor);
+          }
+        }
+      } else if (ctrace != nullptr) {
+        ctrace->push(obs::EventKind::kReject, so->spec.join_time,
+                     so->spec.id, -1, -1);
+      }
+    }
+    const rt::Cycles batch_end = join_order[e - 1]->spec.join_time;
+    if (epoch > 0) {
+      ++result.join_batches;
+      result.max_join_batch =
+          std::max(result.max_join_batch, static_cast<int>(e - b));
+      if (ctrace != nullptr) {
+        ctrace->push(obs::EventKind::kJoinBatch, batch_end, -1, -1,
+                     static_cast<std::int64_t>(e - b));
+      }
+    }
+    run_rebalancer(batch_end);
+    b = e;
   }
   // Departures and failures after the last join: drain to the end —
   // restore passes still grow long-lived incumbents, and a late
@@ -1156,7 +1234,7 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
         // quarantine re-entry rungs would not match what was admitted.
         continue;
       }
-      ladders[i] = admission.certified_ladder(
+      ladders[i] = plane.certified_ladder(
           macroblocks_of(so.spec), latency_of(so.spec), period_of(so.spec));
     }
   }
@@ -1445,13 +1523,34 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   control.counter("admission_restores") = result.restored_streams;
   control.counter("failover_readmissions") = result.failover_readmissions;
   control.counter("failover_drops") = result.failover_drops;
-  const sched::EdfScanStats& scan = admission.scan_stats();
+  const sched::EdfScanStats scan = plane.scan_stats();
   control.counter("admission_demand_tests") = scan.demand_tests;
   control.counter("admission_busy_iterations") = scan.busy_iterations;
   control.counter("admission_check_points") = scan.check_points;
   control.counter("admission_qpa_points") = scan.qpa_points;
-  control.counter("admission_splits") = admission.split_count();
+  control.counter("admission_splits") = plane.split_count();
+  control.counter("join_batches") = result.join_batches;
+  control.counter("rebalance_migrations") = result.rebalance_migrations;
   result.metrics.merge(control);
+
+  // ----- Per-shard outcomes (the report layers render them only when
+  // the plane is actually sharded, keeping single-shard output stable).
+  result.shards = plane.num_shards();
+  result.shard_outcomes.resize(static_cast<std::size_t>(plane.num_shards()));
+  for (int s = 0; s < plane.num_shards(); ++s) {
+    ShardOutcome& o = result.shard_outcomes[static_cast<std::size_t>(s)];
+    o.first_processor = plane.shard_base(s);
+    o.num_processors = plane.shard_size(s);
+    const ShardStats& st = plane.shard_stats(s);
+    o.admitted = st.admitted;
+    o.probe_admits = st.probe_admits;
+    o.rejected = st.rejected;
+    o.migrations_in = st.migrations_in;
+    o.migrations_out = st.migrations_out;
+    o.demand_tests = plane.shard_scan_stats(s).demand_tests;
+    o.peak_committed_utilization =
+        shard_peaks[static_cast<std::size_t>(s)];
+  }
   if (recorder.has_value()) {
     result.trace = recorder->merged();
     result.trace_dropped = recorder->dropped();

@@ -74,6 +74,21 @@ struct FarmConfig {
   /// Host threads for the data plane (clamped to [1, processors]).
   int workers = 1;
   AdmissionConfig admission{};
+  /// Control-plane shards: contiguous processor groups, each with its
+  /// own AdmissionController behind a router (farm/shard.h).  1 (the
+  /// default) is exactly the old single-controller plane.
+  int shards = 1;
+  /// Extra shards the router probes after the preferred one rejects.
+  int probe_shards = 1;
+  /// Rebalancer watermark: after each join batch, migrate streams off
+  /// any shard whose utilization headroom (1 - hottest processor's
+  /// committed utilization) fell below this; 0 disables rebalancing.
+  double rebalance_watermark = 0.0;
+  /// Control-epoch length in cycles: joins landing in the same epoch
+  /// window are accounted as one batch (admission decisions are
+  /// unchanged — the epoch sets the rebalancing cadence and the storm
+  /// accounting); 0 batches per join.
+  rt::Cycles control_epoch = 0;
   /// Farm-wide seed; per-stream seeds are forked from it by stream id.
   std::uint64_t seed = 2026;
   /// Camera rate at the *default* pacing; a stream whose period is
@@ -102,15 +117,18 @@ struct StreamFaultStats {
   int failure_drops = 0;      ///< frames lost to a processor blackout
 };
 
-/// One re-admission of a stream displaced by a permanent processor
-/// failure: the control plane releases the dead processor's
-/// commitment and admits a phase-aligned continuation (same id, same
-/// contract, first unserved frame onward) on a survivor.
+/// One re-admission of a stream displaced mid-life: by a permanent
+/// processor failure (failure_index >= 0 — the control plane releases
+/// the dead processor's commitment and admits a phase-aligned
+/// continuation, same id, same contract, first unserved frame onward,
+/// on a survivor), or by the shard rebalancer (failure_index == -1 —
+/// the same continuation split, moved to a colder shard).
 struct FailoverSegment {
-  int failure_index = -1;    ///< index into FaultSpec::failures
-  rt::Cycles from_time = 0;  ///< the failure instant
+  int failure_index = -1;    ///< index into FaultSpec::failures;
+                             ///< -1 for a rebalancer migration
+  rt::Cycles from_time = 0;  ///< the displacement instant
   int first_frame = 0;       ///< first camera frame this segment serves
-  Placement placement;       ///< the survivor-side admission verdict
+  Placement placement;       ///< the new admission verdict
   /// Budget history of this segment (initial re-admission epoch plus
   /// any later renegotiations).
   std::vector<BudgetEpoch> epochs;
@@ -165,6 +183,20 @@ struct ProcessorOutcome {
   /// Frames concealed because this processor was dead or blacked out
   /// (in-flight, queued, and arriving during the outage).
   int fault_conceals = 0;
+};
+
+/// Per-shard control-plane accounting (one entry per configured
+/// shard; a single entry when the plane is unsharded).
+struct ShardOutcome {
+  int first_processor = 0;  ///< global index of the shard's first processor
+  int num_processors = 0;
+  long long admitted = 0;      ///< placements landed on this shard
+  long long probe_admits = 0;  ///< ...of which arrived by probing
+  long long rejected = 0;      ///< rejects charged as the preferred shard
+  long long migrations_in = 0;   ///< rebalancer arrivals
+  long long migrations_out = 0;  ///< rebalancer departures
+  long long demand_tests = 0;    ///< schedulability tests this shard ran
+  double peak_committed_utilization = 0.0;
 };
 
 /// What one injected FailureEvent did to the fleet (transient events
@@ -227,6 +259,15 @@ struct FarmResult {
   int quarantined_streams = 0;
   int failover_readmissions = 0;  ///< segments opened after failures
   int failover_drops = 0;         ///< displaced streams nobody could host
+
+  /// Control-plane sharding: per-shard accounting (single entry when
+  /// unsharded), join-storm batches (0 batches unless
+  /// FarmConfig::control_epoch > 0), and rebalancer migrations.
+  int shards = 1;
+  std::vector<ShardOutcome> shard_outcomes;
+  long long join_batches = 0;
+  int max_join_batch = 0;
+  int rebalance_migrations = 0;
 
   double fleet_mean_psnr = 0.0;     ///< over all admitted frames
   double fleet_mean_ssim = 0.0;     ///< over all admitted frames

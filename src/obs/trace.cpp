@@ -258,6 +258,14 @@ std::string export_chrome_trace(const std::vector<TraceEvent>& events,
                  "/cpu" + std::to_string(e.cpu),
              one_arg("cycles", e.arg));
         break;
+      case EventKind::kJoinBatch:
+        emit(os, &first, e, "i", "join_batch", one_arg("joins", e.arg));
+        break;
+      case EventKind::kRebalance:
+        args << one_arg("processor", e.arg) << ','
+             << one_arg("shard", e.aux);
+        emit(os, &first, e, "i", stream_label("rebalance", e), args.str());
+        break;
       case EventKind::kNone:
         break;
     }

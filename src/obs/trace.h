@@ -63,6 +63,8 @@ enum class EventKind : std::uint16_t {
   kQuarantine,      ///< stream quarantined; arg = release time
   kQueueDepth,      ///< counter: run-queue depth; arg = depth
   kPhaseCycles,     ///< counter: cumulative phase cycles; aux = phase
+  kJoinBatch,       ///< control epoch closed; arg = joins batched
+  kRebalance,       ///< cross-shard migration; arg = processor, aux = shard
 };
 
 /// aux of kComplete: how the finished service was routed.

@@ -132,7 +132,8 @@ double fuse_stream_quality(double mean_psnr, double mean_ssim,
 }
 
 SweepResult run_sweep(const SweepConfig& config) {
-  QC_EXPECT(!config.scenarios.empty(), "sweep needs at least one scenario");
+  QC_EXPECT(!config.scenarios.empty() || !config.preset_scenarios.empty(),
+            "sweep needs at least one scenario");
   QC_EXPECT(!config.sched_policies.empty(),
             "sweep needs at least one scheduling policy");
   QC_EXPECT(!config.quality_policies.empty(),
@@ -145,9 +146,25 @@ SweepResult run_sweep(const SweepConfig& config) {
   // Offered loads are a pure function of their LoadGenConfig; generate
   // each once and share across the policy axes.
   std::vector<farm::FarmScenario> bases;
-  bases.reserve(config.scenarios.size());
+  bases.reserve(config.scenarios.size() + config.preset_scenarios.size());
   for (const farm::LoadGenConfig& lg : config.scenarios) {
     bases.push_back(farm::generate_scenario(lg));
+  }
+  for (const farm::FarmScenario& sc : config.preset_scenarios) {
+    bases.push_back(sc);
+  }
+  // Resolved scenario-axis names: explicit names win, generated loads
+  // fall back to their seed, presets to their axis position.
+  std::vector<std::string> names(bases.size());
+  for (std::size_t si = 0; si < bases.size(); ++si) {
+    if (si < config.scenario_names.size() &&
+        !config.scenario_names[si].empty()) {
+      names[si] = config.scenario_names[si];
+    } else if (si < config.scenarios.size()) {
+      names[si] = "seed" + std::to_string(config.scenarios[si].seed);
+    } else {
+      names[si] = "preset" + std::to_string(si - config.scenarios.size());
+    }
   }
 
   const std::size_t nq = config.quality_policies.size();
@@ -181,6 +198,7 @@ SweepResult run_sweep(const SweepConfig& config) {
 
       farm::FarmConfig fc;
       fc.num_processors = config.num_processors;
+      fc.shards = config.shards;
       fc.workers = 1;  // determinism is per-cell; parallelism is across
       fc.seed = config.farm_seed;
       fc.frame_rate = config.frame_rate;
@@ -188,6 +206,7 @@ SweepResult run_sweep(const SweepConfig& config) {
       CellResult cell = measure_cell(farm::run_farm(scenario, fc),
                                      config.latency_discount);
       cell.scenario = static_cast<int>(si);
+      cell.scenario_name = names[si];
       cell.quality_policy = config.quality_policies[qi];
       cell.sched = config.sched_policies[pi];
       cell.renegotiate = config.renegotiate[ri];
@@ -285,7 +304,7 @@ std::string summarize(const SweepResult& result) {
   }
   os << "cells (scenario-major):\n";
   for (const CellResult& c : result.cells) {
-    os << "  s" << c.scenario << " "
+    os << "  " << c.scenario_name << " "
        << quality_policy_name(c.quality_policy) << "/"
        << sched::policy_name(c.sched.kind) << "/"
        << (c.renegotiate ? "reneg" : "fixed")
@@ -307,12 +326,13 @@ std::string summarize(const SweepResult& result) {
 std::string to_csv(const SweepResult& result) {
   std::ostringstream os;
   os << std::setprecision(17);
-  os << "scenario,quality_policy,sched_policy,renegotiate,faulted,offered,"
-        "admitted,rejected,total_frames,skips,display_misses,"
-        "internal_misses,concealed,miss_rate,mean_psnr,mean_ssim,psnr_p5,"
-        "fused_quality\n";
+  os << "scenario,scenario_name,quality_policy,sched_policy,renegotiate,"
+        "faulted,offered,admitted,rejected,total_frames,skips,"
+        "display_misses,internal_misses,concealed,miss_rate,mean_psnr,"
+        "mean_ssim,psnr_p5,fused_quality\n";
   for (const CellResult& c : result.cells) {
-    os << c.scenario << ',' << quality_policy_name(c.quality_policy) << ','
+    os << c.scenario << ',' << c.scenario_name << ','
+       << quality_policy_name(c.quality_policy) << ','
        << sched::policy_name(c.sched.kind) << ','
        << (c.renegotiate ? 1 : 0) << ',' << (c.faulted ? 1 : 0) << ','
        << c.offered << ','

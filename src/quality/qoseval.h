@@ -58,6 +58,13 @@ const char* quality_policy_name(QualityPolicy p);
 struct SweepConfig {
   /// Scenario axis: one generated offered load per entry.
   std::vector<farm::LoadGenConfig> scenarios;
+  /// Additional scenario-axis entries: pre-compiled scenarios (e.g.
+  /// farm/presets.h presets), appended after the generated ones.
+  std::vector<farm::FarmScenario> preset_scenarios;
+  /// Human-readable name per scenario-axis entry (generated first,
+  /// then presets).  Missing entries fall back to "seed<N>" /
+  /// "preset<K>"-style defaults in the reports.
+  std::vector<std::string> scenario_names;
   /// Scheduling-policy axis (np / preemptive / quantum, with their
   /// context-switch and quantum parameters).
   std::vector<sched::PolicyParams> sched_policies;
@@ -83,6 +90,9 @@ struct SweepConfig {
   double latency_discount = 0.25;
 
   int num_processors = 2;
+  /// Admission shards per cell farm (farm/shard.h); 1 keeps the
+  /// single-controller plane.
+  int shards = 1;
   /// Host threads over grid cells (each cell's farm runs with one
   /// inner worker); any value yields bit-identical results.
   int workers = 1;
@@ -92,7 +102,8 @@ struct SweepConfig {
 
 /// One grid cell: the coordinates and the measured outcome.
 struct CellResult {
-  int scenario = 0;  ///< index into SweepConfig::scenarios
+  int scenario = 0;  ///< index on the scenario axis (generated + preset)
+  std::string scenario_name;  ///< resolved scenario-axis name
   QualityPolicy quality_policy = QualityPolicy::kControlled;
   sched::PolicyParams sched{};
   bool renegotiate = false;

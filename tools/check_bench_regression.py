@@ -35,9 +35,13 @@ import sys
 # AdmissionThroughput tracks steady-state admission churn (the QPA
 # fast path at 1k/10k/100k resident streams plus the exact-scan
 # baseline it must stay >= 10x ahead of — see docs/admission.md).
+# ShardedJoinRate tracks the flash-crowd join storm on a 1024-processor
+# fleet at 1 and 64 shards: the pinned >= 10x sharded-vs-single join
+# rate lives in the ratio of these two rows (see docs/scenarios.md).
 DEFAULT_BENCHMARKS = (
     r"^BM_(SadMacroblock|ForwardDct8|PsnrFrame|SsimFrame"
     r"|AdmissionThroughput(Exact)?/\d+"
+    r"|ShardedJoinRate/\d+"
     r"|FarmThroughput(Preemptive|Quantum|Faults)?/\d+)$"
 )
 

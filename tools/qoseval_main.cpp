@@ -18,6 +18,12 @@
 //   --frames LO[:HI]     stream lifetime range in frames (default 4:8)
 //   --scenario-seeds A,B,...  load-generator seeds, one scenario each
 //                        (default 7,11,19)
+//   --preset A,B,...     scenario presets on the scenario axis (subset
+//                        of diurnal,flash-crowd,churn-heavy,
+//                        mixed-geometry); replaces the default seed
+//                        scenarios unless --scenario-seeds is also
+//                        given explicitly
+//   --shards S           admission shards per cell farm (default 1)
 //   --constant-q L       the fixed-quality baseline's level (default 3)
 //   --policies A,B,...   scheduling policies to sweep (subset of
 //                        np,preemptive,quantum; default all three)
@@ -51,6 +57,7 @@
 
 #include "cli_util.h"
 #include "farm/faults.h"
+#include "farm/presets.h"
 #include "obs/buildinfo.h"
 #include "quality/qoseval.h"
 
@@ -65,6 +72,9 @@ using cli::split_commas;
 const char kUsage[] =
     "usage: qoseval sweep [--procs N] [--workers N] [--streams N]\n"
     "                     [--frames LO[:HI]] [--scenario-seeds A,B,...]\n"
+    "                     [--preset diurnal,flash-crowd,churn-heavy,"
+    "mixed-geometry]\n"
+    "                     [--shards S]\n"
     "                     [--constant-q L] [--policies np,preemptive,"
     "quantum]\n"
     "                     [--quantum C] [--ctx-switch C]\n"
@@ -88,6 +98,16 @@ bool parse_u64_list(const char* s, std::vector<std::uint64_t>* out) {
     std::uint64_t v = 0;
     if (!parse_u64(item.c_str(), &v)) return false;
     out->push_back(v);
+  }
+  return !out->empty();
+}
+
+bool parse_preset_list(const char* s, std::vector<farm::PresetKind>* out) {
+  out->clear();
+  for (const std::string& item : split_commas(s)) {
+    farm::PresetKind kind;
+    if (!farm::parse_preset_name(item.c_str(), &kind)) return false;
+    out->push_back(kind);
   }
   return !out->empty();
 }
@@ -120,6 +140,9 @@ int main(int argc, char** argv) {
   int streams = 8;
   int min_frames = 4, max_frames = 8;
   std::vector<std::uint64_t> scenario_seeds = {7, 11, 19};
+  bool scenario_seeds_set = false;
+  bool streams_set = false;
+  std::vector<farm::PresetKind> presets;
   std::vector<sched::PolicyKind> kinds = {sched::PolicyKind::kNonPreemptiveEdf,
                                           sched::PolicyKind::kPreemptiveEdf,
                                           sched::PolicyKind::kQuantumEdf};
@@ -147,6 +170,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--streams") == 0) {
       const char* v = value();
       if (!v || !parse_int(v, &streams)) return usage();
+      streams_set = true;
+    } else if (std::strcmp(arg, "--preset") == 0) {
+      const char* v = value();
+      if (!v || !parse_preset_list(v, &presets)) return usage();
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &sweep.shards) || sweep.shards < 1) {
+        return usage();
+      }
     } else if (std::strcmp(arg, "--frames") == 0) {
       const char* v = value();
       if (!v || !parse_int_range(v, &min_frames, &max_frames)) {
@@ -155,6 +187,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--scenario-seeds") == 0) {
       const char* v = value();
       if (!v || !parse_u64_list(v, &scenario_seeds)) return usage();
+      scenario_seeds_set = true;
     } else if (std::strcmp(arg, "--constant-q") == 0) {
       const char* v = value();
       if (!v || !parse_int(v, &constant_q)) return usage();
@@ -248,13 +281,30 @@ int main(int argc, char** argv) {
   }
   sweep.constant_quality = static_cast<rt::QualityLevel>(constant_q);
 
-  for (const std::uint64_t s : scenario_seeds) {
-    farm::LoadGenConfig lg;
-    lg.num_streams = streams;
-    lg.min_frames = min_frames;
-    lg.max_frames = max_frames;
-    lg.seed = s;
-    sweep.scenarios.push_back(lg);
+  if (sweep.shards > sweep.num_processors) {
+    std::fprintf(stderr, "qoseval: --shards %d exceeds --procs %d\n",
+                 sweep.shards, sweep.num_processors);
+    return usage();
+  }
+
+  // Scenario axis: presets replace the default seed scenarios; an
+  // explicit --scenario-seeds keeps both on the axis.
+  if (presets.empty() || scenario_seeds_set) {
+    for (const std::uint64_t s : scenario_seeds) {
+      farm::LoadGenConfig lg;
+      lg.num_streams = streams;
+      lg.min_frames = min_frames;
+      lg.max_frames = max_frames;
+      lg.seed = s;
+      sweep.scenarios.push_back(lg);
+      sweep.scenario_names.push_back("seed" + std::to_string(s));
+    }
+  }
+  for (const farm::PresetKind k : presets) {
+    farm::PresetParams pp;
+    if (streams_set) pp.num_streams = streams;
+    sweep.preset_scenarios.push_back(farm::compile_preset(k, pp));
+    sweep.scenario_names.push_back(farm::preset_name(k));
   }
   for (const sched::PolicyKind k : kinds) {
     sched::PolicyParams p;

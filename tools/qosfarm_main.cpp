@@ -8,7 +8,22 @@
 //   --procs N         virtual processors (default 2)
 //   --workers N       host worker threads for the data plane
 //                     (default: one per processor)
-//   --streams N       offered streams (default 12)
+//   --streams N       offered streams (default 12; with --preset,
+//                     overrides the preset's stream count)
+//   --preset NAME     run a named scenario preset instead of the random
+//                     load: diurnal, flash-crowd, churn-heavy, or
+//                     mixed-geometry (see docs/scenarios.md)
+//   --shards S        partition the processors into S contiguous
+//                     admission shards fronted by the control-plane
+//                     router (default 1: single controller)
+//   --probe-shards N  extra shards probed after the preferred one
+//                     rejects a join (default 1)
+//   --rebalance-watermark F  migrate streams off a shard whose
+//                     utilization headroom drops below F (default 0:
+//                     rebalancing off)
+//   --control-epoch C batch joins landing in the same C-cycle control
+//                     window: one rebalance pass and one join_batch
+//                     trace instant per batch (default 0: per-join)
 //   --frames LO[:HI]  stream lifetime range in frames (default 8:24)
 //   --period-factors A,B,...  camera period scale factors relative to
 //                     the default pacing (default 3,4,6)
@@ -72,6 +87,7 @@
 #include "farm/faults.h"
 #include "farm/load_gen.h"
 #include "farm/metrics.h"
+#include "farm/presets.h"
 #include "farm/simulator.h"
 #include "obs/buildinfo.h"
 #include "obs/trace.h"
@@ -87,6 +103,10 @@ using cli::parse_u64;
 
 const char kUsage[] =
     "usage: qosfarm run [--procs N] [--workers N] [--streams N]\n"
+    "                   [--preset diurnal|flash-crowd|churn-heavy|"
+    "mixed-geometry]\n"
+    "                   [--shards S] [--probe-shards N]\n"
+    "                   [--rebalance-watermark F] [--control-epoch C]\n"
     "                   [--frames LO[:HI]] [--period-factors A,B,...]\n"
     "                   [--constant-frac F] [--seed S]\n"
     "                   [--policy np|preemptive|quantum] [--quantum C]\n"
@@ -178,6 +198,8 @@ int main(int argc, char** argv) {
   const char* json_path = nullptr;
   const char* csv_path = nullptr;
   const char* trace_path = nullptr;
+  const char* preset_arg = nullptr;
+  bool streams_set = false;
   bool quiet = false;
 
   for (int i = 2; i < argc; ++i) {
@@ -194,6 +216,31 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--streams") == 0) {
       const char* v = value();
       if (!v || !parse_int(v, &load.num_streams)) return usage();
+      streams_set = true;
+    } else if (std::strcmp(arg, "--preset") == 0) {
+      preset_arg = value();
+      if (!preset_arg) return usage();
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &cfg.shards) || cfg.shards < 1) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--probe-shards") == 0) {
+      const char* v = value();
+      if (!v || !parse_int(v, &cfg.probe_shards) || cfg.probe_shards < 0) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--rebalance-watermark") == 0) {
+      const char* v = value();
+      if (!v || !parse_fraction(v, &cfg.rebalance_watermark) ||
+          cfg.rebalance_watermark >= 1.0) {
+        return usage();
+      }
+    } else if (std::strcmp(arg, "--control-epoch") == 0) {
+      const char* v = value();
+      std::uint64_t c = 0;
+      if (!v || !parse_u64(v, &c)) return usage();
+      cfg.control_epoch = static_cast<rt::Cycles>(c);
     } else if (std::strcmp(arg, "--frames") == 0) {
       const char* v = value();
       if (!v || !parse_int_range(v, &load.min_frames, &load.max_frames)) {
@@ -307,6 +354,11 @@ int main(int argc, char** argv) {
       load.min_frames < 1 || load.max_frames < load.min_frames) {
     return usage();
   }
+  if (cfg.shards > cfg.num_processors) {
+    std::fprintf(stderr, "qosfarm: --shards %d exceeds --procs %d\n",
+                 cfg.shards, cfg.num_processors);
+    return usage();
+  }
   // Failure targets can only be range-checked once --procs is known.
   for (const farm::FailureEvent& ev : faults.failures) {
     if (ev.processor >= cfg.num_processors) {
@@ -320,7 +372,20 @@ int main(int argc, char** argv) {
   // "(N workers)" matches what the measurement actually used.
   if (cfg.workers > cfg.num_processors) cfg.workers = cfg.num_processors;
 
-  farm::FarmScenario scenario = farm::generate_scenario(load);
+  farm::FarmScenario scenario;
+  if (preset_arg != nullptr) {
+    farm::PresetKind kind;
+    if (!farm::parse_preset_name(preset_arg, &kind)) {
+      std::fprintf(stderr, "qosfarm: unknown preset %s\n", preset_arg);
+      return usage();
+    }
+    farm::PresetParams pp;
+    if (streams_set) pp.num_streams = load.num_streams;
+    pp.seed = load.seed;
+    scenario = farm::compile_preset(kind, pp);
+  } else {
+    scenario = farm::generate_scenario(load);
+  }
   scenario.sched = sched;
   scenario.faults = faults;
   const auto t0 = std::chrono::steady_clock::now();
