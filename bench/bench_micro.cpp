@@ -24,6 +24,7 @@
 #include "media/simd/kernels.h"
 #include "media/synthetic_video.h"
 #include "obs/buildinfo.h"
+#include "obs/slo.h"
 #include "qos/controller.h"
 #include "quality/distortion.h"
 #include "sched/edf.h"
@@ -367,7 +368,8 @@ BENCHMARK(BM_SyntheticFrame);
 // stream-frames per wall-second — the farm metric tracked in
 // BENCH_micro.json; Arg is the worker-thread count.
 void run_farm_throughput(benchmark::State& state, sched::PolicyKind policy,
-                         bool faults = false, bool trace = false) {
+                         bool faults = false, bool trace = false,
+                         bool timeseries = false) {
   farm::LoadGenConfig load;
   load.num_streams = 6;
   load.resolutions = {{32, 32}};
@@ -391,6 +393,14 @@ void run_farm_throughput(benchmark::State& state, sched::PolicyKind policy,
   cfg.num_processors = 4;
   cfg.workers = static_cast<int>(state.range(0));
   cfg.trace = trace;
+  if (timeseries) {
+    cfg.ts_window = 4000000;
+    for (const char* text :
+         {"latency_p99<1.5w@20ms", "miss_rate<=0.5", "queue_p99<64"}) {
+      obs::SloSpec spec;
+      if (obs::parse_slo(text, &spec, nullptr)) cfg.slos.push_back(spec);
+    }
+  }
   long long frames = 0;
   for (auto _ : state) {
     const farm::FarmResult r = farm::run_farm(scenario, cfg);
@@ -450,6 +460,20 @@ void BM_FarmThroughputTraced(benchmark::State& state) {
                       /*faults=*/true, /*trace=*/true);
 }
 BENCHMARK(BM_FarmThroughputTraced)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Windowed series + SLO evaluation on (tracing stays off): the cost of
+// the per-processor window accumulators, the index-order merge, and
+// the verdict engine over the merged series.  Tracked in
+// BENCH_micro.json next to the plain baseline, so the observability
+// layer's overhead is gated the same way the tracer's is.
+void BM_FarmThroughputTimeseries(benchmark::State& state) {
+  run_farm_throughput(state, sched::PolicyKind::kNonPreemptiveEdf,
+                      /*faults=*/true, /*trace=*/false, /*timeseries=*/true);
+}
+BENCHMARK(BM_FarmThroughputTimeseries)
     ->Arg(1)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);

@@ -202,8 +202,29 @@ std::string summarize(const FarmResult& r) {
     os << "\n";
   }
   os << r.metrics.summary();
+  // Windowed series and SLO sections only when asked for, so the
+  // default summary stays byte-stable.
+  if (r.series.window > 0) {
+    os << "timeseries: window=" << r.series.window
+       << " last_window=" << r.series.last_window() << "\n"
+       << r.series.summary();
+  }
+  if (!r.slo.objectives.empty()) os << obs::slo_summary(r.slo);
   os << "trace: events=" << r.trace.size()
-     << " trace_dropped=" << r.trace_dropped << "\n";
+     << " trace_dropped=" << r.trace_dropped;
+  // Per-buffer overflow attribution (tracing only): which processor's
+  // ring actually lost events.
+  if (!r.trace_dropped_per_buffer.empty()) {
+    os << " (";
+    for (std::size_t b = 0; b < r.trace_dropped_per_buffer.size(); ++b) {
+      const bool control = b + 1 == r.trace_dropped_per_buffer.size();
+      os << (b ? " " : "")
+         << (control ? std::string("control") : "cpu" + std::to_string(b))
+         << '=' << r.trace_dropped_per_buffer[b];
+    }
+    os << ")";
+  }
+  os << "\n";
   return os.str();
 }
 
@@ -435,8 +456,23 @@ std::string to_json(const FarmResult& r) {
     os << "]},";
   }
   os << "\"metrics\":" << r.metrics.to_json() << ',';
+  // Series / SLO blocks only when the features ran, so default JSON is
+  // unchanged byte for byte.
+  if (r.series.window > 0) {
+    os << "\"timeseries\":" << r.series.to_json() << ',';
+  }
+  if (!r.slo.objectives.empty()) {
+    os << "\"slo\":" << obs::slo_to_json(r.slo) << ',';
+  }
   json_kv(os, "trace_events", static_cast<long long>(r.trace.size()));
   json_kv(os, "trace_dropped", r.trace_dropped, false);
+  if (!r.trace_dropped_per_buffer.empty()) {
+    os << ",\"trace_dropped_per_buffer\":[";
+    for (std::size_t b = 0; b < r.trace_dropped_per_buffer.size(); ++b) {
+      os << (b ? "," : "") << r.trace_dropped_per_buffer[b];
+    }
+    os << ']';
+  }
   os << "}";
   return os.str();
 }
@@ -503,6 +539,18 @@ std::string to_csv(const FarmResult& r) {
   }
   for (const auto& [name, v] : r.metrics.counters()) {
     os << name << ",counter," << v << ',' << v << ",0,0,0,0,0\n";
+  }
+  // SLO verdict table, again blank-line separated, only when
+  // objectives were configured (the spec grammar has no commas).
+  if (!r.slo.objectives.empty()) {
+    os << "\nslo,points,violations,worst_window,worst_value,"
+          "budget_remaining,alerts,met\n";
+    for (const obs::SloOutcome& o : r.slo.objectives) {
+      os << o.spec.text << ',' << o.points << ',' << o.violations << ','
+         << o.worst_window << ',' << o.worst_value << ','
+         << o.budget_remaining << ',' << o.alerts.size() << ','
+         << (o.met ? 1 : 0) << '\n';
+    }
   }
   return os.str();
 }

@@ -203,16 +203,17 @@ struct ActiveJob {
 /// Simulates one processor's run queue to completion under the
 /// scenario's scheduling policy.  Writes the per-stream frame records
 /// back through `assigned` (segments of one stream serve disjoint
-/// frame ranges, so no locking).  `metrics` (never null, always on)
-/// and `trace` (null unless FarmConfig::trace) are this processor's
-/// private observability sinks; every trace emission is a branch on
-/// the null pointer, so the hot loop pays nothing when tracing is off.
+/// frame ranges, so no locking).  `metrics` (never null, always on),
+/// `trace` (null unless FarmConfig::trace), and `series` (null unless
+/// FarmConfig::ts_window) are this processor's private observability
+/// sinks; every trace or series emission is a branch on the null
+/// pointer, so the hot loop pays nothing when both are off.
 void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
                    const FaultSpec& fault_spec,
                    const std::vector<Window>& windows,
                    const std::vector<Assignment>& assigned,
                    ProcessorOutcome* out, obs::Registry* metrics,
-                   obs::TraceBuffer* trace) {
+                   obs::TraceBuffer* trace, obs::SeriesRecorder* series) {
   const std::unique_ptr<sched::SchedPolicy> policy =
       sched::make_policy(sched.policy);
   const rt::Cycles ctx = policy->context_switch_cost();
@@ -241,6 +242,81 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
   }
   // Cumulative per-phase cycles, the trace's phase counter tracks.
   std::array<long long, enc::kNumEncodePhases> phase_total{};
+
+  // Time-series sinks, resolved once like the registry sinks: fleet
+  // tracks plus one `@class` variant per control mode (what the SLO
+  // class scopes read).  Busy cycles are recorded under the plain name
+  // here; run_farm re-labels each processor's copy as
+  // busy_cycles/cpu<p> for the per-processor utilization heatmap.
+  constexpr std::size_t kNumClasses = 3;
+  constexpr const char* kClassSuffix[kNumClasses] = {
+      "@controlled", "@constant", "@feedback"};
+  obs::SeriesTrack* s_latency = nullptr;
+  obs::SeriesTrack* s_queue = nullptr;
+  obs::SeriesTrack* s_encode = nullptr;
+  obs::SeriesTrack* s_busy = nullptr;
+  std::array<obs::SeriesTrack*, enc::kNumEncodePhases> s_phase{};
+  std::array<obs::SeriesTrack*, kNumClasses> s_latency_c{};
+  std::array<obs::SeriesTrack*, kNumClasses> s_completed_c{};
+  std::array<obs::SeriesTrack*, kNumClasses> s_misses_c{};
+  std::array<obs::SeriesTrack*, kNumClasses> s_concealed_c{};
+  obs::SeriesTrack* s_completed = nullptr;
+  obs::SeriesTrack* s_misses = nullptr;
+  obs::SeriesTrack* s_concealed = nullptr;
+  if (series != nullptr) {
+    s_latency = &series->track("frame_latency_cycles");
+    s_queue = &series->track("queue_depth");
+    s_encode = &series->track("encode_cycles");
+    s_busy = &series->track("busy_cycles");
+    s_completed = &series->track("frames_completed");
+    s_misses = &series->track("display_misses");
+    s_concealed = &series->track("frames_concealed");
+    for (int ph = 0; ph < enc::kNumEncodePhases; ++ph) {
+      s_phase[static_cast<std::size_t>(ph)] = &series->track(
+          std::string("phase_") +
+          enc::encode_phase_name(static_cast<enc::EncodePhase>(ph)) +
+          "_cycles");
+    }
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      s_latency_c[c] =
+          &series->track(std::string("frame_latency_cycles") +
+                         kClassSuffix[c]);
+      s_completed_c[c] =
+          &series->track(std::string("frames_completed") + kClassSuffix[c]);
+      s_misses_c[c] =
+          &series->track(std::string("display_misses") + kClassSuffix[c]);
+      s_concealed_c[c] =
+          &series->track(std::string("frames_concealed") + kClassSuffix[c]);
+    }
+  }
+  auto ts_value = [&](obs::SeriesTrack* t, rt::Cycles at, long long v) {
+    if (series != nullptr) series->record(*t, at, v);
+  };
+  // One completed frame: fleet + class completion/latency counts and
+  // the encode-cycles track (the SLO latency and rate denominators).
+  auto ts_complete = [&](const StreamState& st, rt::Cycles at,
+                         long long latency, long long encode_cycles) {
+    if (series == nullptr) return;
+    const auto cls = static_cast<std::size_t>(st.spec->mode);
+    series->record(*s_completed, at, 1);
+    series->record(*s_completed_c[cls], at, 1);
+    series->record(*s_latency, at, latency);
+    series->record(*s_latency_c[cls], at, latency);
+    series->record(*s_encode, at, encode_cycles);
+  };
+  auto ts_miss = [&](const StreamState& st, rt::Cycles at,
+                     long long lateness) {
+    if (series == nullptr) return;
+    series->record(*s_misses, at, lateness);
+    series->record(*s_misses_c[static_cast<std::size_t>(st.spec->mode)],
+                   at, lateness);
+  };
+  auto ts_conceal = [&](const StreamState& st, rt::Cycles at) {
+    if (series == nullptr) return;
+    series->record(*s_concealed, at, 1);
+    series->record(*s_concealed_c[static_cast<std::size_t>(st.spec->mode)],
+                   at, 1);
+  };
 
   std::vector<StreamState> streams;
   streams.reserve(assigned.size());
@@ -482,6 +558,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
             st.records[it->frame] = st.session->drop(it->frame);
             ++st.res->faults.quarantine_drops;
             ++m_concealed;
+            ts_conceal(st, now);
             if (trace != nullptr) {
               trace->push(
                   obs::EventKind::kConceal, now, st.spec->id, it->frame, 0,
@@ -514,6 +591,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       if (now > running->job.deadline) {
         ++st.res->display_misses;
         ++m_display_misses;
+        ts_miss(st, now, now - running->job.deadline);
         if (trace != nullptr) {
           trace->push(obs::EventKind::kDeadlineMiss, now, st.spec->id,
                       running->job.frame, now - running->job.deadline);
@@ -524,6 +602,8 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       ++m_completed;
       h_latency.record(now - running->job.arrival);
       h_encode.record(rec.encode_cycles);
+      ts_complete(st, now, now - running->job.arrival, rec.encode_cycles);
+      ts_value(s_busy, now, running->tail_demand);
       if (trace != nullptr) {
         trace->push(obs::EventKind::kComplete, now, st.spec->id,
                     running->job.frame, rec.encode_cycles,
@@ -556,6 +636,8 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       for (std::size_t ph = 0; ph < rec.phase_cycles.size(); ++ph) {
         h_phase[ph]->record(rec.phase_cycles[ph]);
         phase_total[ph] += static_cast<long long>(rec.phase_cycles[ph]);
+        ts_value(s_phase[ph], now,
+                 static_cast<long long>(rec.phase_cycles[ph]));
       }
       if (trace != nullptr) {
         trace->push(obs::EventKind::kComplete, now, st.spec->id,
@@ -568,6 +650,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         }
       }
       out->busy_cycles += rec.encode_cycles - running->tail_demand;
+      ts_value(s_busy, now, rec.encode_cycles - running->tail_demand);
       st.records[running->job.frame] = rec;
       st.handoff_out->push_back(HandoffEntry{
           running->job.frame, running->job.arrival,
@@ -581,6 +664,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       if (now > running->job.deadline) {
         ++st.res->display_misses;
         ++m_display_misses;
+        ts_miss(st, now, now - running->job.deadline);
         if (trace != nullptr) {
           trace->push(obs::EventKind::kDeadlineMiss, now, st.spec->id,
                       running->job.frame, now - running->job.deadline);
@@ -590,13 +674,17 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       }
     } else {
       ++m_concealed;
+      ts_conceal(st, now);
     }
     ++m_completed;
     h_latency.record(now - running->job.arrival);
     h_encode.record(rec.encode_cycles);
+    ts_complete(st, now, now - running->job.arrival, rec.encode_cycles);
     for (std::size_t ph = 0; ph < rec.phase_cycles.size(); ++ph) {
       h_phase[ph]->record(rec.phase_cycles[ph]);
       phase_total[ph] += static_cast<long long>(rec.phase_cycles[ph]);
+      ts_value(s_phase[ph], now,
+               static_cast<long long>(rec.phase_cycles[ph]));
     }
     if (trace != nullptr) {
       const auto outcome = static_cast<std::uint32_t>(
@@ -613,6 +701,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
     // A concealed split-head frame's tail share was never served
     // anywhere; only the locally-served cycles are busy time.
     out->busy_cycles += rec.encode_cycles - running->tail_demand;
+    ts_value(s_busy, now, rec.encode_cycles - running->tail_demand);
     ++out->frames_encoded;
     st.records[running->job.frame] = rec;
     span = now;
@@ -636,6 +725,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       ++st.res->faults.failure_drops;
       ++out->fault_conceals;
       ++m_concealed;
+      ts_conceal(st, now);
       if (trace != nullptr) {
         trace->push(was_running ? obs::EventKind::kConcealService
                                 : obs::EventKind::kConceal,
@@ -645,6 +735,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
                         obs::ConcealReason::kSuspendedOutage));
       }
       out->busy_cycles += a.tail_demand - a.remaining;
+      ts_value(s_busy, now, a.tail_demand - a.remaining);
       return;
     }
     pipe::FrameRecord rec = a.rec;
@@ -656,6 +747,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
     ++st.res->faults.failure_drops;
     ++out->fault_conceals;
     ++m_concealed;
+    ts_conceal(st, now);
     if (trace != nullptr) {
       if (was_running) {
         trace->push(obs::EventKind::kConcealService, now, st.spec->id,
@@ -670,6 +762,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
       }
     }
     out->busy_cycles += rec.encode_cycles;
+    ts_value(s_busy, now, rec.encode_cycles);
   };
 
   // The earliest instant the policy lets the top ready job displace
@@ -730,6 +823,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         ++st.res->faults.failure_drops;
         ++out->fault_conceals;
         ++m_concealed;
+        ts_conceal(st, now);
         if (trace != nullptr) {
           trace->push(obs::EventKind::kConceal, now, st.spec->id, job.frame,
                       0,
@@ -774,6 +868,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
           ++st.res->faults.failure_drops;
           ++out->fault_conceals;
           ++m_concealed;
+          ts_conceal(st, now);
           if (trace != nullptr) {
             trace->push(obs::EventKind::kConceal, now, st.spec->id,
                         e.frame, 0,
@@ -785,6 +880,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         ++st.queued;
         ready.insert(FrameJob{e.deadline, a.stream, e.frame, e.arrival});
         h_qdepth.record(static_cast<long long>(ready.size()));
+        ts_value(s_queue, now, static_cast<long long>(ready.size()));
         if (trace != nullptr) {
           trace->push(obs::EventKind::kQueueDepth, now, -1, -1,
                       static_cast<std::int64_t>(ready.size()));
@@ -801,6 +897,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
         ++st.res->faults.failure_drops;
         ++out->fault_conceals;
         ++m_concealed;
+        ts_conceal(st, now);
         if (trace != nullptr) {
           trace->push(obs::EventKind::kConceal, now, st.spec->id, f, 0,
                       static_cast<std::uint32_t>(
@@ -813,6 +910,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
           st.records[f] = st.session->drop(f);
           ++st.res->faults.quarantine_drops;
           ++m_concealed;
+          ts_conceal(st, now);
           if (trace != nullptr) {
             trace->push(obs::EventKind::kConceal, now, st.spec->id, f, 0,
                         static_cast<std::uint32_t>(
@@ -842,6 +940,7 @@ void run_processor(const FarmConfig& config, const SchedulingSpec& sched,
                               : a.time + st.latency;
         ready.insert(FrameJob{edf_deadline, a.stream, f, a.time});
         h_qdepth.record(static_cast<long long>(ready.size()));
+        ts_value(s_queue, now, static_cast<long long>(ready.size()));
         if (trace != nullptr) {
           trace->push(obs::EventKind::kQueueDepth, now, -1, -1,
                       static_cast<std::int64_t>(ready.size()));
@@ -936,6 +1035,18 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   }
   obs::TraceBuffer* ctrace =
       recorder.has_value() ? recorder->control() : nullptr;
+  // Windowed time series mirror the trace's ownership split: one
+  // single-writer recorder per virtual processor plus one for the
+  // sequential control plane, merged in index order afterwards.
+  std::vector<obs::SeriesRecorder> series_rec;
+  if (config.ts_window > 0) {
+    series_rec.reserve(static_cast<std::size_t>(config.num_processors) + 1);
+    for (int p = 0; p <= config.num_processors; ++p) {
+      series_rec.emplace_back(config.ts_window);
+    }
+  }
+  obs::SeriesRecorder* cseries =
+      series_rec.empty() ? nullptr : &series_rec.back();
   result.streams.reserve(scenario.streams.size());
   for (const StreamSpec& spec : scenario.streams) {
     StreamOutcome so;
@@ -974,6 +1085,31 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
   shard_cfg.rebalance_watermark = config.rebalance_watermark;
   ShardedControlPlane plane(config.num_processors, shard_cfg,
                             config.admission, &tables, scenario.sched);
+
+  // Control-plane series: fleet admission/rebalance rates, plus one
+  // `/shard<k>` variant per shard when the plane is actually sharded.
+  obs::SeriesTrack* cs_admitted = nullptr;
+  obs::SeriesTrack* cs_rejected = nullptr;
+  obs::SeriesTrack* cs_rebalance = nullptr;
+  std::vector<obs::SeriesTrack*> cs_admitted_shard;
+  std::vector<obs::SeriesTrack*> cs_rebalance_shard;
+  if (cseries != nullptr) {
+    cs_admitted = &cseries->track("admitted");
+    cs_rejected = &cseries->track("rejected");
+    cs_rebalance = &cseries->track("rebalance");
+    if (plane.num_shards() > 1) {
+      for (int s = 0; s < plane.num_shards(); ++s) {
+        cs_admitted_shard.push_back(
+            &cseries->track("admitted/shard" + std::to_string(s)));
+        cs_rebalance_shard.push_back(
+            &cseries->track("rebalance/shard" + std::to_string(s)));
+      }
+    }
+  }
+  auto cs_record = [&](obs::SeriesTrack* t, rt::Cycles at, long long v) {
+    if (t != nullptr) cseries->record(*t, at, v);
+  };
+
   using Leave = std::pair<rt::Cycles, int>;  // (leave time, stream id)
   std::priority_queue<Leave, std::vector<Leave>, std::greater<Leave>> leaves;
 
@@ -1147,6 +1283,11 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
                                        mg.placement.system});
       so->failover.push_back(std::move(seg));
       note_peak(mg.placement.processor);
+      cs_record(cs_rebalance, now, 1);
+      if (!cs_rebalance_shard.empty()) {
+        cs_record(cs_rebalance_shard[static_cast<std::size_t>(mg.to_shard)],
+                  now, 1);
+      }
       if (ctrace != nullptr) {
         ctrace->push(obs::EventKind::kRebalance, now, mg.stream_id, -1,
                      mg.placement.processor,
@@ -1183,6 +1324,12 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
                         so->placement.committed_cost, so->placement.system});
         leaves.emplace(leave_time_of(so->spec), so->spec.id);
         note_peak(so->placement.processor);
+        cs_record(cs_admitted, so->spec.join_time, 1);
+        if (!cs_admitted_shard.empty()) {
+          cs_record(cs_admitted_shard[static_cast<std::size_t>(
+                        plane.shard_of(so->placement.processor))],
+                    so->spec.join_time, 1);
+        }
         if (ctrace != nullptr) {
           const std::uint32_t flags =
               (so->placement.migrated ? 1u : 0u) |
@@ -1195,9 +1342,12 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
                          so->spec.id, -1, so->placement.processor);
           }
         }
-      } else if (ctrace != nullptr) {
-        ctrace->push(obs::EventKind::kReject, so->spec.join_time,
-                     so->spec.id, -1, -1);
+      } else {
+        cs_record(cs_rejected, so->spec.join_time, 1);
+        if (ctrace != nullptr) {
+          ctrace->push(obs::EventKind::kReject, so->spec.join_time,
+                       so->spec.id, -1, -1);
+        }
       }
     }
     const rt::Cycles batch_end = join_order[e - 1]->spec.join_time;
@@ -1376,7 +1526,10 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
                       &result.processors[static_cast<std::size_t>(p)],
                       &proc_metrics[static_cast<std::size_t>(p)],
                       recorder.has_value() ? recorder->processor(p)
-                                           : nullptr);
+                                           : nullptr,
+                      series_rec.empty()
+                          ? nullptr
+                          : &series_rec[static_cast<std::size_t>(p)]);
       }
     };
     const int nthreads =
@@ -1551,9 +1704,62 @@ FarmResult run_farm(const FarmScenario& scenario, const FarmConfig& config) {
     o.peak_committed_utilization =
         shard_peaks[static_cast<std::size_t>(s)];
   }
+  // ----- Windowed series merge: processors in index order, control
+  // plane last.  Each processor's busy_cycles track is additionally
+  // kept under busy_cycles/cpu<p> — the per-processor utilization
+  // heatmap — while the plain track aggregates the fleet.
+  if (!series_rec.empty()) {
+    for (int p = 0; p < config.num_processors; ++p) {
+      const obs::SeriesRecorder& r =
+          series_rec[static_cast<std::size_t>(p)];
+      result.series.merge(r);
+      const auto it = r.tracks().find("busy_cycles");
+      if (it != r.tracks().end() && !it->second.empty()) {
+        result.series.tracks["busy_cycles/cpu" + std::to_string(p)] =
+            it->second;
+      }
+    }
+    result.series.merge(*cseries);
+  }
+
+  // ----- SLO verdicts over the merged series plus the per-failure
+  // recovery latencies.  Burn-rate alerts are echoed onto the trace's
+  // control-plane row (before the merge below, so they sort in).
+  if (!config.slos.empty()) {
+    obs::SloInputs slo_inputs;
+    slo_inputs.series = &result.series;
+    for (const StreamOutcome& so : result.streams) {
+      slo_inputs.reference_window =
+          std::max(slo_inputs.reference_window, latency_of(so.spec));
+    }
+    for (const FailureOutcome& fo : result.failures) {
+      if (fo.readmitted + fo.dropped == 0) continue;
+      const bool recovered =
+          fo.dropped == 0 && fo.recovered >= fo.readmitted;
+      slo_inputs.recovery_latencies.push_back(recovered ? fo.full_recovery
+                                                        : -1);
+    }
+    result.slo = obs::evaluate_slos(config.slos, slo_inputs);
+    if (ctrace != nullptr && config.ts_window > 0) {
+      for (std::size_t i = 0; i < result.slo.objectives.size(); ++i) {
+        for (const obs::SloAlert& al : result.slo.objectives[i].alerts) {
+          ctrace->push(obs::EventKind::kSloAlert,
+                       (al.window + 1) * config.ts_window, -1, -1,
+                       al.window, static_cast<std::uint32_t>(i));
+        }
+      }
+    }
+  }
+
   if (recorder.has_value()) {
     result.trace = recorder->merged();
     result.trace_dropped = recorder->dropped();
+    result.trace_dropped_per_buffer.reserve(
+        static_cast<std::size_t>(config.num_processors) + 1);
+    for (int p = 0; p <= config.num_processors; ++p) {
+      result.trace_dropped_per_buffer.push_back(
+          recorder->processor(p)->dropped());
+    }
   }
   result.metrics.counter("trace_dropped") = result.trace_dropped;
   return result;

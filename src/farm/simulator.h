@@ -64,6 +64,8 @@
 #include "farm/faults.h"
 #include "farm/scenario.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "pipeline/simulation.h"
 
@@ -102,6 +104,15 @@ struct FarmConfig {
   /// overflow the oldest events are dropped (counted in
   /// FarmResult::trace_dropped), never silently and never unbounded.
   int trace_buffer_capacity = 1 << 16;
+  /// Time-series window width in simulated cycles (obs/timeseries.h).
+  /// 0 (the default) disables sampling: like the trace, every
+  /// data-plane sampling site reduces to a branch on a null pointer.
+  rt::Cycles ts_window = 0;
+  /// Declarative objectives evaluated over the windowed series after
+  /// the run (obs/slo.h).  Windowed metrics need ts_window > 0;
+  /// recovery_latency budgets evaluate against the failure outcomes
+  /// either way.  Burn-rate alerts land in the trace when tracing.
+  std::vector<obs::SloSpec> slos;
 };
 
 /// Per-stream fault accounting, summed over the stream's segments
@@ -286,6 +297,15 @@ struct FarmResult {
   std::vector<obs::TraceEvent> trace;
   /// Events lost to ring-buffer overflow across all buffers.
   long long trace_dropped = 0;
+  /// Per-buffer overflow attribution (empty unless tracing): one entry
+  /// per virtual processor, then the control-plane buffer.
+  std::vector<long long> trace_dropped_per_buffer;
+  /// Windowed time series (window == 0 unless FarmConfig::ts_window):
+  /// per-processor recorders merged in index order, control plane last
+  /// — byte-identical across workers x shards like the trace.
+  obs::TimeSeries series;
+  /// SLO verdicts for FarmConfig::slos (empty without objectives).
+  obs::SloReport slo;
 };
 
 /// The budget-epoch list renegotiations currently apply to: the base

@@ -266,6 +266,11 @@ std::string export_chrome_trace(const std::vector<TraceEvent>& events,
              << one_arg("shard", e.aux);
         emit(os, &first, e, "i", stream_label("rebalance", e), args.str());
         break;
+      case EventKind::kSloAlert:
+        args << one_arg("window", e.arg) << ','
+             << one_arg("objective", e.aux);
+        emit(os, &first, e, "i", "slo_alert", args.str());
+        break;
       case EventKind::kNone:
         break;
     }

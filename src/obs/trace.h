@@ -65,6 +65,7 @@ enum class EventKind : std::uint16_t {
   kPhaseCycles,     ///< counter: cumulative phase cycles; aux = phase
   kJoinBatch,       ///< control epoch closed; arg = joins batched
   kRebalance,       ///< cross-shard migration; arg = processor, aux = shard
+  kSloAlert,        ///< burn-rate alert; arg = window, aux = objective
 };
 
 /// aux of kComplete: how the finished service was routed.

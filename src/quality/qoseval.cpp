@@ -98,6 +98,18 @@ CellResult measure_cell(const farm::FarmResult& r, double latency_discount) {
   c.psnr_p5 = any_admitted ? worst_p5 : 0.0;
   c.fused_quality =
       c.offered > 0 ? fused / static_cast<double>(c.offered) : 0.0;
+  // SLO verdicts reduce to the tightest objective: total violations,
+  // the minimum remaining error budget, and its worst window.
+  c.slo_met = r.slo.all_met();
+  for (const obs::SloOutcome& o : r.slo.objectives) {
+    c.slo_violations += o.violations;
+    if (o.budget_remaining < c.slo_budget_remaining ||
+        c.slo_worst_window < 0) {
+      c.slo_budget_remaining = std::min(c.slo_budget_remaining,
+                                        o.budget_remaining);
+      if (o.worst_window >= 0) c.slo_worst_window = o.worst_window;
+    }
+  }
   return c;
 }
 
@@ -202,6 +214,8 @@ SweepResult run_sweep(const SweepConfig& config) {
       fc.workers = 1;  // determinism is per-cell; parallelism is across
       fc.seed = config.farm_seed;
       fc.frame_rate = config.frame_rate;
+      fc.ts_window = config.ts_window;
+      fc.slos = config.slos;
 
       CellResult cell = measure_cell(farm::run_farm(scenario, fc),
                                      config.latency_discount);
@@ -329,7 +343,8 @@ std::string to_csv(const SweepResult& result) {
   os << "scenario,scenario_name,quality_policy,sched_policy,renegotiate,"
         "faulted,offered,admitted,rejected,total_frames,skips,"
         "display_misses,internal_misses,concealed,miss_rate,mean_psnr,"
-        "mean_ssim,psnr_p5,fused_quality\n";
+        "mean_ssim,psnr_p5,fused_quality,slo_violations,slo_worst_window,"
+        "slo_budget_remaining,slo_met\n";
   for (const CellResult& c : result.cells) {
     os << c.scenario << ',' << c.scenario_name << ','
        << quality_policy_name(c.quality_policy) << ','
@@ -340,7 +355,8 @@ std::string to_csv(const SweepResult& result) {
        << c.skips << ',' << c.display_misses << ',' << c.internal_misses
        << ',' << c.concealed << ',' << c.miss_rate << ',' << c.mean_psnr
        << ',' << c.mean_ssim << ',' << c.psnr_p5 << ',' << c.fused_quality
-       << '\n';
+       << ',' << c.slo_violations << ',' << c.slo_worst_window << ','
+       << c.slo_budget_remaining << ',' << (c.slo_met ? 1 : 0) << '\n';
   }
   return os.str();
 }

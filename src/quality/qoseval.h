@@ -89,6 +89,13 @@ struct SweepConfig {
   /// 1 - latency_discount * (start_lag_p95 / latency window).
   double latency_discount = 0.25;
 
+  /// Windowed time-series width passed to every cell farm (0 = off;
+  /// required for windowed SLO metrics — see obs/timeseries.h).
+  rt::Cycles ts_window = 0;
+  /// Objectives evaluated per cell (obs/slo.h); the verdicts land in
+  /// the grid CSV's slo_* columns.
+  std::vector<obs::SloSpec> slos;
+
   int num_processors = 2;
   /// Admission shards per cell farm (farm/shard.h); 1 keeps the
   /// single-controller plane.
@@ -128,6 +135,13 @@ struct CellResult {
   /// reliability and the latency tail; 0 for rejected streams), in
   /// [0, 1].
   double fused_quality = 0.0;
+  /// SLO verdicts (defaults when SweepConfig::slos is empty):
+  /// violations summed over objectives, worst window / remaining
+  /// budget of the tightest objective, met = every objective met.
+  long long slo_violations = 0;
+  long long slo_worst_window = -1;
+  double slo_budget_remaining = 1.0;
+  bool slo_met = true;
 };
 
 /// One policy combination (quality x sched x renegotiation) averaged

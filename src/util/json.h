@@ -1,0 +1,68 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// qosreport (tools/qosreport_main.cpp) reads the farm's own JSON
+// export back in to render the HTML dashboard, so the parser only has
+// to cover what farm::to_json emits: objects, arrays, strings with
+// the usual escapes, finite numbers, booleans, and null.  It is a
+// strict reader — trailing garbage, trailing commas, NaN/Infinity and
+// unpaired surrogates are errors — and it keeps numbers as doubles,
+// which is exact for the 53-bit integer range the reports stay in.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qosctrl::util {
+
+enum class JsonKind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// One JSON value; a tree of these is a document.  Object member order
+/// is preserved (lookup is linear — report objects are small).
+class JsonValue {
+ public:
+  JsonKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == JsonKind::kNull; }
+  bool is_bool() const { return kind_ == JsonKind::kBool; }
+  bool is_number() const { return kind_ == JsonKind::kNumber; }
+  bool is_string() const { return kind_ == JsonKind::kString; }
+  bool is_array() const { return kind_ == JsonKind::kArray; }
+  bool is_object() const { return kind_ == JsonKind::kObject; }
+
+  /// Typed accessors; requires the matching kind.
+  bool as_bool() const;
+  double as_number() const;
+  long long as_int() const;  ///< as_number truncated toward zero
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member by key, or nullptr when absent / not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// find() that also requires the member's kind; nullptr otherwise.
+  const JsonValue* find(const std::string& key, JsonKind kind) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  JsonKind kind_ = JsonKind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document.  On failure returns false and
+/// sets `*error` to "line L: message".
+bool parse_json(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace qosctrl::util

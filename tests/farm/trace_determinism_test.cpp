@@ -124,6 +124,20 @@ TEST(TraceDeterminism, TinyBufferDropsOldestAndCountsInMetrics) {
                cfg);
   EXPECT_GT(r.trace_dropped, 0);
   EXPECT_EQ(r.metrics.counters().at("trace_dropped"), r.trace_dropped);
+  // The drops attribute to their owning ring buffer — one per
+  // processor plus the control plane — and the attribution sums to
+  // the fleet total (no drop is lost or double-counted).
+  ASSERT_EQ(r.trace_dropped_per_buffer.size(), 3u);
+  long long attributed = 0;
+  for (const long long d : r.trace_dropped_per_buffer) {
+    EXPECT_GE(d, 0);
+    attributed += d;
+  }
+  EXPECT_EQ(attributed, r.trace_dropped);
+  // The report surfaces the split next to the fleet counter.
+  EXPECT_NE(summarize(r).find("cpu0="), std::string::npos);
+  EXPECT_NE(to_json(r).find("\"trace_dropped_per_buffer\":["),
+            std::string::npos);
   // The retained tail still merges and exports.
   EXPECT_LE(r.trace.size(), 8u * 3u);
   EXPECT_FALSE(obs::export_chrome_trace(r.trace, 2).empty());

@@ -31,7 +31,9 @@ import sys
 # scalar-kernel variants (BM_SadMacroblockRef, BM_ForwardDct8Ref,
 # BM_PsnrFrameScalarKernel, ...).  The farm throughput is tracked per
 # scheduling policy: np (bare), preemptive, and quantum-sliced run
-# queues; PsnrFrame/SsimFrame track the distortion kernels.
+# queues, plus the faulted run and the faulted run with the windowed
+# time series + SLO engine on (Timeseries — gates the observability
+# layer's overhead); PsnrFrame/SsimFrame track the distortion kernels.
 # AdmissionThroughput tracks steady-state admission churn (the QPA
 # fast path at 1k/10k/100k resident streams plus the exact-scan
 # baseline it must stay >= 10x ahead of — see docs/admission.md).
@@ -42,7 +44,7 @@ DEFAULT_BENCHMARKS = (
     r"^BM_(SadMacroblock|ForwardDct8|PsnrFrame|SsimFrame"
     r"|AdmissionThroughput(Exact)?/\d+"
     r"|ShardedJoinRate/\d+"
-    r"|FarmThroughput(Preemptive|Quantum|Faults)?/\d+)$"
+    r"|FarmThroughput(Preemptive|Quantum|Faults|Timeseries)?/\d+)$"
 )
 
 

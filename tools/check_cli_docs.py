@@ -3,13 +3,13 @@
 
 Two checks, both dependency-free:
 
- 1. Flag sync: for each binary (qosfarm, qoseval, qosc), every
-    `--flag` its `--help` prints must appear in the first column of a
-    table in that binary's `## <binary>` section of docs/cli.md, and
-    every flag documented there must still exist in the help — so a
-    flag cannot be added, renamed, or removed without the reference
+ 1. Flag sync: for each binary (qosfarm, qoseval, qosreport, qosc),
+    every `--flag` its `--help` prints must appear in the first column
+    of a table in that binary's `## <binary>` section of docs/cli.md,
+    and every flag documented there must still exist in the help — so
+    a flag cannot be added, renamed, or removed without the reference
     page following.  `--help`/`--version` are documented once for all
-    three binaries and exempt from the per-binary tables.
+    four binaries and exempt from the per-binary tables.
 
  2. Link check: every relative markdown link in README.md and
     docs/*.md must resolve to an existing file (external http(s) and
@@ -25,7 +25,7 @@ import subprocess
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-BINARIES = ("qosfarm", "qoseval", "qosc")
+BINARIES = ("qosfarm", "qoseval", "qosreport", "qosc")
 EXEMPT = {"--help", "--version"}
 FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

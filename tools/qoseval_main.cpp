@@ -47,6 +47,10 @@
 //                        (decision-identical fast path; default)
 //   --split              enable C=D semi-partitioned splitting in
 //                        every cell (docs/admission.md)
+//   --ts-window W        windowed time-series width in cycles for every
+//                        cell farm (docs/timeseries-slo.md)
+//   --slo SPEC           objective evaluated per cell (repeatable); the
+//                        verdicts land in the CSV's slo_* columns
 //   --seed S             farm seed shared by every cell (default 2026)
 //   --csv PATH           write the per-cell CSV
 //   --quiet              suppress the human-readable report
@@ -59,6 +63,7 @@
 #include "farm/faults.h"
 #include "farm/presets.h"
 #include "obs/buildinfo.h"
+#include "obs/slo.h"
 #include "quality/qoseval.h"
 
 namespace {
@@ -84,6 +89,7 @@ const char kUsage[] =
     "                     [--loss-prob F] [--fault-seed S]\n"
     "                     [--latency-discount F]\n"
     "                     [--admission exact|qpa] [--split]\n"
+    "                     [--ts-window W] [--slo SPEC]\n"
     "                     [--seed S] [--csv PATH] [--quiet]\n"
     "       qoseval --help | --version\n";
 
@@ -256,6 +262,21 @@ int main(int argc, char** argv) {
       if (!v || !sched::parse_demand_algo_name(v, &admission)) return usage();
     } else if (std::strcmp(arg, "--split") == 0) {
       sweep.split = true;
+    } else if (std::strcmp(arg, "--ts-window") == 0) {
+      const char* v = value();
+      std::uint64_t w = 0;
+      if (!v || !parse_u64(v, &w) || w == 0) return usage();
+      sweep.ts_window = static_cast<rt::Cycles>(w);
+    } else if (std::strcmp(arg, "--slo") == 0) {
+      const char* v = value();
+      if (!v) return usage();
+      obs::SloSpec spec;
+      std::string err;
+      if (!obs::parse_slo(v, &spec, &err)) {
+        std::fprintf(stderr, "qoseval: bad --slo '%s': %s\n", v, err.c_str());
+        return usage();
+      }
+      sweep.slos.push_back(spec);
     } else if (std::strcmp(arg, "--seed") == 0) {
       const char* v = value();
       if (!v || !parse_u64(v, &sweep.farm_seed)) return usage();
@@ -285,6 +306,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "qoseval: --shards %d exceeds --procs %d\n",
                  sweep.shards, sweep.num_processors);
     return usage();
+  }
+
+  if (sweep.ts_window == 0) {
+    for (const obs::SloSpec& spec : sweep.slos) {
+      if (spec.metric != obs::SloMetric::kRecoveryLatency) {
+        std::fprintf(stderr,
+                     "qoseval: --slo '%s' needs --ts-window (only "
+                     "recovery_latency evaluates without the series)\n",
+                     spec.text.c_str());
+        return usage();
+      }
+    }
   }
 
   // Scenario axis: presets replace the default seed scenarios; an

@@ -54,6 +54,18 @@
 //                     it as Chrome trace-event JSON (open in Perfetto)
 //   --trace-buf N     trace ring-buffer capacity per processor
 //                     (default 65536 events; oldest dropped on overflow)
+//   --ts-window W     record windowed time series with W-cycle windows
+//                     (default off; like --trace, zero cost when off);
+//                     the series lands in the report's "timeseries"
+//                     section — render it with tools/qosreport
+//   --slo SPEC        declarative objective over the series, e.g.
+//                     'latency_p99<0.8*window@50ms' or
+//                     'miss_rate<=0.02:controlled%0.1' (repeatable; see
+//                     docs/timeseries-slo.md for the grammar).  Windowed
+//                     metrics need --ts-window; recovery_latency works
+//                     without it
+//   --slo-exit        exit with status 3 when any objective is missed
+//                     (the CI gate)
 //   --quiet           suppress the human-readable report
 //
 //   qosfarm --version prints build provenance (git describe, compiler,
@@ -119,7 +131,9 @@ const char kUsage[] =
     "                   [--overrun-strikes N] [--loss-prob F]\n"
     "                   [--fail P@T[+R]] [--fault-seed S]\n"
     "                   [--json PATH] [--csv PATH]\n"
-    "                   [--trace PATH] [--trace-buf N] [--quiet]\n"
+    "                   [--trace PATH] [--trace-buf N]\n"
+    "                   [--ts-window W] [--slo SPEC] [--slo-exit]\n"
+    "                   [--quiet]\n"
     "       qosfarm --version\n"
     "       qosfarm --help\n";
 
@@ -201,6 +215,7 @@ int main(int argc, char** argv) {
   const char* preset_arg = nullptr;
   bool streams_set = false;
   bool quiet = false;
+  bool slo_exit = false;
 
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
@@ -343,6 +358,27 @@ int main(int argc, char** argv) {
           cfg.trace_buffer_capacity < 1) {
         return usage();
       }
+    } else if (std::strcmp(arg, "--ts-window") == 0) {
+      const char* v = value();
+      std::uint64_t w = 0;
+      if (!v || !parse_u64(v, &w) || w == 0) {
+        std::fprintf(stderr,
+                     "qosfarm: --ts-window wants a positive cycle count\n");
+        return usage();
+      }
+      cfg.ts_window = static_cast<rt::Cycles>(w);
+    } else if (std::strcmp(arg, "--slo") == 0) {
+      const char* v = value();
+      obs::SloSpec spec;
+      std::string error;
+      if (!v || !obs::parse_slo(v, &spec, &error)) {
+        std::fprintf(stderr, "qosfarm: bad --slo '%s': %s\n",
+                     v ? v : "", error.c_str());
+        return usage();
+      }
+      cfg.slos.push_back(std::move(spec));
+    } else if (std::strcmp(arg, "--slo-exit") == 0) {
+      slo_exit = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
     } else {
@@ -364,6 +400,18 @@ int main(int argc, char** argv) {
     if (ev.processor >= cfg.num_processors) {
       std::fprintf(stderr, "qosfarm: --fail processor %d out of range\n",
                    ev.processor);
+      return usage();
+    }
+  }
+  // Windowed objectives are meaningless without a series to evaluate
+  // over; recovery_latency reads the failure outcomes instead.
+  for (const obs::SloSpec& spec : cfg.slos) {
+    if (spec.metric != obs::SloMetric::kRecoveryLatency &&
+        cfg.ts_window == 0) {
+      std::fprintf(stderr,
+                   "qosfarm: --slo '%s' needs --ts-window (only "
+                   "recovery_latency evaluates without the series)\n",
+                   spec.text.c_str());
       return usage();
     }
   }
@@ -408,6 +456,10 @@ int main(int argc, char** argv) {
       !write_file(trace_path, obs::export_chrome_trace(
                                   result.trace, cfg.num_processors))) {
     return 1;
+  }
+  if (slo_exit && !result.slo.all_met()) {
+    std::fprintf(stderr, "qosfarm: SLO missed\n");
+    return 3;
   }
   return 0;
 }

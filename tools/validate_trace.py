@@ -14,7 +14,13 @@ producing a file Perfetto renders as garbage:
     the "B" of the same frame label, and no slice is left open at the
     end of the trace (a completed run terminates every service
     segment);
-  * instant events carry the scope field "s".
+  * instant events carry the scope field "s";
+  * the queue_depth/cpuN counters never go negative (depth is a
+    count of ready frames) and the phase_*/cpuN counters are
+    cumulative, so they never decrease;
+  * structured instants carry their arguments: join_batch its join
+    count, rebalance its target processor and shard, slo_alert the
+    breached window and objective index.
 
 Usage: validate_trace.py TRACE.json
 Exits 0 and prints a one-line summary when the trace is valid,
@@ -49,7 +55,14 @@ def main(argv):
 
     last_ts = {}   # tid -> last timestamp seen
     open_b = {}    # tid -> name of the open "B" slice, if any
+    counters = {}  # counter name -> last value seen
     counts = {"B": 0, "E": 0, "i": 0, "C": 0, "M": 0}
+    # instant name -> argument keys it must carry.
+    required_args = {
+        "join_batch": ("joins",),
+        "rebalance": ("processor", "shard"),
+        "slo_alert": ("window", "objective"),
+    }
 
     for idx, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -74,8 +87,29 @@ def main(argv):
             )
         last_ts[tid] = ts
 
-        if ph == "i" and ev.get("s") != "t":
-            fail(f"event {idx} ({ev['name']}): instant without scope s=t")
+        if ph == "i":
+            if ev.get("s") != "t":
+                fail(f"event {idx} ({ev['name']}): instant without scope s=t")
+            base = ev["name"].split(" ")[0]
+            for key in required_args.get(base, ()):
+                if key not in ev.get("args", {}):
+                    fail(
+                        f"event {idx} ({ev['name']}): instant missing "
+                        f"args.{key}"
+                    )
+        elif ph == "C":
+            name, value = ev["name"], next(iter(ev.get("args", {}).values()),
+                                           None)
+            if not isinstance(value, int):
+                fail(f"event {idx} ({name}): counter without integer value")
+            if name.startswith("queue_depth/") and value < 0:
+                fail(f"event {idx} ({name}): negative queue depth {value}")
+            if name.startswith("phase_") and value < counters.get(name, 0):
+                fail(
+                    f"event {idx} ({name}): cumulative counter decreased "
+                    f"{counters[name]} -> {value}"
+                )
+            counters[name] = value
         elif ph == "B":
             if tid in open_b:
                 fail(
